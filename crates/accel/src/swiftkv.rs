@@ -1,0 +1,103 @@
+//! SwiftKV prefill-compute reduction.
+//!
+//! SwiftKV (Qiao et al., 2025) transforms the model so the KV cache of the
+//! later layers is computed from an earlier layer's hidden state
+//! ("SingleInputKV"): prompt tokens skip the remaining layers' attention
+//! and MLP compute. With the standard 50% layer cut this removes roughly
+//! half of the prefill GEMM work while leaving decode untouched.
+
+use serde::{Deserialize, Serialize};
+
+/// SwiftKV configuration: the fraction of layers whose prefill compute is
+/// skipped.
+///
+/// # Examples
+///
+/// ```
+/// use sp_accel::SwiftKv;
+///
+/// let sk = SwiftKv::new(0.5);
+/// assert_eq!(sk.prefill_flops_scale(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwiftKv {
+    skip_fraction: f64,
+}
+
+impl SwiftKv {
+    /// Creates a SwiftKV transform skipping `skip_fraction` of prefill
+    /// layer compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip_fraction` is not in `[0, 1)`.
+    pub fn new(skip_fraction: f64) -> SwiftKv {
+        assert!(
+            (0.0..1.0).contains(&skip_fraction),
+            "skip fraction must be in [0, 1), got {skip_fraction}"
+        );
+        SwiftKv { skip_fraction }
+    }
+
+    /// Fraction of prefill layer compute skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        self.skip_fraction
+    }
+
+    /// Multiplier on prefill linear FLOPs (the
+    /// [`shift_core::DeploymentBuilder::prefill_flops_scale`] input).
+    pub fn prefill_flops_scale(&self) -> f64 {
+        1.0 - self.skip_fraction
+    }
+}
+
+impl Default for SwiftKv {
+    /// The published 50%-cut SwiftKV.
+    fn default() -> SwiftKv {
+        SwiftKv::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_core::{Deployment, DeploymentKind};
+    use sp_cluster::NodeSpec;
+    use sp_model::presets;
+    use sp_workload::synthetic;
+
+    #[test]
+    fn default_halves_prefill_compute() {
+        assert_eq!(SwiftKv::default().prefill_flops_scale(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip fraction")]
+    fn full_skip_rejected() {
+        let _ = SwiftKv::new(1.0);
+    }
+
+    #[test]
+    fn swiftkv_reduces_ttft_not_tpot() {
+        let node = NodeSpec::p5en_48xlarge();
+        let build = |scale: f64| {
+            Deployment::builder(node, presets::llama_70b())
+                .kind(DeploymentKind::Shift)
+                .prefill_flops_scale(scale)
+                .build()
+                .unwrap()
+        };
+        let trace = synthetic::single(16_384, 64);
+        let mut plain = build(1.0).run(&trace);
+        let mut swift = build(SwiftKv::default().prefill_flops_scale()).run(&trace);
+        let ttft_plain = plain.metrics_mut().ttft().median().unwrap();
+        let ttft_swift = swift.metrics_mut().ttft().median().unwrap();
+        assert!(
+            ttft_swift < 0.8 * ttft_plain,
+            "SwiftKV TTFT {ttft_swift:.4}s vs plain {ttft_plain:.4}s"
+        );
+        let tpot_plain = plain.metrics_mut().tpot().median().unwrap();
+        let tpot_swift = swift.metrics_mut().tpot().median().unwrap();
+        assert!((tpot_swift / tpot_plain - 1.0).abs() < 0.05, "decode should be untouched");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench: end-to-end *simulation* speed under each deployment
+//! policy (how fast the discrete-event engine itself runs — the
+//! simulator's own performance, not the simulated system's).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shift_core::{Deployment, DeploymentKind};
+use sp_cluster::NodeSpec;
+use sp_model::presets;
+use sp_workload::synthetic;
+
+fn bench_simulation_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    let trace = synthetic::poisson(40, 10.0, 1024, 32, 7);
+    for (name, kind) in [
+        ("tp", DeploymentKind::TensorParallel),
+        ("dp", DeploymentKind::DataParallel),
+        ("shift", DeploymentKind::Shift),
+    ] {
+        group.bench_function(format!("run_trace/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    Deployment::builder(NodeSpec::p5en_48xlarge(), presets::qwen_32b())
+                        .kind(kind)
+                        .build()
+                        .unwrap()
+                },
+                |mut dep| dep.run(&trace),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_speed);
+criterion_main!(benches);

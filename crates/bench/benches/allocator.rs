@@ -1,0 +1,42 @@
+//! Criterion bench: paged KV-cache manager operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sp_kvcache::KvCacheManager;
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvcache");
+
+    group.bench_function("reserve_release_cycle", |b| {
+        let mut kv = KvCacheManager::new(1 << 20, 16);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            assert!(kv.try_reserve(black_box(seq), black_box(4096)));
+            kv.release(seq);
+        })
+    });
+
+    group.bench_function("incremental_append", |b| {
+        let mut kv = KvCacheManager::new(1 << 24, 16);
+        kv.try_reserve(1, 16);
+        b.iter(|| {
+            if !kv.try_reserve(black_box(1), 1) {
+                kv.release(1);
+                kv.try_reserve(1, 16);
+            }
+        })
+    });
+
+    group.bench_function("admission_check_under_load", |b| {
+        let mut kv = KvCacheManager::new(1 << 20, 16);
+        for s in 0..200 {
+            kv.try_reserve(s, 4096);
+        }
+        b.iter(|| kv.can_reserve(black_box(9999), black_box(8192)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: collective cost-model evaluation (the innermost hot
+//! path of the iteration cost walk).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sp_cluster::collective::CollectiveKind;
+use sp_cluster::{CollectiveModel, InterconnectSpec};
+
+fn bench_collectives(c: &mut Criterion) {
+    let model = CollectiveModel::new(InterconnectSpec::nvswitch());
+    let mut group = c.benchmark_group("collectives");
+    for kind in [
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllToAll,
+        CollectiveKind::AllGather,
+        CollectiveKind::ReduceScatter,
+    ] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| model.time(black_box(kind), black_box(64 << 20), black_box(8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the Algorithm 1 iteration cost walk — executed once
+//! per simulated engine step, so its speed bounds simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sp_model::presets;
+use sp_parallel::{BatchWork, ChunkWork, ExecutionModel, ParallelConfig};
+
+fn bench_iteration(c: &mut Criterion) {
+    let exec =
+        ExecutionModel::new(sp_cluster::NodeSpec::p5en_48xlarge(), presets::llama_70b());
+    let mut group = c.benchmark_group("iteration");
+
+    let prefill = BatchWork::single_prefill(8192);
+    let decode = BatchWork::uniform_decode(256, 4096);
+    let mixed = BatchWork::new(
+        std::iter::once(ChunkWork::prefill(4096, 0, false))
+            .chain(std::iter::repeat_n(ChunkWork::decode(2048), 128))
+            .collect(),
+    );
+
+    for (name, batch) in [("prefill", &prefill), ("decode256", &decode), ("mixed", &mixed)] {
+        for config in
+            [ParallelConfig::tensor(8), ParallelConfig::sequence(8), ParallelConfig::new(4, 2)]
+        {
+            group.bench_function(format!("{name}/{config}"), |b| {
+                b.iter(|| exec.iteration(black_box(&config), black_box(batch)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

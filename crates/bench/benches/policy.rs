@@ -1,0 +1,22 @@
+//! Criterion bench: the per-iteration policy decision (must be
+//! negligible — it sits on the scheduling critical path, §3.4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use shift_core::ShiftPolicy;
+use sp_parallel::{BatchStats, ParallelConfig, ParallelismPolicy, StaticPolicy};
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    let shift = ShiftPolicy::new(ParallelConfig::new(4, 2), 256);
+    let static_tp = StaticPolicy::new("TP", ParallelConfig::tensor(8));
+    let small = BatchStats { total_new_tokens: 17, num_seqs: 17 };
+    let large = BatchStats { total_new_tokens: 8192, num_seqs: 40 };
+
+    group.bench_function("shift/small_batch", |b| b.iter(|| shift.choose(black_box(&small))));
+    group.bench_function("shift/large_batch", |b| b.iter(|| shift.choose(black_box(&large))));
+    group.bench_function("static", |b| b.iter(|| static_tp.choose(black_box(&large))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figures 2 and 8: the workload traces' shapes (size distributions and
+//! arrival patterns).
+//!
+//! ```text
+//! cargo run --release -p sp-bench --bin fig8_traces
+//! ```
+
+use sp_bench::harness::print_table;
+use sp_metrics::{Dur, Quantiles};
+use sp_workload::azure::AzureCodeConfig;
+use sp_workload::bursty::BurstyConfig;
+use sp_workload::mooncake::MooncakeConfig;
+use sp_workload::Trace;
+
+fn describe(name: &str, trace: &Trace) {
+    let mut input: Quantiles =
+        trace.requests().iter().map(|r| f64::from(r.input_tokens)).collect();
+    let mut output: Quantiles =
+        trace.requests().iter().map(|r| f64::from(r.output_tokens)).collect();
+    let mut rows = Vec::new();
+    for p in [0.1, 0.5, 0.9, 0.99] {
+        rows.push(vec![
+            format!("p{:.0}", p * 100.0),
+            format!("{:.0}", input.quantile(p).unwrap()),
+            format!("{:.0}", output.quantile(p).unwrap()),
+        ]);
+    }
+    print_table(
+        &format!("Figure 8 — {name}: token distributions ({} requests)", trace.len()),
+        &["quantile", "input", "output"],
+        &rows,
+    );
+
+    let hist = trace.arrival_histogram(Dur::from_secs(30.0));
+    let rows: Vec<Vec<String>> = hist
+        .iter()
+        .map(|(t, c)| vec![format!("{:.0}", t.as_secs()), format!("{c}"), "#".repeat(c / 10)])
+        .collect();
+    print_table(
+        &format!("Figure 8 — {name}: arrivals per 30s"),
+        &["t(s)", "req", ""],
+        &rows,
+    );
+}
+
+fn main() {
+    describe("bursty synthetic (Fig. 2/7)", &BurstyConfig::default().generate());
+    describe("Azure LLM Code (Fig. 8a)", &AzureCodeConfig::default().generate());
+    describe("Mooncake conversation (Fig. 8b)", &MooncakeConfig::default().generate());
+    println!(
+        "\nExpected shapes: Azure = bursty arrivals, long inputs, short outputs;\n\
+         Mooncake = steady ~9 req / 3 s, medium inputs, long outputs."
+    );
+}

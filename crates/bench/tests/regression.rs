@@ -1,0 +1,69 @@
+//! Calibration regression pins: the headline numbers recorded in
+//! EXPERIMENTS.md, asserted with generous bands so refactors that
+//! accidentally change the performance model get caught, while legitimate
+//! re-calibrations only require updating this file alongside
+//! EXPERIMENTS.md.
+
+use shift_core::DeploymentKind;
+use sp_bench::probes::{min_latency_probe, peak_throughput_probe};
+use sp_model::presets;
+
+fn within(value: f64, expected: f64, tolerance: f64) -> bool {
+    (value / expected - 1.0).abs() <= tolerance
+}
+
+#[test]
+fn llama_70b_headline_latencies() {
+    let m = presets::llama_70b();
+    let shift = min_latency_probe(DeploymentKind::Shift, &m, 4096, 250);
+    let tp = min_latency_probe(DeploymentKind::TensorParallel, &m, 4096, 250);
+    let dp = min_latency_probe(DeploymentKind::DataParallel, &m, 4096, 250);
+
+    // EXPERIMENTS.md: Shift 72 ms, TP 102 ms, DP 538 ms TTFT.
+    assert!(within(shift.ttft_ms, 72.0, 0.25), "shift TTFT {}", shift.ttft_ms);
+    assert!(within(tp.ttft_ms, 102.0, 0.25), "tp TTFT {}", tp.ttft_ms);
+    assert!(within(dp.ttft_ms, 538.0, 0.25), "dp TTFT {}", dp.ttft_ms);
+
+    // TPOT: Shift/TP 9.5 ms (paper 9.34), DP 22.5 ms.
+    assert!(within(shift.tpot_ms, 9.5, 0.25), "shift TPOT {}", shift.tpot_ms);
+    assert!(within(dp.tpot_ms, 22.5, 0.25), "dp TPOT {}", dp.tpot_ms);
+}
+
+#[test]
+fn llama_70b_headline_throughputs() {
+    let m = presets::llama_70b();
+    let tp = peak_throughput_probe(DeploymentKind::TensorParallel, &m, 4096, 250, 0);
+    let dp = peak_throughput_probe(DeploymentKind::DataParallel, &m, 4096, 250, 0);
+    let shift = peak_throughput_probe(DeploymentKind::Shift, &m, 4096, 250, 0);
+
+    // EXPERIMENTS.md: TP 33.5k, DP 43.3k, Shift 42.9k tok/s.
+    assert!(within(tp, 33_500.0, 0.2), "tp tput {tp}");
+    assert!(within(dp, 43_300.0, 0.2), "dp tput {dp}");
+    assert!(within(shift, 42_900.0, 0.2), "shift tput {shift}");
+}
+
+#[test]
+fn qwen_32b_headline_numbers() {
+    let m = presets::qwen_32b();
+    let shift = min_latency_probe(DeploymentKind::Shift, &m, 4096, 250);
+    // EXPERIMENTS.md: 36 ms TTFT, 7.3 ms TPOT.
+    assert!(within(shift.ttft_ms, 36.0, 0.25), "qwen shift TTFT {}", shift.ttft_ms);
+    assert!(within(shift.tpot_ms, 7.3, 0.25), "qwen shift TPOT {}", shift.tpot_ms);
+}
+
+#[test]
+fn moe_auto_bases_stay_pinned() {
+    // §4.6: Scout must plan (SP=4, TP=2); A3B must plan SP=8.
+    use shift_core::Deployment;
+    use sp_cluster::NodeSpec;
+    use sp_parallel::ParallelConfig;
+    let node = NodeSpec::p5en_48xlarge();
+    assert_eq!(
+        Deployment::auto_base(&node, &presets::llama_17b_16e(), 0.9).unwrap(),
+        ParallelConfig::new(4, 2)
+    );
+    assert_eq!(
+        Deployment::auto_base(&node, &presets::qwen_30b_a3b(), 0.9).unwrap(),
+        ParallelConfig::sequence(8)
+    );
+}

@@ -1,0 +1,131 @@
+//! GPU-to-GPU interconnect model.
+
+use serde::{Deserialize, Serialize};
+
+/// An intra-node GPU interconnect, described by the α–β parameters used by
+/// the collective cost models.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::InterconnectSpec;
+///
+/// let nv = InterconnectSpec::nvswitch();
+/// assert_eq!(nv.link_bw, 900e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Per-GPU injection bandwidth in bytes/second (unidirectional).
+    pub link_bw: f64,
+    /// Fraction of rated bandwidth achieved by large transfers (0..=1).
+    pub bw_efficiency: f64,
+    /// Base latency per collective step (kernel launch + switch traversal),
+    /// in seconds. This is the α of the α–β model.
+    pub step_latency: f64,
+    /// True if the topology is a full crossbar (NVSwitch): all-to-all
+    /// traffic does not contend beyond each GPU's injection port.
+    pub full_crossbar: bool,
+}
+
+impl InterconnectSpec {
+    /// Fourth-generation NVSwitch as in the paper's p5en.48xlarge node:
+    /// 900 GB/s per GPU, full crossbar.
+    pub fn nvswitch() -> InterconnectSpec {
+        InterconnectSpec {
+            link_bw: 900e9,
+            bw_efficiency: 0.75,
+            step_latency: 2e-6,
+            full_crossbar: true,
+        }
+    }
+
+    /// Inter-node EFA/InfiniBand fabric (for cross-node parallelism
+    /// sensitivity studies): ~50 GB/s per GPU, ~15 µs per step, no
+    /// crossbar. Running TP or SP *across* nodes over this fabric is what
+    /// the single-node deployment avoids.
+    pub fn efa_internode() -> InterconnectSpec {
+        InterconnectSpec {
+            link_bw: 50e9,
+            bw_efficiency: 0.8,
+            step_latency: 15e-6,
+            full_crossbar: false,
+        }
+    }
+
+    /// PCIe Gen5 x16 fallback topology (ring-only, much slower) for
+    /// sensitivity studies: 64 GB/s per direction.
+    pub fn pcie_gen5() -> InterconnectSpec {
+        InterconnectSpec {
+            link_bw: 64e9,
+            bw_efficiency: 0.8,
+            step_latency: 10e-6,
+            full_crossbar: false,
+        }
+    }
+
+    /// Sustainable per-GPU bandwidth: `link_bw * bw_efficiency`.
+    pub fn effective_bw(&self) -> f64 {
+        self.link_bw * self.bw_efficiency
+    }
+
+    /// Validates the spec's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.link_bw <= 0.0 || self.link_bw.is_nan() {
+            return Err("link bandwidth must be positive".into());
+        }
+        if !(self.bw_efficiency > 0.0 && self.bw_efficiency <= 1.0) {
+            return Err(format!(
+                "bandwidth efficiency must be in (0, 1], got {}",
+                self.bw_efficiency
+            ));
+        }
+        if !(self.step_latency >= 0.0 && self.step_latency.is_finite()) {
+            return Err("step latency must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        InterconnectSpec::nvswitch().validate().unwrap();
+        InterconnectSpec::pcie_gen5().validate().unwrap();
+        InterconnectSpec::efa_internode().validate().unwrap();
+    }
+
+    #[test]
+    fn internode_fabric_is_much_slower() {
+        let intra = InterconnectSpec::nvswitch();
+        let inter = InterconnectSpec::efa_internode();
+        assert!(intra.effective_bw() > 10.0 * inter.effective_bw());
+        assert!(inter.step_latency > 5.0 * intra.step_latency);
+    }
+
+    #[test]
+    fn nvswitch_matches_paper_rating() {
+        let nv = InterconnectSpec::nvswitch();
+        assert_eq!(nv.link_bw, 900e9);
+        assert!(nv.full_crossbar);
+    }
+
+    #[test]
+    fn effective_bw_scales_by_efficiency() {
+        let nv = InterconnectSpec::nvswitch();
+        assert!((nv.effective_bw() - 675e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_efficiency() {
+        let mut nv = InterconnectSpec::nvswitch();
+        nv.bw_efficiency = 0.0;
+        assert!(nv.validate().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Analytical hardware model of a multi-GPU inference node.
+//!
+//! The paper evaluates on AWS `p5en.48xlarge` nodes: 8×H200 GPUs (141 GB
+//! HBM3e at 4.8 TB/s, 1979 dense FP8 TFLOPS) connected by NVSwitch at
+//! 900 GB/s per GPU. This crate substitutes that hardware with first-order
+//! analytical models:
+//!
+//! * [`gpu::GpuSpec`] — per-GPU compute and memory capabilities.
+//! * [`interconnect::InterconnectSpec`] — link bandwidth and base latency.
+//! * [`node::NodeSpec`] — a set of identical GPUs plus an interconnect.
+//! * [`collective::CollectiveModel`] — α–β cost models for the NCCL
+//!   collectives used by the parallelisms (all-reduce, all-to-all,
+//!   all-gather, reduce-scatter).
+//! * [`roofline`] — kernel timing as `max(compute, memory)` roofline.
+//!
+//! The substitution is behaviour-preserving for the paper's claims because
+//! Table 2 reduces every parallelism's cost to FLOPs, HBM bytes, and
+//! collective volumes — exactly the quantities these models time.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp_cluster::{CollectiveModel, NodeSpec};
+//!
+//! let node = NodeSpec::p5en_48xlarge();
+//! let coll = CollectiveModel::new(node.interconnect);
+//! // All-reduce of 1 MiB across all 8 GPUs:
+//! let t = coll.all_reduce(1 << 20, node.gpu_count);
+//! assert!(t.as_micros() > 0.0);
+//! ```
+
+pub mod collective;
+pub mod gpu;
+pub mod interconnect;
+pub mod node;
+pub mod roofline;
+
+pub use collective::CollectiveModel;
+pub use gpu::GpuSpec;
+pub use interconnect::InterconnectSpec;
+pub use node::NodeSpec;
+pub use roofline::Roofline;

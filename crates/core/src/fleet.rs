@@ -1,0 +1,158 @@
+//! Multi-node fleets: data parallelism *across* shift nodes.
+//!
+//! The paper deploys one 8-GPU node; production scales out by replicating
+//! that deployment behind a router (§1 mentions the naive alternative —
+//! separate TP and DP fleets — which doubles cost). A
+//! [`Fleet`] composes N identical single-node deployments, each running
+//! Shift Parallelism internally, with least-loaded routing between them:
+//! intra-request speedup from SP/TP inside the node, scale-out throughput
+//! across nodes.
+
+use crate::deployment::{Deployment, DeploymentBuilder, DeploymentError};
+use sp_engine::EngineReport;
+use sp_metrics::Dur;
+use sp_workload::{Request, Trace};
+
+/// N single-node deployments behind a balance-by-expected-work router.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::{Deployment, DeploymentKind, fleet::Fleet};
+/// use sp_cluster::NodeSpec;
+/// use sp_model::presets;
+/// use sp_workload::synthetic;
+///
+/// let mut fleet = Fleet::new(2, || {
+///     Deployment::builder(NodeSpec::p5en_48xlarge(), presets::qwen_32b())
+///         .kind(DeploymentKind::Shift)
+/// })
+/// .unwrap();
+/// let report = fleet.run(&synthetic::uniform_batch(8, 1024, 8));
+/// assert_eq!(report.records().len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct Fleet {
+    nodes: Vec<Deployment>,
+}
+
+impl Fleet {
+    /// Builds `node_count` deployments from the builder factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DeploymentError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(
+        node_count: usize,
+        mut make: impl FnMut() -> DeploymentBuilder,
+    ) -> Result<Fleet, DeploymentError> {
+        assert!(node_count > 0, "fleet needs at least one node");
+        let nodes = (0..node_count)
+            .map(|_| make().build())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Fleet { nodes })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Splits `trace` across nodes: each request goes to the node with the
+    /// least total tokens assigned so far (deterministic join-shortest-
+    /// queue approximation, same policy as the intra-node DP router).
+    pub fn route(&self, trace: &Trace) -> Vec<Trace> {
+        let n = self.nodes.len();
+        let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); n];
+        let mut load = vec![0u64; n];
+        for r in trace.requests() {
+            let target = (0..n).min_by_key(|&i| load[i]).expect("non-empty fleet");
+            load[target] += r.total_tokens();
+            assigned[target].push(*r);
+        }
+        assigned.into_iter().map(Trace::with_ids).collect()
+    }
+
+    /// Runs `trace` across the fleet, merging node reports.
+    pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        let shards = self.route(trace);
+        let mut merged = EngineReport::new(Dur::from_secs(1.0));
+        for (node, shard) in self.nodes.iter_mut().zip(shards) {
+            merged.merge(node.run(&shard));
+        }
+        merged
+    }
+
+    /// Aggregated shift statistics `(base, shift, switches)` across nodes,
+    /// `None` if the deployments are not shift deployments.
+    pub fn shift_stats(&self) -> Option<(u64, u64, u64)> {
+        self.nodes.iter().try_fold((0, 0, 0), |(a, b, c), node| {
+            node.shift_stats().map(|(x, y, z)| (a + x, b + y, c + z))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentKind;
+    use sp_cluster::NodeSpec;
+    use sp_model::presets;
+    use sp_workload::synthetic;
+
+    fn make_fleet(nodes: usize) -> Fleet {
+        Fleet::new(nodes, || {
+            Deployment::builder(NodeSpec::p5en_48xlarge(), presets::llama_70b())
+                .kind(DeploymentKind::Shift)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_scales_batch_throughput() {
+        let trace = synthetic::uniform_batch(64, 4096, 32);
+        let one = make_fleet(1).run(&trace);
+        let two = make_fleet(2).run(&trace);
+        let speedup = one.makespan().as_secs() / two.makespan().as_secs();
+        assert!(speedup > 1.6, "2-node speedup {speedup:.2}");
+        assert_eq!(two.records().len(), 64);
+    }
+
+    #[test]
+    fn fleet_preserves_single_request_latency() {
+        // Adding nodes must not slow a lone request down.
+        let trace = synthetic::single(8192, 32);
+        let mut lone = make_fleet(1).run(&trace);
+        let mut pair = make_fleet(2).run(&trace);
+        let a = lone.metrics_mut().ttft().median().unwrap();
+        let b = pair.metrics_mut().ttft().median().unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_shift_stats_aggregate() {
+        let mut fleet = make_fleet(2);
+        let _ = fleet.run(&synthetic::uniform_batch(8, 2048, 16));
+        let (base, shift, _) = fleet.shift_stats().unwrap();
+        assert!(base + shift > 0);
+    }
+
+    #[test]
+    fn routing_is_conservative() {
+        let fleet = make_fleet(3);
+        let trace = synthetic::poisson(31, 10.0, 1024, 16, 8);
+        let shards = fleet.route(&trace);
+        let total: usize = shards.iter().map(Trace::len).sum();
+        assert_eq!(total, 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_fleet_rejected() {
+        let _ = make_fleet(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! CUDA-graph capture planning (§3.4).
+//!
+//! For low latency, vLLM replays pre-captured CUDA graphs instead of
+//! launching kernels eagerly. A graph is specific to a (configuration,
+//! padded batch size) pair, so the plug-in "compiles and captures both
+//! base model and shift model separately… yielding hundreds of graphs,
+//! which are registered during initialization and replayed accordingly at
+//! runtime". This module models that registry: which graphs exist, which
+//! one an iteration replays, and what capture costs at startup — backing
+//! the paper's claim that the shift model's extra graphs "do not increase
+//! the capturing time or memory significantly".
+
+use serde::{Deserialize, Serialize};
+use sp_metrics::Dur;
+use sp_parallel::ParallelConfig;
+use std::collections::BTreeMap;
+
+/// The batch-size buckets vLLM captures graphs for (decode sizes; powers
+/// of two up to 512 plus small linear steps, mirroring
+/// `cuda_graph_sizes`).
+pub fn default_capture_sizes() -> Vec<u64> {
+    let mut sizes: Vec<u64> = (1..=8).collect();
+    let mut s = 16;
+    while s <= 512 {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// One captured graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapturedGraph {
+    /// The configuration the graph was captured under.
+    pub config: ParallelConfig,
+    /// The padded batch size it replays.
+    pub batch_size: u64,
+}
+
+/// A registry of captured graphs for a set of configurations.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::graphs::GraphRegistry;
+/// use sp_parallel::ParallelConfig;
+///
+/// let reg = GraphRegistry::capture_all(
+///     &[ParallelConfig::sequence(8), ParallelConfig::tensor(8)],
+/// );
+/// // Replay picks the smallest captured size >= the batch.
+/// let g = reg.lookup(ParallelConfig::tensor(8), 13).unwrap();
+/// assert_eq!(g.batch_size, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphRegistry {
+    graphs: BTreeMap<(ParallelConfig, u64), CapturedGraph>,
+    capture_cost_per_graph: Dur,
+}
+
+impl GraphRegistry {
+    /// Captures the default size ladder for every configuration (what a
+    /// shift deployment does at startup for its base and shift models).
+    pub fn capture_all(configs: &[ParallelConfig]) -> GraphRegistry {
+        GraphRegistry::capture(configs, &default_capture_sizes())
+    }
+
+    /// Captures explicit sizes for every configuration.
+    pub fn capture(configs: &[ParallelConfig], sizes: &[u64]) -> GraphRegistry {
+        let mut graphs = BTreeMap::new();
+        for &config in configs {
+            for &batch_size in sizes {
+                graphs.insert((config, batch_size), CapturedGraph { config, batch_size });
+            }
+        }
+        GraphRegistry {
+            graphs,
+            // ~0.4 s per captured shape (kernel warmup + graph
+            // instantiation), the dominant startup cost after weights.
+            capture_cost_per_graph: Dur::from_millis(400.0),
+        }
+    }
+
+    /// Number of captured graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Total capture time at startup.
+    pub fn capture_time(&self) -> Dur {
+        self.capture_cost_per_graph * self.len() as f64
+    }
+
+    /// The graph an iteration of `batch_size` tokens replays under
+    /// `config`: the smallest captured size that fits, or `None` (eager
+    /// fallback — large prefill batches run eagerly, as in vLLM).
+    pub fn lookup(&self, config: ParallelConfig, batch_size: u64) -> Option<CapturedGraph> {
+        self.graphs
+            .range((config, batch_size)..)
+            .take_while(|((c, _), _)| *c == config)
+            .map(|(_, g)| *g)
+            .next()
+    }
+
+    /// Padding waste of replaying `batch_size` under `config`: replayed
+    /// size minus actual, 0 when falling back to eager.
+    pub fn padding_waste(&self, config: ParallelConfig, batch_size: u64) -> u64 {
+        self.lookup(config, batch_size).map_or(0, |g| g.batch_size - batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_ladder_is_sorted_and_dedup() {
+        let sizes = default_capture_sizes();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sizes.len(), sorted.len());
+    }
+
+    #[test]
+    fn shift_adds_one_configs_worth_of_graphs() {
+        // §3.4: "the additional graphs for the shift model do not increase
+        // the capturing time or memory significantly" — it is exactly 2x a
+        // single config, i.e. linear, not combinatorial.
+        let base_only = GraphRegistry::capture_all(&[ParallelConfig::sequence(8)]);
+        let with_shift = GraphRegistry::capture_all(&[
+            ParallelConfig::sequence(8),
+            ParallelConfig::tensor(8),
+        ]);
+        assert_eq!(with_shift.len(), 2 * base_only.len());
+        assert!(
+            with_shift.capture_time().as_secs()
+                <= 2.0 * base_only.capture_time().as_secs() + 1e-12
+        );
+    }
+
+    #[test]
+    fn lookup_picks_next_size_up() {
+        let reg = GraphRegistry::capture_all(&[ParallelConfig::tensor(8)]);
+        assert_eq!(reg.lookup(ParallelConfig::tensor(8), 1).unwrap().batch_size, 1);
+        assert_eq!(reg.lookup(ParallelConfig::tensor(8), 9).unwrap().batch_size, 16);
+        assert_eq!(reg.lookup(ParallelConfig::tensor(8), 512).unwrap().batch_size, 512);
+        assert_eq!(reg.lookup(ParallelConfig::tensor(8), 513), None);
+    }
+
+    #[test]
+    fn lookup_is_config_scoped() {
+        let reg = GraphRegistry::capture_all(&[ParallelConfig::sequence(8)]);
+        assert!(reg.lookup(ParallelConfig::tensor(8), 4).is_none());
+    }
+
+    #[test]
+    fn empty_registry_behaves() {
+        let reg = GraphRegistry::capture(&[], &[]);
+        assert!(reg.is_empty());
+        assert_eq!(reg.capture_time(), Dur::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn padding_waste_is_bounded_by_next_bucket(batch in 1u64..512) {
+            let reg = GraphRegistry::capture_all(&[ParallelConfig::tensor(8)]);
+            let waste = reg.padding_waste(ParallelConfig::tensor(8), batch);
+            // Buckets at worst double, so waste < batch.
+            prop_assert!(waste < batch.max(8));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Machine-checked KV-cache invariance (§3.3.1).
+//!
+//! Shift Parallelism is only sound if the base `(SP, TP)` and shift
+//! `(1, SP·TP)` configurations place every attention head — and hence
+//! every KV-cache entry — on the same GPU. For pure SP or pure TP bases
+//! this is automatic; for mixed bases the head order interleaves (the
+//! paper's `(0, 2, 4, 1, 3, 5)` example) and the shift model must shard
+//! its weights in `SP_TP`-group order.
+//!
+//! [`InvarianceCertificate`] verifies the property for a concrete model
+//! and base configuration, covering both query heads and KV heads (with
+//! replication when the degree exceeds the KV head count).
+
+use sp_kvcache::KvShardLayout;
+use sp_model::ModelConfig;
+use sp_parallel::{ParallelConfig, ProcessMapping};
+use std::fmt;
+
+/// Why invariance verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvarianceError {
+    /// Query heads are not divisible by the parallel degree.
+    IndivisibleQueryHeads {
+        /// Query heads in the model.
+        q_heads: u32,
+        /// Total parallel degree.
+        degree: usize,
+    },
+    /// KV heads can be neither split nor replicated evenly.
+    KvLayout(String),
+    /// A rank's base and shift head sets differ (would corrupt the cache).
+    HeadMismatch {
+        /// The offending global rank.
+        rank: usize,
+        /// Heads under the base configuration.
+        base: Vec<u32>,
+        /// Heads under the shift configuration.
+        shift: Vec<u32>,
+    },
+}
+
+impl fmt::Display for InvarianceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvarianceError::IndivisibleQueryHeads { q_heads, degree } => {
+                write!(f, "{q_heads} query heads do not divide across {degree} GPUs")
+            }
+            InvarianceError::KvLayout(e) => write!(f, "KV head layout invalid: {e}"),
+            InvarianceError::HeadMismatch { rank, base, shift } => write!(
+                f,
+                "rank {rank} holds heads {base:?} in base but {shift:?} in shift config"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvarianceError {}
+
+/// Proof that a model can shift safely under a given base configuration.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::InvarianceCertificate;
+/// use sp_model::presets;
+/// use sp_parallel::ParallelConfig;
+///
+/// let cert =
+///     InvarianceCertificate::verify(&presets::llama_70b(), ParallelConfig::new(4, 2))
+///         .unwrap();
+/// assert_eq!(cert.kv_replication(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvarianceCertificate {
+    base: ParallelConfig,
+    q_heads_per_rank: u32,
+    kv_replication: u32,
+    head_order: Vec<u32>,
+}
+
+impl InvarianceCertificate {
+    /// Verifies KV-cache invariance of `model` for `base` and its derived
+    /// shift configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvarianceError`] if heads cannot be laid out or any rank
+    /// would disagree between the two configurations.
+    pub fn verify(
+        model: &ModelConfig,
+        base: ParallelConfig,
+    ) -> Result<InvarianceCertificate, InvarianceError> {
+        let degree = base.degree();
+        if !(model.q_heads as usize).is_multiple_of(degree) {
+            return Err(InvarianceError::IndivisibleQueryHeads {
+                q_heads: model.q_heads,
+                degree,
+            });
+        }
+        KvShardLayout::for_model(model, degree)
+            .map_err(|e| InvarianceError::KvLayout(e.to_string()))?;
+
+        let mapping = ProcessMapping::new(base.sp(), base.tp());
+        for rank in 0..degree {
+            let base_heads = mapping.base_heads_of_rank(rank, model.q_heads);
+            let shift_heads = mapping.shift_heads_of_rank(rank, model.q_heads);
+            if base_heads != shift_heads {
+                return Err(InvarianceError::HeadMismatch {
+                    rank,
+                    base: base_heads,
+                    shift: shift_heads,
+                });
+            }
+        }
+
+        let layout = KvShardLayout::for_model(model, degree).expect("checked above");
+        // Head h is owned by the h-th rank of the SP_TP group — the order
+        // the shift model loads its shards in (§3.3.2).
+        let head_order: Vec<u32> = mapping
+            .sp_tp_group()
+            .into_iter()
+            .map(|r| r as u32)
+            .collect();
+
+        Ok(InvarianceCertificate {
+            base,
+            q_heads_per_rank: model.q_heads / degree as u32,
+            kv_replication: layout.replication(),
+            head_order,
+        })
+    }
+
+    /// The certified base configuration.
+    pub fn base(&self) -> ParallelConfig {
+        self.base
+    }
+
+    /// Query heads resident on each rank.
+    pub fn q_heads_per_rank(&self) -> u32 {
+        self.q_heads_per_rank
+    }
+
+    /// KV-head replication factor (1 means every head stored once).
+    pub fn kv_replication(&self) -> u32 {
+        self.kv_replication
+    }
+
+    /// For each head chunk `i`, the global rank owning it — the paper's
+    /// `(0, 2, 4, 1, 3, 5)` ordering for the `(SP=3, TP=2)` example.
+    pub fn head_order(&self) -> &[u32] {
+        &self.head_order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+
+    #[test]
+    fn all_table4_models_certify_on_eight_gpus() {
+        for model in presets::all_table4() {
+            for base in [
+                ParallelConfig::sequence(8),
+                ParallelConfig::new(4, 2),
+                ParallelConfig::new(2, 4),
+            ] {
+                InvarianceCertificate::verify(&model, base)
+                    .unwrap_or_else(|e| panic!("{} {base}: {e}", model.name));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_head_order_example() {
+        // (SP=3, TP=2) on a 6-head model: order (0, 2, 4, 1, 3, 5).
+        let mut model = presets::llama_70b();
+        model.q_heads = 6;
+        model.kv_heads = 6;
+        let cert = InvarianceCertificate::verify(&model, ParallelConfig::new(3, 2)).unwrap();
+        assert_eq!(cert.head_order(), &[0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn replication_reported_for_a3b() {
+        let cert = InvarianceCertificate::verify(
+            &presets::qwen_30b_a3b(),
+            ParallelConfig::sequence(8),
+        )
+        .unwrap();
+        assert_eq!(cert.kv_replication(), 2);
+        assert_eq!(cert.q_heads_per_rank(), 4); // 32 / 8
+    }
+
+    #[test]
+    fn indivisible_query_heads_rejected() {
+        let mut model = presets::llama_70b();
+        model.q_heads = 60; // not divisible by 8
+        let err =
+            InvarianceCertificate::verify(&model, ParallelConfig::sequence(8)).unwrap_err();
+        assert!(matches!(err, InvarianceError::IndivisibleQueryHeads { .. }));
+    }
+
+    #[test]
+    fn bad_kv_layout_rejected() {
+        let mut model = presets::llama_70b();
+        model.q_heads = 63;
+        model.kv_heads = 9;
+        let err =
+            InvarianceCertificate::verify(&model, ParallelConfig::new(7, 1)).unwrap_err();
+        // 9 KV heads across 7 GPUs: neither splits nor replicates.
+        assert!(matches!(err, InvarianceError::KvLayout(_)), "got {err}");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = InvarianceError::HeadMismatch { rank: 3, base: vec![1], shift: vec![2] };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 3"));
+        assert!(msg.contains("[1]") && msg.contains("[2]"));
+    }
+
+    proptest! {
+        #[test]
+        fn certificates_exist_for_every_even_factorization(
+            sp_pow in 0u32..4, tp_pow in 0u32..4,
+        ) {
+            let sp = 1usize << sp_pow;
+            let tp = 1usize << tp_pow;
+            prop_assume!(sp * tp > 1 && sp * tp <= 64);
+            let model = presets::llama_70b(); // 64 Q / 8 KV heads
+            let cert = InvarianceCertificate::verify(&model, ParallelConfig::new(sp, tp));
+            prop_assert!(cert.is_ok(), "({sp},{tp}): {:?}", cert.err());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-rank weight shard maps (Figure 6, §3.3.2).
+//!
+//! The invariance certificate says *which heads* each rank owns; this
+//! module says *which weight rows/columns* that implies, for both the
+//! base and shift models — the information a real loader needs to stream
+//! the right slice of each checkpoint tensor to each GPU.
+//!
+//! Conventions: Q/K/V are column-sharded by head; the attention output
+//! projection `O` is row-sharded by head; MLP up/gate are column-sharded
+//! and MLP down row-sharded by the TP degree.
+
+use serde::{Deserialize, Serialize};
+use sp_model::ModelConfig;
+use sp_parallel::{ParallelConfig, ProcessMapping};
+
+/// A contiguous slice of one weight tensor's sharded dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRange {
+    /// First element index (inclusive).
+    pub start: u64,
+    /// One past the last element index.
+    pub end: u64,
+}
+
+impl ShardRange {
+    /// Number of elements in the slice.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The weight slices one rank loads for one transformer layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankShard {
+    /// Global rank.
+    pub rank: usize,
+    /// Q-head columns owned (unit: heads; multiply by `head_dim` for
+    /// elements). Possibly non-contiguous under mixed bases, hence a list.
+    pub q_heads: Vec<u32>,
+    /// KV-head columns owned (unit: heads; replicas repeat ids).
+    pub kv_heads: Vec<u32>,
+    /// MLP intermediate slice (unit: intermediate columns).
+    pub mlp: ShardRange,
+}
+
+/// Shard maps for a whole configuration.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::shards::ShardMap;
+/// use sp_model::presets;
+/// use sp_parallel::ParallelConfig;
+///
+/// let map = ShardMap::for_base(&presets::llama_70b(), ParallelConfig::new(4, 2)).unwrap();
+/// assert_eq!(map.ranks().len(), 8);
+/// // Every rank holds 64/8 = 8 Q heads.
+/// assert!(map.ranks().iter().all(|r| r.q_heads.len() == 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    config: ParallelConfig,
+    ranks: Vec<RankShard>,
+}
+
+impl ShardMap {
+    /// Builds the *base-model* shard map for `config`: attention sharded
+    /// by head across all `SP × TP` ranks (post all-to-all ownership), MLP
+    /// sharded across the TP group only (SP replicates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if heads do not divide across the configuration.
+    pub fn for_base(model: &ModelConfig, config: ParallelConfig) -> Result<ShardMap, String> {
+        let p = config.degree();
+        if !(model.q_heads as usize).is_multiple_of(p) {
+            return Err(format!("{} Q heads do not divide across {p} ranks", model.q_heads));
+        }
+        let mapping = ProcessMapping::new(config.sp(), config.tp());
+        let kv_layout = sp_kvcache::KvShardLayout::for_model(model, p)
+            .map_err(|e| e.to_string())?;
+        let mlp_cols = u64::from(model.intermediate_size).max(1);
+        let per_tp = mlp_cols / config.tp() as u64;
+
+        let ranks = (0..p)
+            .map(|rank| {
+                let t = mapping.tp_rank(rank) as u64;
+                RankShard {
+                    rank,
+                    q_heads: mapping.base_heads_of_rank(rank, model.q_heads),
+                    kv_heads: kv_layout.heads_on_gpu(rank),
+                    mlp: ShardRange { start: t * per_tp, end: (t + 1) * per_tp },
+                }
+            })
+            .collect();
+        Ok(ShardMap { config, ranks })
+    }
+
+    /// Builds the *shift-model* shard map: full TP across the same ranks,
+    /// with head chunks dealt in SP_TP-group order so attention shards
+    /// coincide with the base map (§3.3.2), and MLP re-sharded `P` ways.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardMap::for_base`].
+    pub fn for_shift(model: &ModelConfig, base: ParallelConfig) -> Result<ShardMap, String> {
+        let p = base.degree();
+        if !(model.q_heads as usize).is_multiple_of(p) {
+            return Err(format!("{} Q heads do not divide across {p} ranks", model.q_heads));
+        }
+        let mapping = ProcessMapping::new(base.sp(), base.tp());
+        let kv_layout = sp_kvcache::KvShardLayout::for_model(model, p)
+            .map_err(|e| e.to_string())?;
+        let mlp_cols = u64::from(model.intermediate_size).max(1);
+        let per_rank = mlp_cols / p as u64;
+        let order = mapping.sp_tp_group();
+
+        let ranks = (0..p)
+            .map(|rank| {
+                // The shift model deals MLP slices in SP_TP order too, so
+                // slice i goes to order[i].
+                let position =
+                    order.iter().position(|&r| r == rank).expect("rank in group") as u64;
+                RankShard {
+                    rank,
+                    q_heads: mapping.shift_heads_of_rank(rank, model.q_heads),
+                    kv_heads: kv_layout.heads_on_gpu(rank),
+                    mlp: ShardRange {
+                        start: position * per_rank,
+                        end: (position + 1) * per_rank,
+                    },
+                }
+            })
+            .collect();
+        Ok(ShardMap { config: base.shift_config(), ranks })
+    }
+
+    /// The configuration this map shards for.
+    pub fn config(&self) -> ParallelConfig {
+        self.config
+    }
+
+    /// Per-rank shards, indexed by global rank.
+    pub fn ranks(&self) -> &[RankShard] {
+        &self.ranks
+    }
+
+    /// True if attention ownership (Q and KV heads per rank) coincides
+    /// with `other` — the loader-level statement of KV-cache invariance.
+    pub fn attention_coincides_with(&self, other: &ShardMap) -> bool {
+        self.ranks.len() == other.ranks.len()
+            && self
+                .ranks
+                .iter()
+                .zip(&other.ranks)
+                .all(|(a, b)| a.q_heads == b.q_heads && a.kv_heads == b.kv_heads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+
+    #[test]
+    fn base_and_shift_attention_coincide() {
+        let m = presets::llama_70b();
+        for base in [
+            ParallelConfig::sequence(8),
+            ParallelConfig::new(4, 2),
+            ParallelConfig::new(2, 4),
+        ] {
+            let b = ShardMap::for_base(&m, base).unwrap();
+            let s = ShardMap::for_shift(&m, base).unwrap();
+            assert!(b.attention_coincides_with(&s), "{base}");
+        }
+    }
+
+    #[test]
+    fn mlp_resharded_for_shift() {
+        let m = presets::llama_70b();
+        let base = ParallelConfig::new(4, 2);
+        let b = ShardMap::for_base(&m, base).unwrap();
+        let s = ShardMap::for_shift(&m, base).unwrap();
+        // Base: TP=2 → half the intermediate each; shift: 1/8 each.
+        assert_eq!(b.ranks()[0].mlp.len() * 2, u64::from(m.intermediate_size));
+        assert_eq!(s.ranks()[0].mlp.len() * 8, u64::from(m.intermediate_size));
+    }
+
+    #[test]
+    fn shift_mlp_slices_partition_the_matrix() {
+        let m = presets::qwen_32b();
+        let s = ShardMap::for_shift(&m, ParallelConfig::new(2, 4)).unwrap();
+        let mut slices: Vec<(u64, u64)> =
+            s.ranks().iter().map(|r| (r.mlp.start, r.mlp.end)).collect();
+        slices.sort_unstable();
+        assert_eq!(slices[0].0, 0);
+        assert_eq!(slices.last().unwrap().1, u64::from(m.intermediate_size));
+        for w in slices.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "gap or overlap between MLP slices");
+        }
+    }
+
+    #[test]
+    fn indivisible_heads_error() {
+        let mut m = presets::llama_70b();
+        m.q_heads = 60;
+        assert!(ShardMap::for_base(&m, ParallelConfig::sequence(8)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn invariance_at_loader_level(sp_pow in 0u32..4, tp_pow in 0u32..4) {
+            let base = ParallelConfig::new(1 << sp_pow, 1 << tp_pow);
+            prop_assume!(base.degree() <= 64 && base.degree() > 1);
+            let m = presets::llama_70b();
+            let b = ShardMap::for_base(&m, base).unwrap();
+            let s = ShardMap::for_shift(&m, base).unwrap();
+            prop_assert!(b.attention_coincides_with(&s));
+        }
+    }
+}

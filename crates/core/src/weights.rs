@@ -1,0 +1,198 @@
+//! Weight handling for the two configurations (§3.3.2).
+//!
+//! The base and shift models need compatible weights on every GPU. The
+//! paper considers two strategies:
+//!
+//! * **on-the-fly slicing** — the shift pass multiplies a slice of the
+//!   base partition; zero extra memory, but each slice requires a matrix
+//!   transposition on Hopper FP8 tensor cores (a per-iteration time
+//!   penalty);
+//! * **separate models** (adopted) — load a second, fully-TP-sharded copy
+//!   of the weights in SP_TP order; Eq. 1 gives the footprint:
+//!
+//! ```text
+//! w_total = w/TP + w/(SP·TP)        // base + shift
+//! ```
+//!
+//! so the shift model's overhead is `1/SP` of the base model's memory —
+//! e.g. 12.5% at SP = 8.
+
+use serde::{Deserialize, Serialize};
+use sp_model::ModelConfig;
+use sp_parallel::ParallelConfig;
+
+/// How the shift configuration obtains its weight shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightStrategy {
+    /// Slice the base partition per iteration (FP8 transpose penalty).
+    OnTheFlySlicing,
+    /// Keep a separate fully-sharded shift model (extra memory, Eq. 1).
+    SeparateModels,
+}
+
+/// Relative GEMM slowdown of the shift pass under on-the-fly slicing
+/// (the Hopper FP8 transpose penalty the paper cites for rejecting it).
+pub const SLICING_GEMM_PENALTY: f64 = 1.15;
+
+/// Memory/time consequences of a weight strategy for one deployment.
+///
+/// # Examples
+///
+/// ```
+/// use shift_core::{ShiftWeightPlan, WeightStrategy};
+/// use sp_model::presets;
+/// use sp_parallel::ParallelConfig;
+///
+/// let plan = ShiftWeightPlan::new(
+///     &presets::llama_70b(),
+///     ParallelConfig::sequence(8),
+///     WeightStrategy::SeparateModels,
+/// );
+/// // Eq. 1 at SP=8: the shift copy adds 1/8 = 12.5%.
+/// assert!((plan.overhead_fraction() - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftWeightPlan {
+    strategy: WeightStrategy,
+    base_bytes_per_gpu: u64,
+    shift_extra_bytes_per_gpu: u64,
+}
+
+impl ShiftWeightPlan {
+    /// Plans weights for `model` under `base` with `strategy`.
+    pub fn new(
+        model: &ModelConfig,
+        base: ParallelConfig,
+        strategy: WeightStrategy,
+    ) -> ShiftWeightPlan {
+        let w = model.weight_bytes();
+        let base_bytes_per_gpu = w / base.tp() as u64;
+        let shift_extra_bytes_per_gpu = match strategy {
+            WeightStrategy::OnTheFlySlicing => 0,
+            WeightStrategy::SeparateModels => w / base.degree() as u64,
+        };
+        ShiftWeightPlan { strategy, base_bytes_per_gpu, shift_extra_bytes_per_gpu }
+    }
+
+    /// The chosen strategy.
+    pub fn strategy(&self) -> WeightStrategy {
+        self.strategy
+    }
+
+    /// Base-model weight bytes per GPU (`w/TP`).
+    pub fn base_bytes_per_gpu(&self) -> u64 {
+        self.base_bytes_per_gpu
+    }
+
+    /// Extra bytes per GPU for the shift model (`w/(SP·TP)` for separate
+    /// models, 0 for slicing).
+    pub fn shift_extra_bytes_per_gpu(&self) -> u64 {
+        self.shift_extra_bytes_per_gpu
+    }
+
+    /// Total resident weight bytes per GPU — Eq. 1 divided by the GPU
+    /// count for the separate-models strategy.
+    pub fn total_bytes_per_gpu(&self) -> u64 {
+        self.base_bytes_per_gpu + self.shift_extra_bytes_per_gpu
+    }
+
+    /// Shift-model memory overhead as a fraction of the base model's
+    /// per-GPU weights (`1/SP` for separate models).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.shift_extra_bytes_per_gpu as f64 / self.base_bytes_per_gpu as f64
+    }
+
+    /// Multiplier on shift-pass GEMM time (1.0 unless slicing).
+    pub fn shift_gemm_penalty(&self) -> f64 {
+        match self.strategy {
+            WeightStrategy::OnTheFlySlicing => SLICING_GEMM_PENALTY,
+            WeightStrategy::SeparateModels => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+
+    #[test]
+    fn eq1_matches_closed_form() {
+        // w_total = w/TP + w/(SP·TP), checked against the struct.
+        let m = presets::llama_70b();
+        let base = ParallelConfig::new(4, 2);
+        let plan = ShiftWeightPlan::new(&m, base, WeightStrategy::SeparateModels);
+        let w = m.weight_bytes();
+        assert_eq!(plan.total_bytes_per_gpu(), w / 2 + w / 8);
+    }
+
+    #[test]
+    fn overhead_is_one_over_sp() {
+        let m = presets::qwen_32b();
+        for sp in [2usize, 4, 8] {
+            let plan = ShiftWeightPlan::new(
+                &m,
+                ParallelConfig::sequence(sp),
+                WeightStrategy::SeparateModels,
+            );
+            assert!(
+                (plan.overhead_fraction() - 1.0 / sp as f64).abs() < 1e-9,
+                "SP={sp}: {}",
+                plan.overhead_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_12_5_percent() {
+        // §3.3.2: "when SP = 8, the shift model's memory overhead is 12.5%".
+        let plan = ShiftWeightPlan::new(
+            &presets::llama_70b(),
+            ParallelConfig::sequence(8),
+            WeightStrategy::SeparateModels,
+        );
+        assert!((plan.overhead_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slicing_has_no_memory_but_a_time_penalty() {
+        let plan = ShiftWeightPlan::new(
+            &presets::llama_70b(),
+            ParallelConfig::sequence(8),
+            WeightStrategy::OnTheFlySlicing,
+        );
+        assert_eq!(plan.shift_extra_bytes_per_gpu(), 0);
+        assert_eq!(plan.overhead_fraction(), 0.0);
+        assert!(plan.shift_gemm_penalty() > 1.0);
+    }
+
+    #[test]
+    fn more_tp_in_base_shrinks_both_terms() {
+        let m = presets::llama_70b();
+        let sp8 = ShiftWeightPlan::new(
+            &m,
+            ParallelConfig::sequence(8),
+            WeightStrategy::SeparateModels,
+        );
+        let mixed =
+            ShiftWeightPlan::new(&m, ParallelConfig::new(4, 2), WeightStrategy::SeparateModels);
+        assert!(mixed.base_bytes_per_gpu() < sp8.base_bytes_per_gpu());
+        assert_eq!(mixed.shift_extra_bytes_per_gpu(), sp8.shift_extra_bytes_per_gpu());
+    }
+
+    proptest! {
+        #[test]
+        fn separate_models_total_below_double_base(
+            sp_pow in 0u32..4, tp_pow in 0u32..4,
+        ) {
+            let base = ParallelConfig::new(1 << sp_pow, 1 << tp_pow);
+            prop_assume!(base.degree() > 1);
+            let plan = ShiftWeightPlan::new(
+                &presets::llama_70b(), base, WeightStrategy::SeparateModels);
+            // Degenerate SP=1 bases double the weights (overhead 1/SP = 1).
+            prop_assert!(plan.total_bytes_per_gpu() <= 2 * plan.base_bytes_per_gpu().max(1));
+            prop_assert!(plan.overhead_fraction() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Data-parallel clusters: independent replicas behind a router.
+//!
+//! The paper's throughput-optimized baseline deploys vLLM with DP: each
+//! GPU runs its own engine and a router spreads requests across them. The
+//! replicas share nothing (that independence is DP's advantage — zero
+//! communication — and its weakness — no intra-request speedup).
+
+use crate::engine::Engine;
+use crate::report::EngineReport;
+use sp_metrics::Dur;
+use sp_workload::{Request, Trace};
+
+/// N independent engines behind a balance-by-expected-work router.
+///
+/// Routing is greedy: each request (in arrival order) goes to the replica
+/// with the least total tokens assigned so far — a deterministic
+/// approximation of join-shortest-queue that equalizes replica work for
+/// both steady and bursty traffic.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+/// use sp_engine::{DataParallelCluster, Engine, EngineConfig};
+/// use sp_model::presets;
+/// use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+/// use sp_workload::synthetic;
+///
+/// let gpu_node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+/// let mut dp = DataParallelCluster::new(8, |_| {
+///     let exec = ExecutionModel::new(gpu_node, presets::qwen_32b());
+///     Engine::new(
+///         exec,
+///         Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+///         EngineConfig::default(),
+///     )
+/// });
+/// let report = dp.run(&synthetic::uniform_batch(16, 512, 4));
+/// assert_eq!(report.records().len(), 16);
+/// ```
+#[derive(Debug)]
+pub struct DataParallelCluster {
+    replicas: Vec<Engine>,
+}
+
+impl DataParallelCluster {
+    /// Creates `replica_count` engines via `make_engine(replica_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica_count` is zero.
+    pub fn new(replica_count: usize, make_engine: impl FnMut(usize) -> Engine) -> DataParallelCluster {
+        assert!(replica_count > 0, "cluster needs at least one replica");
+        DataParallelCluster { replicas: (0..replica_count).map(make_engine).collect() }
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Splits `trace` across replicas with the greedy router.
+    pub fn route(&self, trace: &Trace) -> Vec<Trace> {
+        let n = self.replicas.len();
+        let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); n];
+        let mut load = vec![0u64; n];
+        for r in trace.requests() {
+            let target = (0..n).min_by_key(|&i| load[i]).expect("non-empty cluster");
+            load[target] += r.total_tokens();
+            assigned[target].push(*r);
+        }
+        assigned.into_iter().map(Trace::with_ids).collect()
+    }
+
+    /// Runs `trace` across the cluster and merges per-replica reports.
+    pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        let shards = self.route(trace);
+        let bin = self
+            .replicas
+            .first()
+            .map_or(Dur::from_secs(1.0), |e| e.config().throughput_bin);
+        let mut merged = EngineReport::new(bin);
+        for (engine, shard) in self.replicas.iter_mut().zip(shards) {
+            merged.merge(engine.run(&shard));
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+    use sp_model::presets;
+    use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+    use sp_workload::synthetic;
+
+    fn make_cluster(replicas: usize) -> DataParallelCluster {
+        let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+        DataParallelCluster::new(replicas, |_| {
+            Engine::new(
+                ExecutionModel::new(node, presets::qwen_32b()),
+                Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+                EngineConfig::default(),
+            )
+        })
+    }
+
+    #[test]
+    fn router_balances_uniform_load() {
+        let cluster = make_cluster(4);
+        let shards = cluster.route(&synthetic::uniform_batch(100, 1000, 100));
+        for shard in &shards {
+            assert_eq!(shard.len(), 25);
+        }
+    }
+
+    #[test]
+    fn router_balances_skewed_sizes() {
+        let cluster = make_cluster(2);
+        // Alternating huge and tiny requests.
+        let mut reqs = Vec::new();
+        for i in 0..40u64 {
+            let big = i % 2 == 0;
+            reqs.push(sp_workload::Request {
+                id: i,
+                arrival: sp_metrics::SimTime::from_secs(i as f64 * 0.01),
+                input_tokens: if big { 8000 } else { 100 },
+                output_tokens: 10,
+                class: sp_workload::RequestClass::Batch,
+                cached_prefix: 0,
+                prefix_group: None
+            });
+        }
+        let shards = cluster.route(&Trace::new(reqs));
+        let work: Vec<u64> = shards.iter().map(Trace::total_tokens).collect();
+        let imbalance = *work.iter().max().unwrap() as f64 / *work.iter().min().unwrap() as f64;
+        assert!(imbalance < 1.2, "router imbalance {imbalance}");
+    }
+
+    #[test]
+    fn all_requests_complete_exactly_once() {
+        let mut cluster = make_cluster(8);
+        let trace = synthetic::poisson(64, 50.0, 512, 8, 5);
+        let report = cluster.run(&trace);
+        assert_eq!(report.records().len(), 64);
+        let mut ids: Vec<u64> = report.records().iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    fn dp_throughput_scales_with_replicas() {
+        let trace = synthetic::uniform_batch(64, 2048, 16);
+        let one = make_cluster(1).run(&trace);
+        let eight = make_cluster(8).run(&trace);
+        let speedup = one.makespan().as_secs() / eight.makespan().as_secs();
+        assert!(speedup > 4.0, "8-replica speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = make_cluster(0);
+    }
+}

@@ -1,0 +1,913 @@
+//! The serving engine: continuous batching with chunked prefill.
+
+use crate::report::EngineReport;
+use crate::seq::RunningSeq;
+use sp_kvcache::KvCacheManager;
+use sp_metrics::{Dur, RequestRecord, SimTime};
+use sp_parallel::{BatchStats, BatchWork, ChunkWork, ExecutionModel, ParallelismPolicy};
+use sp_workload::{Request, Trace};
+use std::collections::VecDeque;
+
+/// Speculative decoding (§4.5): a free draft source (e.g. SuffixDecoding)
+/// proposes `draft_len` tokens per decode step; the target model verifies
+/// them in one pass and accepts a geometric prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecDecode {
+    /// Draft tokens proposed per step.
+    pub draft_len: u32,
+    /// Probability each draft token matches the target distribution.
+    pub acceptance: f64,
+}
+
+impl SpecDecode {
+    /// Creates a speculative-decoding configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draft_len` is zero or `acceptance` not in `[0, 1)`.
+    pub fn new(draft_len: u32, acceptance: f64) -> SpecDecode {
+        assert!(draft_len > 0, "draft length must be positive");
+        assert!(
+            (0.0..1.0).contains(&acceptance),
+            "acceptance must be in [0, 1), got {acceptance}"
+        );
+        SpecDecode { draft_len, acceptance }
+    }
+
+    /// Expected tokens emitted per verification step:
+    /// `Σ_{i=0}^{k} α^i = (1 − α^{k+1}) / (1 − α)`, always ≥ 1.
+    pub fn expected_emitted(&self) -> f64 {
+        (0..=self.draft_len).map(|i| self.acceptance.powi(i as i32)).sum()
+    }
+}
+
+/// How the scheduler accounts for a request's KV footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Reserve the full prompt + output footprint at admission: decode can
+    /// never overflow, at the cost of conservative concurrency.
+    #[default]
+    ReserveFull,
+    /// Reserve only the prompt; decode tokens append incrementally. When
+    /// the cache fills, the most recently admitted sequence is preempted
+    /// and restarted (vLLM's recompute preemption). Admits more
+    /// concurrency under pressure. Incompatible with speculative decoding.
+    PreemptRestart,
+}
+
+/// Scheduler knobs (the vLLM analogues are noted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Token budget per iteration — chunked prefill splits prompts to fit
+    /// (`max_num_batched_tokens`).
+    pub max_batched_tokens: u64,
+    /// Maximum concurrently running sequences (`max_num_seqs`).
+    pub max_seqs: usize,
+    /// KV-cache capacity in tokens (derived from the memory plan).
+    pub kv_capacity_tokens: u64,
+    /// KV block size in tokens (`block_size`).
+    pub block_tokens: u32,
+    /// Bin width of the throughput time series in reports.
+    pub throughput_bin: Dur,
+    /// Speculative decoding, if enabled.
+    pub spec_decode: Option<SpecDecode>,
+    /// KV admission accounting.
+    pub admission: AdmissionMode,
+    /// Record a per-iteration [`crate::report::IterationEvent`] timeline
+    /// in the report (costs memory on long runs; default off).
+    pub record_timeline: bool,
+    /// Honor each request's `cached_prefix` (vLLM automatic-prefix-caching
+    /// analogue): admitted requests skip prefilling the cached tokens.
+    /// The cached tokens still occupy KV space (they are reserved like any
+    /// other context).
+    pub prefix_caching: bool,
+    /// Cap on *prefill* tokens per iteration (Sarathi-Serve-style): a cap
+    /// below `max_batched_tokens` bounds the decode-latency interference
+    /// a prefill burst can cause, trading some prefill throughput. `None`
+    /// means prefill may fill the whole budget.
+    pub max_prefill_tokens: Option<u64>,
+    /// Which waiting request is admitted next.
+    pub queue_policy: QueuePolicy,
+}
+
+/// Admission order among waiting requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Strict first-come-first-served (vLLM default).
+    #[default]
+    Fcfs,
+    /// Interactive-class requests are admitted before batch-class ones
+    /// (within a class, FCFS) — protects chatbot TTFT during batch bursts.
+    InteractiveFirst,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_batched_tokens: 8192,
+            max_seqs: 256,
+            kv_capacity_tokens: 1_000_000,
+            block_tokens: 16,
+            throughput_bin: Dur::from_secs(1.0),
+            spec_decode: None,
+            admission: AdmissionMode::ReserveFull,
+            record_timeline: false,
+            prefix_caching: false,
+            max_prefill_tokens: None,
+            queue_policy: QueuePolicy::Fcfs,
+        }
+    }
+}
+
+/// One serving engine over one attention-parallel GPU group.
+///
+/// Advances simulated time one iteration at a time: the scheduler builds a
+/// batch (decodes first, then chunked prefill up to the token budget), the
+/// deployment's policy picks the parallel configuration, and the execution
+/// model prices the iteration.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::NodeSpec;
+/// use sp_engine::{Engine, EngineConfig};
+/// use sp_model::presets;
+/// use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+/// use sp_workload::synthetic;
+///
+/// let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_32b());
+/// let policy = StaticPolicy::new("SP", ParallelConfig::sequence(8));
+/// let mut engine = Engine::new(exec, Box::new(policy), EngineConfig::default());
+/// let report = engine.run(&synthetic::uniform_batch(4, 1024, 8));
+/// assert_eq!(report.records().len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    exec: ExecutionModel,
+    policy: Box<dyn ParallelismPolicy>,
+    config: EngineConfig,
+    kv: KvCacheManager,
+    clock: SimTime,
+    arrivals: VecDeque<Request>,
+    waiting: VecDeque<Request>,
+    running: Vec<RunningSeq>,
+    live_groups: std::collections::HashSet<u64>,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler limits are zero.
+    pub fn new(
+        exec: ExecutionModel,
+        policy: Box<dyn ParallelismPolicy>,
+        config: EngineConfig,
+    ) -> Engine {
+        assert!(config.max_batched_tokens > 0, "token budget must be positive");
+        assert!(config.max_seqs > 0, "sequence limit must be positive");
+        assert!(
+            !(config.admission == AdmissionMode::PreemptRestart
+                && config.spec_decode.is_some()),
+            "recompute preemption does not compose with speculative decoding"
+        );
+        let kv = KvCacheManager::new(config.kv_capacity_tokens, config.block_tokens);
+        Engine {
+            exec,
+            policy,
+            config,
+            kv,
+            clock: SimTime::ZERO,
+            arrivals: VecDeque::new(),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            live_groups: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Outstanding work in tokens (queued + admitted but unfinished) — the
+    /// router's load signal.
+    pub fn outstanding_tokens(&self) -> u64 {
+        let queued: u64 = self
+            .arrivals
+            .iter()
+            .chain(self.waiting.iter())
+            .map(Request::total_tokens)
+            .sum();
+        let admitted: u64 = self
+            .running
+            .iter()
+            .map(|s| {
+                s.prefill_remaining()
+                    + u64::from(s.request.output_tokens.saturating_sub(s.generated))
+            })
+            .sum();
+        queued + admitted
+    }
+
+    /// Runs a whole trace to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to make progress (internal bug
+    /// guard).
+    pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        let mut report = EngineReport::new(self.config.throughput_bin);
+        if self.config.record_timeline {
+            report.enable_timeline();
+        }
+        self.arrivals = trace.requests().to_vec().into();
+        self.clock = SimTime::ZERO;
+
+        let mut guard: u64 = 0;
+        let max_iterations = 200_000_000;
+        while !self.is_idle() {
+            guard += 1;
+            assert!(guard < max_iterations, "simulation failed to terminate");
+            self.step(&mut report);
+        }
+        // Sessions are over: drop the shared prefixes.
+        for group in std::mem::take(&mut self.live_groups) {
+            self.kv.release_group(group);
+        }
+        report
+    }
+
+    fn is_idle(&self) -> bool {
+        self.arrivals.is_empty() && self.waiting.is_empty() && self.running.is_empty()
+    }
+
+    /// Executes one scheduling step: admit, batch, price, apply.
+    fn step(&mut self, report: &mut EngineReport) {
+        self.ingest_arrivals();
+        self.admit(report);
+        if self.config.admission == AdmissionMode::PreemptRestart {
+            self.reserve_decode_appends(report);
+        }
+        report.note_kv_utilization(self.kv.utilization());
+
+        let Some((work, assignments)) = self.build_batch() else {
+            // Nothing runnable now: jump to the next arrival.
+            if let Some(next) = self.arrivals.front() {
+                self.clock = self.clock.max(next.arrival);
+                return;
+            }
+            // No arrivals left; waiting must be drainable next admit pass.
+            assert!(
+                self.running.is_empty() && self.waiting.is_empty(),
+                "scheduler stalled with queued work"
+            );
+            return;
+        };
+        let stats = BatchStats::of(&work);
+        let config = self.policy.choose(&stats);
+        let duration = self.exec.iteration(&config, &work).total();
+        self.clock += duration;
+
+        // Apply results at iteration end. The throughput ledger counts
+        // client-visible tokens: prompt tokens, emitted output tokens, and
+        // the first output token each final prefill chunk produces.
+        let mut ledger_tokens = 0u64;
+        for (seq_idx, chunk) in assignments {
+            let seq = &mut self.running[seq_idx];
+            match chunk.kind {
+                sp_parallel::ChunkKind::Decode => {
+                    let emitted = match self.config.spec_decode {
+                        None => 1,
+                        Some(sd) => {
+                            let raw = sd.expected_emitted() + seq.spec_carry;
+                            let whole = (raw.floor() as u32).max(1);
+                            seq.spec_carry = raw - f64::from(whole);
+                            whole
+                        }
+                    };
+                    let remaining =
+                        seq.request.output_tokens.saturating_sub(seq.generated);
+                    let emitted = emitted.min(remaining);
+                    seq.generated += emitted;
+                    ledger_tokens += u64::from(emitted);
+                }
+                sp_parallel::ChunkKind::Prefill => {
+                    seq.prefill_done += chunk.new_tokens;
+                    ledger_tokens += chunk.new_tokens;
+                    if chunk.emits_logit {
+                        seq.first_token = Some(self.clock);
+                        seq.generated = 1;
+                        ledger_tokens += 1;
+                    }
+                }
+            }
+        }
+        report.note_iteration(config, self.clock, ledger_tokens, duration);
+        report.note_event(crate::report::IterationEvent {
+            end: self.clock,
+            duration,
+            config,
+            tokens: ledger_tokens,
+            num_seqs: work.num_seqs(),
+            kv_utilization: self.kv.utilization(),
+        });
+
+        // Retire finished sequences.
+        let clock = self.clock;
+        let kv = &mut self.kv;
+        self.running.retain(|seq| {
+            if seq.finished() {
+                kv.release(seq.request.id);
+                report.note_completion(RequestRecord {
+                    request_id: seq.request.id,
+                    arrival: seq.request.arrival,
+                    first_token: seq.first_token.expect("finished implies first token"),
+                    finish: clock,
+                    input_tokens: seq.request.input_tokens,
+                    output_tokens: seq.request.output_tokens,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Moves arrived requests into the waiting queue.
+    fn ingest_arrivals(&mut self) {
+        while let Some(front) = self.arrivals.front() {
+            if front.arrival <= self.clock {
+                self.waiting.push_back(self.arrivals.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// FCFS admission: reserve the full KV footprint (prompt + output)
+    /// up-front, so decode can never overflow mid-flight. Head-of-line
+    /// blocking is intentional — it reproduces the growing wait times of
+    /// Figure 10 when the cache saturates.
+    fn admit(&mut self, report: &mut EngineReport) {
+        while self.running.len() < self.config.max_seqs {
+            let Some(idx) = self.next_admission_candidate() else { break };
+            let head = self.waiting[idx];
+            if head.total_tokens() > self.kv.capacity_tokens() {
+                // Can never fit: reject rather than deadlock.
+                self.waiting.remove(idx);
+                report.note_rejection(head.id);
+                continue;
+            }
+            // Shared-prefix memory: with prefix caching and a group id,
+            // the cached tokens live in the group's shared allocation and
+            // this request only reserves its fresh tokens + output.
+            let shared = self.config.prefix_caching
+                && self.config.admission == AdmissionMode::ReserveFull
+                && head.prefix_group.is_some();
+            if shared {
+                let group = head.prefix_group.expect("checked");
+                if !self.kv.try_extend_group(group, u64::from(head.cached_prefix)) {
+                    break;
+                }
+                self.live_groups.insert(group);
+            }
+            let footprint = match self.config.admission {
+                AdmissionMode::ReserveFull if shared => {
+                    head.total_tokens() - u64::from(head.cached_prefix.min(head.input_tokens))
+                }
+                AdmissionMode::ReserveFull => head.total_tokens(),
+                AdmissionMode::PreemptRestart => u64::from(head.input_tokens),
+            };
+            if !self.kv.try_reserve(head.id, footprint) {
+                break;
+            }
+            let req = self.waiting.remove(idx).expect("candidate exists");
+            let mut seq = RunningSeq::new(req);
+            if self.config.prefix_caching {
+                // The cached prefix is already resident: skip its prefill.
+                // At least one prompt token must still be processed to
+                // produce the first logit.
+                seq.prefill_done =
+                    u64::from(req.cached_prefix.min(req.input_tokens.saturating_sub(1)));
+            }
+            self.running.push(seq);
+        }
+    }
+
+    /// Index into `waiting` of the next request to admit under the queue
+    /// policy.
+    fn next_admission_candidate(&self) -> Option<usize> {
+        if self.waiting.is_empty() {
+            return None;
+        }
+        match self.config.queue_policy {
+            QueuePolicy::Fcfs => Some(0),
+            QueuePolicy::InteractiveFirst => Some(
+                self.waiting
+                    .iter()
+                    .position(|r| r.class == sp_workload::RequestClass::Interactive)
+                    .unwrap_or(0),
+            ),
+        }
+    }
+
+    /// PreemptRestart mode: reserve one KV token for every decode step the
+    /// upcoming iteration will take; when the cache cannot supply them,
+    /// preempt the most recently admitted sequence (recompute preemption)
+    /// and restart it from the waiting queue.
+    fn reserve_decode_appends(&mut self, report: &mut EngineReport) {
+        let mut idx = 0;
+        while idx < self.running.len() {
+            let seq = &self.running[idx];
+            if !seq.in_decode() || seq.finished() {
+                idx += 1;
+                continue;
+            }
+            let id = seq.request.id;
+            if self.kv.try_reserve(id, 1) {
+                idx += 1;
+                continue;
+            }
+            // Out of blocks: preempt the youngest sequence (possibly the
+            // one we are reserving for) — it restarts from the queue.
+            let victim_idx = self.running.len() - 1;
+            let victim = self.running.remove(victim_idx);
+            self.kv.release(victim.request.id);
+            report.note_preemption(victim.request.id);
+            self.waiting.push_front(victim.request);
+            // Do not advance: retry the reservation for `idx` (now
+            // possibly out of bounds if we preempted ourselves, which the
+            // loop condition handles).
+        }
+    }
+
+    /// Builds the iteration batch: all runnable decodes first, then prefill
+    /// chunks in admission order until the token budget is spent.
+    #[allow(clippy::type_complexity)]
+    fn build_batch(&self) -> Option<(BatchWork, Vec<(usize, ChunkWork)>)> {
+        let mut budget = self.config.max_batched_tokens;
+        let mut assignments: Vec<(usize, ChunkWork)> = Vec::new();
+
+        for (i, seq) in self.running.iter().enumerate() {
+            if seq.in_decode() && !seq.finished() {
+                let chunk = match self.config.spec_decode {
+                    None => ChunkWork::decode(seq.context_len()),
+                    Some(sd) => {
+                        ChunkWork::speculative_decode(seq.context_len(), sd.draft_len)
+                    }
+                };
+                if budget < chunk.new_tokens {
+                    break;
+                }
+                budget -= chunk.new_tokens;
+                assignments.push((i, chunk));
+            }
+        }
+        let mut prefill_budget = budget.min(
+            self.config.max_prefill_tokens.unwrap_or(u64::MAX),
+        );
+        for (i, seq) in self.running.iter().enumerate() {
+            if prefill_budget == 0 {
+                break;
+            }
+            if !seq.in_decode() {
+                let take = seq.prefill_remaining().min(prefill_budget);
+                let is_last = take == seq.prefill_remaining();
+                assignments.push((i, ChunkWork::prefill(take, seq.prefill_done, is_last)));
+                prefill_budget -= take;
+            }
+        }
+
+        if assignments.is_empty() {
+            return None;
+        }
+        let work = BatchWork::new(assignments.iter().map(|&(_, c)| c).collect());
+        Some((work, assignments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_cluster::NodeSpec;
+    use sp_model::presets;
+    use sp_parallel::{ParallelConfig, StaticPolicy};
+    use sp_workload::{synthetic, RequestClass};
+
+    fn engine_with(config: EngineConfig, parallel: ParallelConfig) -> Engine {
+        let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_32b());
+        Engine::new(exec, Box::new(StaticPolicy::new("test", parallel)), config)
+    }
+
+    fn engine() -> Engine {
+        engine_with(EngineConfig::default(), ParallelConfig::tensor(8))
+    }
+
+    #[test]
+    fn empty_trace_reports_nothing() {
+        let report = engine().run(&Trace::default());
+        assert!(report.records().is_empty());
+        assert_eq!(report.iterations(), 0);
+    }
+
+    #[test]
+    fn single_request_completes_with_consistent_timestamps() {
+        let mut e = engine();
+        let report = e.run(&synthetic::single(4096, 16));
+        assert_eq!(report.records().len(), 1);
+        let r = &report.records()[0];
+        assert!(r.first_token > r.arrival);
+        assert!(r.finish > r.first_token);
+        assert_eq!(r.output_tokens, 16);
+        // 16 output tokens = 1 (from prefill) + 15 decode iterations,
+        // plus 1 prefill iteration (4096 fits one 8192-token budget).
+        assert_eq!(report.iterations(), 16);
+    }
+
+    #[test]
+    fn long_prompt_is_chunked() {
+        let mut e = engine();
+        let report = e.run(&synthetic::single(20_000, 1));
+        // ceil(20000 / 8192) = 3 prefill chunks; output 1 needs no decode.
+        assert_eq!(report.iterations(), 3);
+        assert_eq!(report.records().len(), 1);
+    }
+
+    #[test]
+    fn token_accounting_is_conserved() {
+        let mut e = engine();
+        let trace = synthetic::uniform_batch(8, 1000, 50);
+        let report = e.run(&trace);
+        assert_eq!(report.metrics().total_tokens(), trace.total_tokens());
+    }
+
+    #[test]
+    fn concurrent_requests_batch_together() {
+        let mut e = engine();
+        let report = e.run(&synthetic::uniform_batch(4, 1000, 10));
+        // All four prefills fit one 8192-token iteration; decodes batch
+        // 4-wide: 1 + 9 iterations total.
+        assert_eq!(report.iterations(), 10);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_deadlocked() {
+        let config = EngineConfig { kv_capacity_tokens: 1_000, ..EngineConfig::default() };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let trace = synthetic::uniform_batch(1, 5_000, 10);
+        let report = e.run(&trace);
+        assert!(report.records().is_empty());
+        assert_eq!(report.rejected(), &[0]);
+    }
+
+    #[test]
+    fn kv_pressure_serializes_requests() {
+        // Two requests, cache fits only one at a time: the second must
+        // wait for the first to finish.
+        let config = EngineConfig { kv_capacity_tokens: 1_200, ..EngineConfig::default() };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let report = e.run(&synthetic::uniform_batch(2, 1_000, 8));
+        assert_eq!(report.records().len(), 2);
+        let a = &report.records()[0];
+        let b = &report.records()[1];
+        assert!(
+            b.first_token >= a.finish,
+            "second prefill must start after first completes"
+        );
+        assert!(report.peak_kv_utilization() > 0.8);
+    }
+
+    #[test]
+    fn max_seqs_caps_concurrency() {
+        let config = EngineConfig { max_seqs: 2, ..EngineConfig::default() };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let report = e.run(&synthetic::uniform_batch(4, 100, 10));
+        assert_eq!(report.records().len(), 4);
+        // With only 2 running at a time, more iterations than the
+        // unconstrained case (10).
+        assert!(report.iterations() > 10);
+    }
+
+    #[test]
+    fn arrivals_gate_scheduling() {
+        let trace = synthetic::poisson(3, 0.5, 512, 4, 7);
+        let mut e = engine();
+        let report = e.run(&trace);
+        assert_eq!(report.records().len(), 3);
+        for (rec, req) in report.records().iter().zip(trace.requests()) {
+            assert!(rec.arrival.as_secs() >= req.arrival.as_secs() - 1e-9);
+            assert!(rec.first_token > rec.arrival);
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_across_iterations() {
+        let mut e = engine();
+        let report = e.run(&synthetic::poisson(20, 5.0, 800, 20, 3));
+        assert!(report.makespan().as_secs() > 0.0);
+        for r in report.records() {
+            assert!(r.finish.as_secs() <= report.makespan().as_secs() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn config_usage_records_every_iteration() {
+        let mut e = engine();
+        let report = e.run(&synthetic::uniform_batch(2, 1000, 5));
+        let total: u64 = report.config_usage().values().sum();
+        assert_eq!(total, report.iterations());
+        assert_eq!(report.config_usage().len(), 1); // static policy
+    }
+
+    #[test]
+    fn outstanding_tokens_drain_to_zero() {
+        let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_32b());
+        let mut e = Engine::new(
+            exec,
+            Box::new(StaticPolicy::new("TP", ParallelConfig::tensor(8))),
+            EngineConfig::default(),
+        );
+        assert_eq!(e.outstanding_tokens(), 0);
+        let _ = e.run(&synthetic::uniform_batch(2, 100, 5));
+        assert_eq!(e.outstanding_tokens(), 0);
+    }
+
+    #[test]
+    fn preempt_mode_admits_more_concurrency() {
+        // Cache fits both prompts but not both full footprints: reserve-
+        // full serializes, preempt-restart overlaps the prefills.
+        let tight = EngineConfig { kv_capacity_tokens: 2_600, ..EngineConfig::default() };
+        let trace = synthetic::uniform_batch(2, 1_000, 500);
+
+        let mut conservative = engine_with(tight, ParallelConfig::tensor(8));
+        let conservative_report = conservative.run(&trace);
+
+        let preemptive = EngineConfig {
+            admission: AdmissionMode::PreemptRestart,
+            ..tight
+        };
+        let mut aggressive = engine_with(preemptive, ParallelConfig::tensor(8));
+        let aggressive_report = aggressive.run(&trace);
+
+        // Conservative: second request waits for the first to finish.
+        let c = conservative_report.records();
+        assert!(c[1].first_token >= c[0].finish);
+        // Aggressive: both prefill immediately (TTFTs overlap).
+        let a = aggressive_report.records();
+        let min_first =
+            a.iter().map(|r| r.first_token.as_secs()).fold(f64::INFINITY, f64::min);
+        let max_first =
+            a.iter().map(|r| r.first_token.as_secs()).fold(0.0, f64::max);
+        assert!(
+            max_first < c[0].finish.as_secs(),
+            "both requests should start decoding before the first finishes \
+             (got {min_first:.2}/{max_first:.2} vs {:.2})",
+            c[0].finish.as_secs()
+        );
+        assert_eq!(aggressive_report.records().len(), 2);
+    }
+
+    #[test]
+    fn preemption_fires_under_pressure_and_all_complete() {
+        // 4 requests whose decode growth overflows the cache: recompute
+        // preemption must fire, and every request must still finish.
+        let config = EngineConfig {
+            kv_capacity_tokens: 3_000,
+            admission: AdmissionMode::PreemptRestart,
+            ..EngineConfig::default()
+        };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let report = e.run(&synthetic::uniform_batch(4, 500, 600));
+        assert_eq!(report.records().len(), 4);
+        assert!(report.preemptions() > 0, "expected recompute preemptions");
+        assert!(report.peak_kv_utilization() > 0.9);
+    }
+
+    #[test]
+    fn reserve_full_never_preempts() {
+        let config = EngineConfig { kv_capacity_tokens: 3_000, ..EngineConfig::default() };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let report = e.run(&synthetic::uniform_batch(4, 500, 600));
+        assert_eq!(report.preemptions(), 0);
+        assert_eq!(report.records().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative")]
+    fn preemption_rejects_spec_decode() {
+        let config = EngineConfig {
+            admission: AdmissionMode::PreemptRestart,
+            spec_decode: Some(SpecDecode::new(4, 0.5)),
+            ..EngineConfig::default()
+        };
+        let _ = engine_with(config, ParallelConfig::tensor(8));
+    }
+
+    #[test]
+    fn prefill_cap_bounds_interference() {
+        // A huge prefill arrives while a request decodes: with an
+        // uncapped budget the decode's TPOT absorbs whole 8k-chunk
+        // iterations; a 1k cap keeps iterations short.
+        let trace = Trace::new(vec![
+            sp_workload::Request {
+                id: 0,
+                arrival: SimTime::ZERO,
+                input_tokens: 64,
+                output_tokens: 200,
+                class: RequestClass::Interactive,
+                cached_prefix: 0,
+                prefix_group: None
+            },
+            sp_workload::Request {
+                id: 1,
+                arrival: SimTime::from_secs(0.05),
+                input_tokens: 60_000,
+                output_tokens: 4,
+                class: RequestClass::Batch,
+                cached_prefix: 0,
+                prefix_group: None
+            },
+        ]);
+        let max_stall = |cap: Option<u64>| {
+            let config = EngineConfig { max_prefill_tokens: cap, ..EngineConfig::default() };
+            let mut e = engine_with(config, ParallelConfig::tensor(8));
+            let report = e.run(&trace);
+            assert_eq!(report.records().len(), 2);
+            report.max_iteration_time().as_millis()
+        };
+        let uncapped = max_stall(None);
+        let capped = max_stall(Some(1024));
+        assert!(
+            capped < 0.35 * uncapped,
+            "prefill cap should bound the worst stall: {capped:.1}ms vs {uncapped:.1}ms"
+        );
+    }
+
+    #[test]
+    fn interactive_first_queue_jumps_batch_backlog() {
+        // A pile of batch requests queued ahead of one interactive
+        // request: InteractiveFirst admits it first.
+        let mut reqs: Vec<sp_workload::Request> = (0..30)
+            .map(|i| sp_workload::Request {
+                id: i,
+                arrival: SimTime::ZERO,
+                input_tokens: 8_000,
+                output_tokens: 8,
+                class: RequestClass::Batch,
+                cached_prefix: 0,
+                prefix_group: None
+            })
+            .collect();
+        reqs.push(sp_workload::Request {
+            id: 30,
+            arrival: SimTime::from_secs(0.01),
+            input_tokens: 256,
+            output_tokens: 16,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None
+        });
+        let trace = Trace::new(reqs);
+        // Tight KV so the batch backlog actually queues.
+        let ttft_of_interactive = |policy| {
+            let config = EngineConfig {
+                kv_capacity_tokens: 40_000,
+                queue_policy: policy,
+                ..EngineConfig::default()
+            };
+            let mut e = engine_with(config, ParallelConfig::tensor(8));
+            let report = e.run(&trace);
+            report
+                .records()
+                .iter()
+                .find(|r| r.input_tokens == 256)
+                .expect("interactive request completes")
+                .ttft()
+                .as_secs()
+        };
+        let fcfs = ttft_of_interactive(QueuePolicy::Fcfs);
+        let priority = ttft_of_interactive(QueuePolicy::InteractiveFirst);
+        assert!(
+            priority < 0.5 * fcfs,
+            "priority admission should cut interactive TTFT: {priority:.2}s vs {fcfs:.2}s"
+        );
+    }
+
+    #[test]
+    fn prefix_caching_skips_cached_prefill() {
+        // Second turn of a conversation: 8k context of which 7k is
+        // cached. With prefix caching the prefill processes ~1k tokens.
+        let warm = Trace::new(vec![sp_workload::Request {
+            id: 0,
+            arrival: SimTime::ZERO,
+            input_tokens: 8_000,
+            output_tokens: 4,
+            class: RequestClass::Interactive,
+            cached_prefix: 7_000,
+            prefix_group: None
+        }]);
+        let ttft = |caching: bool| {
+            let config = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
+            let mut e = engine_with(config, ParallelConfig::tensor(8));
+            let report = e.run(&warm);
+            report.records()[0].ttft().as_secs()
+        };
+        let cold = ttft(false);
+        let cached = ttft(true);
+        assert!(cached < 0.4 * cold, "cached {cached:.4}s vs cold {cold:.4}s");
+    }
+
+    #[test]
+    fn shared_prefix_memory_admits_concurrent_branches() {
+        // A parallel agent samples 3 candidate continuations of the SAME
+        // 6k context concurrently (same prefix group). With shared prefix
+        // memory the context is resident once (6k + 3 x 550 fits a 9k
+        // cache, all branches run together); without sharing each branch
+        // reserves the full 6.55k and they serialize.
+        let branches: Vec<sp_workload::Request> = (0..3)
+            .map(|b| sp_workload::Request {
+                id: b,
+                arrival: SimTime::ZERO,
+                input_tokens: 6_500,
+                output_tokens: 50,
+                class: RequestClass::Interactive,
+                cached_prefix: 6_000,
+                prefix_group: Some(42),
+            })
+            .collect();
+        let trace = Trace::with_ids(branches);
+        let config = EngineConfig {
+            kv_capacity_tokens: 9_000,
+            prefix_caching: true,
+            ..EngineConfig::default()
+        };
+        let run_last_finish = |trace: &Trace| {
+            let mut e = engine_with(config, ParallelConfig::tensor(8));
+            let report = e.run(trace);
+            assert_eq!(report.records().len(), 3);
+            report
+                .records()
+                .iter()
+                .map(|r| r.finish.as_secs())
+                .fold(0.0f64, f64::max)
+        };
+        let shared_makespan = run_last_finish(&trace);
+        let no_group: Vec<sp_workload::Request> = trace
+            .requests()
+            .iter()
+            .map(|r| sp_workload::Request { prefix_group: None, ..*r })
+            .collect();
+        let unshared_makespan = run_last_finish(&Trace::with_ids(no_group));
+        assert!(
+            shared_makespan < 0.6 * unshared_makespan,
+            "shared branches should run concurrently: {shared_makespan:.2}s vs              serialized {unshared_makespan:.2}s"
+        );
+    }
+
+    #[test]
+    fn prefix_caching_clamps_fully_cached_prompts() {
+        // cached_prefix >= input: at least one token must be processed.
+        let trace = Trace::new(vec![sp_workload::Request {
+            id: 0,
+            arrival: SimTime::ZERO,
+            input_tokens: 100,
+            output_tokens: 4,
+            class: RequestClass::Interactive,
+            cached_prefix: 100,
+            prefix_group: None
+        }]);
+        let config = EngineConfig { prefix_caching: true, ..EngineConfig::default() };
+        let mut e = engine_with(config, ParallelConfig::tensor(8));
+        let report = e.run(&trace);
+        assert_eq!(report.records().len(), 1);
+        assert!(report.records()[0].first_token > report.records()[0].arrival);
+    }
+
+    #[test]
+    fn interactive_request_latency_reasonable() {
+        // A lone 4k-prompt request on TP=8 should see a sub-second TTFT
+        // (Figure 12 reports ~100 ms scale).
+        let mut e = engine();
+        let trace = Trace::new(vec![sp_workload::Request {
+            id: 0,
+            arrival: SimTime::ZERO,
+            input_tokens: 4096,
+            output_tokens: 250,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None
+        }]);
+        let mut report = e.run(&trace);
+        let ttft = report.metrics_mut().ttft().median().unwrap();
+        assert!(ttft < 0.5, "TTFT {ttft}s too slow");
+        let tpot = report.metrics_mut().tpot().median().unwrap();
+        assert!((0.002..0.05).contains(&tpot), "TPOT {tpot}s out of range");
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event LLM serving engine.
+//!
+//! Substitutes vLLM: a continuous-batching, chunked-prefill scheduler over
+//! the analytical execution model of [`sp_parallel`]. Simulated time
+//! advances iteration by iteration; each iteration's duration comes from
+//! the Algorithm 1 cost walk under the configuration chosen by the
+//! deployment's [`sp_parallel::ParallelismPolicy`].
+//!
+//! * [`engine::Engine`] — one serving engine (one attention-parallel group
+//!   of GPUs) processing a request stream.
+//! * [`engine::EngineConfig`] — scheduler knobs: token budget per
+//!   iteration (chunked prefill), max batched sequences, KV capacity.
+//! * [`report::EngineReport`] — per-request records plus aggregate
+//!   latency/throughput metrics.
+//! * [`cluster::DataParallelCluster`] — N independent replicas behind a
+//!   least-loaded router: the paper's throughput-optimized DP baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp_cluster::NodeSpec;
+//! use sp_engine::{Engine, EngineConfig};
+//! use sp_model::presets;
+//! use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+//! use sp_workload::synthetic;
+//!
+//! let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::llama_70b());
+//! let policy = StaticPolicy::new("TP", ParallelConfig::tensor(8));
+//! let mut engine = Engine::new(exec, Box::new(policy), EngineConfig::default());
+//! let report = engine.run(&synthetic::single(4096, 16));
+//! assert_eq!(report.records().len(), 1);
+//! ```
+
+pub mod cluster;
+pub mod disagg;
+pub mod engine;
+pub mod report;
+mod seq;
+
+pub use cluster::DataParallelCluster;
+pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
+pub use report::{EngineReport, IterationEvent};

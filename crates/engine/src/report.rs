@@ -1,0 +1,261 @@
+//! Run reports.
+
+use sp_metrics::{Dur, LatencyRecorder, RequestRecord, SimTime};
+use sp_parallel::ParallelConfig;
+use std::collections::HashMap;
+
+/// One scheduler iteration, as recorded when timeline capture is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEvent {
+    /// Instant the iteration finished.
+    pub end: SimTime,
+    /// Iteration duration.
+    pub duration: Dur,
+    /// Configuration it ran under.
+    pub config: ParallelConfig,
+    /// Client-visible tokens it produced/processed.
+    pub tokens: u64,
+    /// Sequences batched.
+    pub num_seqs: usize,
+    /// KV utilization at scheduling time.
+    pub kv_utilization: f64,
+}
+
+/// Everything measured during one engine (or cluster) run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    records: Vec<RequestRecord>,
+    recorder: LatencyRecorder,
+    iterations: u64,
+    config_usage: HashMap<ParallelConfig, u64>,
+    rejected: Vec<u64>,
+    preemptions: u64,
+    peak_kv_utilization: f64,
+    makespan: SimTime,
+    max_iteration: Dur,
+    timeline: Option<Vec<IterationEvent>>,
+}
+
+impl EngineReport {
+    /// Creates an empty report (useful as a merge accumulator for
+    /// multi-engine topologies).
+    pub fn new(throughput_bin: Dur) -> EngineReport {
+        EngineReport {
+            records: Vec::new(),
+            recorder: LatencyRecorder::new(throughput_bin),
+            iterations: 0,
+            config_usage: HashMap::new(),
+            rejected: Vec::new(),
+            preemptions: 0,
+            peak_kv_utilization: 0.0,
+            makespan: SimTime::ZERO,
+            max_iteration: Dur::ZERO,
+            timeline: None,
+        }
+    }
+
+    pub(crate) fn enable_timeline(&mut self) {
+        self.timeline = Some(Vec::new());
+    }
+
+    pub(crate) fn note_event(&mut self, event: IterationEvent) {
+        if let Some(t) = &mut self.timeline {
+            t.push(event);
+        }
+    }
+
+    pub(crate) fn note_iteration(
+        &mut self,
+        config: ParallelConfig,
+        end: SimTime,
+        tokens: u64,
+        duration: Dur,
+    ) {
+        self.iterations += 1;
+        *self.config_usage.entry(config).or_default() += 1;
+        self.recorder.observe_tokens(end, tokens as f64);
+        self.makespan = self.makespan.max(end);
+        self.max_iteration = self.max_iteration.max(duration);
+    }
+
+    pub(crate) fn note_completion(&mut self, record: RequestRecord) {
+        self.recorder.observe_latency_only(&record);
+        self.records.push(record);
+    }
+
+    pub(crate) fn note_rejection(&mut self, request_id: u64) {
+        self.rejected.push(request_id);
+    }
+
+    pub(crate) fn note_preemption(&mut self, _request_id: u64) {
+        self.preemptions += 1;
+    }
+
+    pub(crate) fn note_kv_utilization(&mut self, utilization: f64) {
+        self.peak_kv_utilization = self.peak_kv_utilization.max(utilization);
+    }
+
+    /// Completed requests in completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Latency and throughput aggregates.
+    pub fn metrics(&self) -> &LatencyRecorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the aggregates (quantile queries sort lazily).
+    pub fn metrics_mut(&mut self) -> &mut LatencyRecorder {
+        &mut self.recorder
+    }
+
+    /// Iterations executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// How many iterations ran under each parallel configuration — the
+    /// shift policy's switching behaviour is visible here.
+    pub fn config_usage(&self) -> &HashMap<ParallelConfig, u64> {
+        &self.config_usage
+    }
+
+    /// Requests rejected because they could never fit the KV cache.
+    pub fn rejected(&self) -> &[u64] {
+        &self.rejected
+    }
+
+    /// Recompute preemptions (PreemptRestart admission mode only).
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// The longest single iteration — the worst stall any co-batched
+    /// decode token experienced (the tail-latency metric chunked-prefill
+    /// caps are designed to bound).
+    pub fn max_iteration_time(&self) -> Dur {
+        self.max_iteration
+    }
+
+    /// Per-iteration events, if timeline capture was enabled
+    /// ([`crate::EngineConfig::record_timeline`]).
+    pub fn timeline(&self) -> Option<&[IterationEvent]> {
+        self.timeline.as_deref()
+    }
+
+    /// Highest observed KV-cache block utilization (0..=1).
+    pub fn peak_kv_utilization(&self) -> f64 {
+        self.peak_kv_utilization
+    }
+
+    /// Instant the last iteration finished.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Combined throughput over the whole run, tokens/second.
+    pub fn combined_throughput(&self) -> f64 {
+        if self.makespan.as_secs() == 0.0 {
+            0.0
+        } else {
+            self.recorder.total_tokens() as f64 / self.makespan.as_secs()
+        }
+    }
+
+    /// Merges another report (for data-parallel clusters). Iteration counts
+    /// and config usage add; the makespan takes the maximum.
+    pub fn merge(&mut self, other: EngineReport) {
+        for r in &other.records {
+            self.recorder.observe_latency_only(r);
+        }
+        self.records.extend(other.records);
+        // Re-attribute the other's throughput series bin-by-bin.
+        for (t, v) in other.recorder.throughput().totals() {
+            if v > 0.0 {
+                self.recorder.observe_tokens(t, v);
+            }
+        }
+        self.iterations += other.iterations;
+        for (cfg, n) in other.config_usage {
+            *self.config_usage.entry(cfg).or_default() += n;
+        }
+        self.rejected.extend(other.rejected);
+        self.preemptions += other.preemptions;
+        self.peak_kv_utilization = self.peak_kv_utilization.max(other.peak_kv_utilization);
+        self.max_iteration = self.max_iteration.max(other.max_iteration);
+        self.makespan = self.makespan.max(other.makespan);
+        if let (Some(mine), Some(theirs)) = (&mut self.timeline, other.timeline) {
+            mine.extend(theirs);
+            mine.sort_by(|a, b| {
+                a.end.as_secs().partial_cmp(&b.end.as_secs()).expect("finite")
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_parallel::ParallelConfig;
+
+    fn event(end: f64, tokens: u64) -> IterationEvent {
+        IterationEvent {
+            end: SimTime::from_secs(end),
+            duration: Dur::from_millis(10.0),
+            config: ParallelConfig::tensor(8),
+            tokens,
+            num_seqs: 1,
+            kv_utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn fresh_report_is_empty() {
+        let r = EngineReport::new(Dur::from_secs(1.0));
+        assert_eq!(r.iterations(), 0);
+        assert_eq!(r.combined_throughput(), 0.0);
+        assert!(r.timeline().is_none());
+        assert_eq!(r.max_iteration_time(), Dur::ZERO);
+    }
+
+    #[test]
+    fn note_iteration_accumulates() {
+        let mut r = EngineReport::new(Dur::from_secs(1.0));
+        r.note_iteration(ParallelConfig::tensor(8), SimTime::from_secs(1.0), 100, Dur::from_millis(20.0));
+        r.note_iteration(ParallelConfig::sequence(8), SimTime::from_secs(2.0), 50, Dur::from_millis(30.0));
+        assert_eq!(r.iterations(), 2);
+        assert_eq!(r.config_usage().len(), 2);
+        assert_eq!(r.max_iteration_time(), Dur::from_millis(30.0));
+        assert!((r.combined_throughput() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_timelines_in_time_order() {
+        let mut a = EngineReport::new(Dur::from_secs(1.0));
+        a.enable_timeline();
+        a.note_event(event(2.0, 10));
+        let mut b = EngineReport::new(Dur::from_secs(1.0));
+        b.enable_timeline();
+        b.note_event(event(1.0, 20));
+        a.merge(b);
+        let t = a.timeline().unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].end < t[1].end);
+    }
+
+    #[test]
+    fn merge_takes_max_of_peaks() {
+        let mut a = EngineReport::new(Dur::from_secs(1.0));
+        a.note_kv_utilization(0.3);
+        a.note_iteration(ParallelConfig::single(), SimTime::from_secs(1.0), 5, Dur::from_millis(5.0));
+        let mut b = EngineReport::new(Dur::from_secs(1.0));
+        b.note_kv_utilization(0.9);
+        b.note_iteration(ParallelConfig::single(), SimTime::from_secs(3.0), 5, Dur::from_millis(50.0));
+        a.merge(b);
+        assert_eq!(a.peak_kv_utilization(), 0.9);
+        assert_eq!(a.makespan(), SimTime::from_secs(3.0));
+        assert_eq!(a.max_iteration_time(), Dur::from_millis(50.0));
+        assert_eq!(a.iterations(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Internal per-sequence state.
+
+use sp_metrics::SimTime;
+use sp_workload::Request;
+
+/// A request admitted into the running batch.
+#[derive(Debug, Clone)]
+pub(crate) struct RunningSeq {
+    pub request: Request,
+    /// Prompt tokens already prefetched into the KV cache.
+    pub prefill_done: u64,
+    /// Output tokens generated so far.
+    pub generated: u32,
+    /// When the first output token was emitted (end of final prefill
+    /// chunk's iteration), if reached.
+    pub first_token: Option<SimTime>,
+    /// Fractional speculative-decoding acceptance carried between steps.
+    pub spec_carry: f64,
+}
+
+impl RunningSeq {
+    pub fn new(request: Request) -> RunningSeq {
+        RunningSeq { request, prefill_done: 0, generated: 0, first_token: None, spec_carry: 0.0 }
+    }
+
+    /// Prompt tokens still to prefill.
+    pub fn prefill_remaining(&self) -> u64 {
+        u64::from(self.request.input_tokens) - self.prefill_done
+    }
+
+    /// True once the whole prompt is in the KV cache.
+    pub fn in_decode(&self) -> bool {
+        self.prefill_remaining() == 0
+    }
+
+    /// Current context length (prompt prefix + generated tokens).
+    pub fn context_len(&self) -> u64 {
+        self.prefill_done + u64::from(self.generated)
+    }
+
+    /// True once all output tokens have been generated.
+    ///
+    /// The first output token is produced by the final prefill chunk, so
+    /// decode iterations only need to generate `output_tokens - 1` more.
+    pub fn finished(&self) -> bool {
+        self.first_token.is_some() && self.generated >= self.request.output_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_workload::RequestClass;
+
+    fn seq(input: u32, output: u32) -> RunningSeq {
+        RunningSeq::new(Request {
+            id: 1,
+            arrival: SimTime::ZERO,
+            input_tokens: input,
+            output_tokens: output,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None
+        })
+    }
+
+    #[test]
+    fn fresh_sequence_is_in_prefill() {
+        let s = seq(100, 10);
+        assert_eq!(s.prefill_remaining(), 100);
+        assert!(!s.in_decode());
+        assert!(!s.finished());
+    }
+
+    #[test]
+    fn prefill_progress_transitions_to_decode() {
+        let mut s = seq(100, 10);
+        s.prefill_done = 100;
+        assert!(s.in_decode());
+        assert_eq!(s.context_len(), 100);
+    }
+
+    #[test]
+    fn finishes_after_all_outputs() {
+        let mut s = seq(10, 3);
+        s.prefill_done = 10;
+        s.first_token = Some(SimTime::from_secs(1.0));
+        s.generated = 2;
+        assert!(!s.finished());
+        s.generated = 3;
+        assert!(s.finished());
+    }
+}

@@ -1,0 +1,164 @@
+//! Fixed-pool block allocator.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one KV-cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// A pool of equally-sized KV blocks, allocated and freed in O(1).
+///
+/// Blocks are recycled LIFO from a free list, mirroring how PagedAttention
+/// avoids external fragmentation: any free block can serve any sequence.
+///
+/// # Examples
+///
+/// ```
+/// use sp_kvcache::BlockAllocator;
+///
+/// let mut pool = BlockAllocator::new(4);
+/// let a = pool.alloc().unwrap();
+/// let b = pool.alloc().unwrap();
+/// assert_ne!(a, b);
+/// pool.free(a);
+/// assert_eq!(pool.free_blocks(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockAllocator {
+    total: u32,
+    free_list: Vec<BlockId>,
+    allocated: Vec<bool>,
+}
+
+impl BlockAllocator {
+    /// Creates a pool of `total` blocks.
+    pub fn new(total: u32) -> BlockAllocator {
+        BlockAllocator {
+            total,
+            free_list: (0..total).rev().map(BlockId).collect(),
+            allocated: vec![false; total as usize],
+        }
+    }
+
+    /// Allocates one block, or `None` if the pool is exhausted.
+    pub fn alloc(&mut self) -> Option<BlockId> {
+        let id = self.free_list.pop()?;
+        self.allocated[id.0 as usize] = true;
+        Some(id)
+    }
+
+    /// Returns `block` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range or already free (double free).
+    pub fn free(&mut self, block: BlockId) {
+        let slot = self
+            .allocated
+            .get_mut(block.0 as usize)
+            .unwrap_or_else(|| panic!("block {} out of range", block.0));
+        assert!(*slot, "double free of block {}", block.0);
+        *slot = false;
+        self.free_list.push(block);
+    }
+
+    /// Total blocks in the pool.
+    pub fn total_blocks(&self) -> u32 {
+        self.total
+    }
+
+    /// Currently free blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.free_list.len() as u32
+    }
+
+    /// Currently allocated blocks.
+    pub fn used_blocks(&self) -> u32 {
+        self.total - self.free_blocks()
+    }
+
+    /// Fraction of the pool in use (0 when the pool is empty).
+    pub fn utilization(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            f64::from(self.used_blocks()) / f64::from(self.total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = BlockAllocator::new(2);
+        assert!(pool.alloc().is_some());
+        assert!(pool.alloc().is_some());
+        assert!(pool.alloc().is_none());
+    }
+
+    #[test]
+    fn freed_blocks_are_reusable() {
+        let mut pool = BlockAllocator::new(1);
+        let a = pool.alloc().unwrap();
+        pool.free(a);
+        let b = pool.alloc().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allocations_are_unique() {
+        let mut pool = BlockAllocator::new(64);
+        let mut seen = HashSet::new();
+        while let Some(b) = pool.alloc() {
+            assert!(seen.insert(b), "duplicate allocation {b:?}");
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pool = BlockAllocator::new(2);
+        let a = pool.alloc().unwrap();
+        pool.free(a);
+        pool.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_free_panics() {
+        let mut pool = BlockAllocator::new(2);
+        pool.free(BlockId(5));
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_empty() {
+        let mut pool = BlockAllocator::new(0);
+        assert!(pool.alloc().is_none());
+        assert_eq!(pool.utilization(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn alloc_free_conserves_accounting(ops in prop::collection::vec(any::<bool>(), 0..500)) {
+            let mut pool = BlockAllocator::new(32);
+            let mut held = Vec::new();
+            for alloc in ops {
+                if alloc {
+                    if let Some(b) = pool.alloc() {
+                        held.push(b);
+                    }
+                } else if let Some(b) = held.pop() {
+                    pool.free(b);
+                }
+                prop_assert_eq!(pool.used_blocks() as usize, held.len());
+                prop_assert_eq!(pool.free_blocks() + pool.used_blocks(), 32);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! KV-head sharding across an attention-parallel group.
+//!
+//! Both TP and SP parallelize attention *across heads* (head parallelism),
+//! which is why their KV caches coincide — the invariance Shift Parallelism
+//! exploits. This module answers: given `kv_heads` and an attention group
+//! of `degree` GPUs, which heads (or replicas) does each GPU store, and how
+//! many KV bytes per token does that cost?
+//!
+//! When `degree > kv_heads` the heads cannot be spread one-per-GPU; the
+//! paper replicates KV heads via the all-to-all send buffers (§3.2.1) so
+//! that e.g. Qwen-30B-A3B (4 KV heads) scales to 8 GPUs with each head
+//! stored on 2 GPUs.
+
+use serde::{Deserialize, Serialize};
+use sp_model::ModelConfig;
+use std::fmt;
+
+/// Error constructing a [`KvShardLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// `degree` was zero.
+    ZeroDegree,
+    /// The model has zero KV heads.
+    ZeroKvHeads,
+    /// Heads cannot be distributed evenly: neither `kv_heads % degree == 0`
+    /// nor `degree % kv_heads == 0`.
+    UnevenDistribution {
+        /// KV heads in the model.
+        kv_heads: u32,
+        /// Requested parallel degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::ZeroDegree => write!(f, "attention-parallel degree must be positive"),
+            LayoutError::ZeroKvHeads => write!(f, "model must have at least one KV head"),
+            LayoutError::UnevenDistribution { kv_heads, degree } => write!(
+                f,
+                "cannot distribute {kv_heads} KV heads evenly across {degree} GPUs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// How KV heads are placed on the GPUs of one attention-parallel group.
+///
+/// # Examples
+///
+/// ```
+/// use sp_kvcache::KvShardLayout;
+///
+/// // Qwen-30B-A3B: 4 KV heads on 8 GPUs → each head replicated twice.
+/// let l = KvShardLayout::plan(4, 8).unwrap();
+/// assert_eq!(l.replication(), 2);
+/// assert_eq!(l.heads_per_gpu(), 1);
+/// assert_eq!(l.memory_overhead_factor(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvShardLayout {
+    kv_heads: u32,
+    degree: u32,
+    heads_per_gpu: u32,
+    replication: u32,
+}
+
+impl KvShardLayout {
+    /// Plans the placement of `kv_heads` KV heads across `degree` GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if either count is zero or the distribution
+    /// would be uneven (see module docs).
+    pub fn plan(kv_heads: u32, degree: usize) -> Result<KvShardLayout, LayoutError> {
+        if degree == 0 {
+            return Err(LayoutError::ZeroDegree);
+        }
+        if kv_heads == 0 {
+            return Err(LayoutError::ZeroKvHeads);
+        }
+        let degree_u = degree as u32;
+        if kv_heads.is_multiple_of(degree_u) {
+            Ok(KvShardLayout {
+                kv_heads,
+                degree: degree_u,
+                heads_per_gpu: kv_heads / degree_u,
+                replication: 1,
+            })
+        } else if degree_u.is_multiple_of(kv_heads) {
+            Ok(KvShardLayout {
+                kv_heads,
+                degree: degree_u,
+                heads_per_gpu: 1,
+                replication: degree_u / kv_heads,
+            })
+        } else {
+            Err(LayoutError::UnevenDistribution { kv_heads, degree })
+        }
+    }
+
+    /// Plans placement for `model` across `degree` GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KvShardLayout::plan`].
+    pub fn for_model(model: &ModelConfig, degree: usize) -> Result<KvShardLayout, LayoutError> {
+        KvShardLayout::plan(model.kv_heads, degree)
+    }
+
+    /// KV heads stored on each GPU (replicas count once).
+    pub fn heads_per_gpu(&self) -> u32 {
+        self.heads_per_gpu
+    }
+
+    /// How many GPUs hold a copy of each KV head.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// The attention-parallel degree this layout was planned for.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// KV head ids stored on GPU `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= degree`.
+    pub fn heads_on_gpu(&self, rank: usize) -> Vec<u32> {
+        assert!((rank as u32) < self.degree, "rank {rank} out of range");
+        if self.replication == 1 {
+            let start = rank as u32 * self.heads_per_gpu;
+            (start..start + self.heads_per_gpu).collect()
+        } else {
+            // Replica r of head h lives on GPU h*replication + r.
+            vec![rank as u32 / self.replication]
+        }
+    }
+
+    /// Group-wide KV memory relative to storing each head once: `degree ×
+    /// heads_per_gpu / kv_heads`. 1.0 without replication, `replication`
+    /// with it.
+    pub fn memory_overhead_factor(&self) -> f64 {
+        f64::from(self.degree) * f64::from(self.heads_per_gpu) / f64::from(self.kv_heads)
+    }
+
+    /// Per-GPU KV bytes per cached token for `model` under this layout.
+    pub fn per_gpu_kv_bytes_per_token(&self, model: &ModelConfig) -> u64 {
+        model.kv_bytes_per_token() * u64::from(self.heads_per_gpu)
+            / u64::from(model.kv_heads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+    use std::collections::HashMap;
+
+    #[test]
+    fn llama_70b_on_8_gpus_has_one_head_each() {
+        let l = KvShardLayout::plan(8, 8).unwrap();
+        assert_eq!(l.heads_per_gpu(), 1);
+        assert_eq!(l.replication(), 1);
+        assert_eq!(l.memory_overhead_factor(), 1.0);
+    }
+
+    #[test]
+    fn qwen_a3b_on_8_gpus_replicates_twice() {
+        let l = KvShardLayout::for_model(&presets::qwen_30b_a3b(), 8).unwrap();
+        assert_eq!(l.replication(), 2);
+        assert_eq!(l.memory_overhead_factor(), 2.0);
+    }
+
+    #[test]
+    fn degree_below_heads_packs_heads() {
+        let l = KvShardLayout::plan(8, 2).unwrap();
+        assert_eq!(l.heads_per_gpu(), 4);
+        assert_eq!(l.heads_on_gpu(0), vec![0, 1, 2, 3]);
+        assert_eq!(l.heads_on_gpu(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn replicated_layout_places_replicas_adjacent() {
+        let l = KvShardLayout::plan(4, 8).unwrap();
+        assert_eq!(l.heads_on_gpu(0), vec![0]);
+        assert_eq!(l.heads_on_gpu(1), vec![0]);
+        assert_eq!(l.heads_on_gpu(6), vec![3]);
+        assert_eq!(l.heads_on_gpu(7), vec![3]);
+    }
+
+    #[test]
+    fn uneven_distribution_rejected() {
+        assert_eq!(
+            KvShardLayout::plan(8, 3).unwrap_err(),
+            LayoutError::UnevenDistribution { kv_heads: 8, degree: 3 }
+        );
+    }
+
+    #[test]
+    fn per_gpu_bytes_split_evenly_without_replication() {
+        let m = presets::llama_70b();
+        let l = KvShardLayout::for_model(&m, 8).unwrap();
+        assert_eq!(l.per_gpu_kv_bytes_per_token(&m) * 8, m.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn replication_does_not_shrink_per_gpu_bytes() {
+        let m = presets::qwen_30b_a3b();
+        let four = KvShardLayout::for_model(&m, 4).unwrap();
+        let eight = KvShardLayout::for_model(&m, 8).unwrap();
+        assert_eq!(
+            four.per_gpu_kv_bytes_per_token(&m),
+            eight.per_gpu_kv_bytes_per_token(&m)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn every_head_is_stored_replication_times(
+            kv_heads_pow in 0u32..5, degree_pow in 0u32..5,
+        ) {
+            let kv_heads = 1u32 << kv_heads_pow;
+            let degree = 1usize << degree_pow;
+            let l = KvShardLayout::plan(kv_heads, degree).unwrap();
+            let mut copies: HashMap<u32, u32> = HashMap::new();
+            for rank in 0..degree {
+                for h in l.heads_on_gpu(rank) {
+                    prop_assert!(h < kv_heads);
+                    *copies.entry(h).or_default() += 1;
+                }
+            }
+            prop_assert_eq!(copies.len() as u32, kv_heads);
+            for (_, c) in copies {
+                prop_assert_eq!(c, l.replication());
+            }
+        }
+
+        #[test]
+        fn overhead_factor_matches_replication(
+            kv_heads_pow in 0u32..5, degree_pow in 0u32..5,
+        ) {
+            let l = KvShardLayout::plan(1 << kv_heads_pow, 1 << degree_pow).unwrap();
+            prop_assert!(
+                (l.memory_overhead_factor() - f64::from(l.replication())).abs() < 1e-12
+            );
+        }
+    }
+}

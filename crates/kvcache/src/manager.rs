@@ -1,0 +1,322 @@
+//! Per-sequence KV accounting with admission control.
+
+use crate::allocator::{BlockAllocator, BlockId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tracks which KV blocks each live sequence holds and admits new work only
+/// if it fits.
+///
+/// Capacity is expressed in *tokens* (the deployment planner converts the
+/// per-GPU HBM budget into tokens via the model's per-token KV bytes and
+/// the shard layout). The manager hands out whole blocks, so a sequence of
+/// `t` tokens consumes `ceil(t / block_tokens)` blocks — the same internal
+/// fragmentation real PagedAttention pays.
+///
+/// # Examples
+///
+/// ```
+/// use sp_kvcache::KvCacheManager;
+///
+/// let mut kv = KvCacheManager::new(64, 16);
+/// assert!(kv.try_reserve(7, 40));       // 3 blocks
+/// assert!(!kv.try_reserve(8, 40));      // only 1 block left
+/// assert!(kv.try_reserve(8, 10));       // fits in the last block
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KvCacheManager {
+    block_tokens: u32,
+    pool: BlockAllocator,
+    seqs: HashMap<u64, SeqAlloc>,
+    /// Shared prefix allocations: one growing sequence per group,
+    /// attached to by many requests (multi-turn sessions). Stored under
+    /// a separate id namespace so they never collide with request ids.
+    groups: HashMap<u64, u64>,
+    used_tokens: u64,
+    peak_used_tokens: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SeqAlloc {
+    tokens: u64,
+    blocks: Vec<BlockId>,
+}
+
+impl KvCacheManager {
+    /// Creates a manager holding up to `capacity_tokens` tokens in blocks of
+    /// `block_tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn new(capacity_tokens: u64, block_tokens: u32) -> KvCacheManager {
+        assert!(block_tokens > 0, "block size must be positive");
+        let blocks = (capacity_tokens / u64::from(block_tokens)) as u32;
+        KvCacheManager {
+            block_tokens,
+            pool: BlockAllocator::new(blocks),
+            seqs: HashMap::new(),
+            groups: HashMap::new(),
+            used_tokens: 0,
+            peak_used_tokens: 0,
+        }
+    }
+
+    /// Grows the shared prefix allocation of `group` to at least
+    /// `watermark` tokens (a no-op if already that large). Returns false
+    /// (and changes nothing) if the pool cannot supply the blocks.
+    ///
+    /// Group allocations are ref-free high-water marks: a session's
+    /// prefix only grows; [`KvCacheManager::release_group`] frees it when
+    /// the session ends.
+    pub fn try_extend_group(&mut self, group: u64, watermark: u64) -> bool {
+        let current = self.groups.get(&group).copied().unwrap_or(0);
+        if watermark <= current {
+            return true;
+        }
+        let seq_key = Self::group_key(group);
+        if !self.try_reserve(seq_key, watermark - current) {
+            return false;
+        }
+        self.groups.insert(group, watermark);
+        true
+    }
+
+    /// Tokens held by the shared prefix of `group` (0 if absent).
+    pub fn group_tokens(&self, group: u64) -> u64 {
+        self.groups.get(&group).copied().unwrap_or(0)
+    }
+
+    /// Frees a session's shared prefix. No-op if absent.
+    pub fn release_group(&mut self, group: u64) {
+        if self.groups.remove(&group).is_some() {
+            self.release(Self::group_key(group));
+        }
+    }
+
+    fn group_key(group: u64) -> u64 {
+        // Request ids are trace indices (small); fold groups into the top
+        // half of the id space.
+        group | (1 << 63)
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Usable capacity in tokens (whole blocks only).
+    pub fn capacity_tokens(&self) -> u64 {
+        u64::from(self.pool.total_blocks()) * u64::from(self.block_tokens)
+    }
+
+    /// Tokens currently cached across all sequences.
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// High-water mark of cached tokens.
+    pub fn peak_used_tokens(&self) -> u64 {
+        self.peak_used_tokens
+    }
+
+    /// Free capacity in tokens, accounting for partially-filled tail blocks
+    /// pessimistically (free blocks × block size).
+    pub fn free_tokens(&self) -> u64 {
+        u64::from(self.pool.free_blocks()) * u64::from(self.block_tokens)
+    }
+
+    /// Fraction of blocks in use.
+    pub fn utilization(&self) -> f64 {
+        self.pool.utilization()
+    }
+
+    /// Number of live sequences.
+    pub fn live_sequences(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True if appending `tokens` to sequence `seq` (creating it if absent)
+    /// would succeed without evicting anything.
+    pub fn can_reserve(&self, seq: u64, tokens: u64) -> bool {
+        let have = self.seqs.get(&seq);
+        let current = have.map_or(0, |s| s.tokens);
+        let current_blocks = have.map_or(0, |s| s.blocks.len() as u64);
+        let needed_blocks = (current + tokens).div_ceil(u64::from(self.block_tokens));
+        needed_blocks.saturating_sub(current_blocks) <= u64::from(self.pool.free_blocks())
+    }
+
+    /// Appends `tokens` to sequence `seq`, creating it if absent. Returns
+    /// false (and changes nothing) if the pool cannot supply the blocks.
+    pub fn try_reserve(&mut self, seq: u64, tokens: u64) -> bool {
+        if !self.can_reserve(seq, tokens) {
+            return false;
+        }
+        let entry = self.seqs.entry(seq).or_insert_with(|| SeqAlloc { tokens: 0, blocks: Vec::new() });
+        let needed_blocks =
+            (entry.tokens + tokens).div_ceil(u64::from(self.block_tokens)) as usize;
+        while entry.blocks.len() < needed_blocks {
+            let block = self.pool.alloc().expect("can_reserve guaranteed capacity");
+            entry.blocks.push(block);
+        }
+        entry.tokens += tokens;
+        self.used_tokens += tokens;
+        self.peak_used_tokens = self.peak_used_tokens.max(self.used_tokens);
+        true
+    }
+
+    /// Tokens held by sequence `seq`, 0 if absent.
+    pub fn sequence_tokens(&self, seq: u64) -> u64 {
+        self.seqs.get(&seq).map_or(0, |s| s.tokens)
+    }
+
+    /// Releases all blocks of sequence `seq`. Releasing an absent sequence
+    /// is a no-op (idempotent teardown).
+    pub fn release(&mut self, seq: u64) {
+        if let Some(alloc) = self.seqs.remove(&seq) {
+            self.used_tokens -= alloc.tokens;
+            for b in alloc.blocks {
+                self.pool.free(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reserve_rounds_up_to_blocks() {
+        let mut kv = KvCacheManager::new(64, 16);
+        assert!(kv.try_reserve(1, 17)); // 2 blocks
+        assert_eq!(kv.free_tokens(), 32);
+        assert_eq!(kv.sequence_tokens(1), 17);
+    }
+
+    #[test]
+    fn incremental_appends_fill_tail_block() {
+        let mut kv = KvCacheManager::new(32, 16);
+        for _ in 0..16 {
+            assert!(kv.try_reserve(1, 1));
+        }
+        assert_eq!(kv.free_tokens(), 16); // exactly one block used
+    }
+
+    #[test]
+    fn rejected_reserve_changes_nothing() {
+        let mut kv = KvCacheManager::new(16, 16);
+        assert!(kv.try_reserve(1, 10));
+        let before_used = kv.used_tokens();
+        assert!(!kv.try_reserve(2, 100));
+        assert_eq!(kv.used_tokens(), before_used);
+        assert_eq!(kv.sequence_tokens(2), 0);
+    }
+
+    #[test]
+    fn release_returns_all_blocks() {
+        let mut kv = KvCacheManager::new(64, 16);
+        assert!(kv.try_reserve(1, 50));
+        kv.release(1);
+        assert_eq!(kv.used_tokens(), 0);
+        assert_eq!(kv.free_tokens(), 64);
+        assert_eq!(kv.live_sequences(), 0);
+    }
+
+    #[test]
+    fn release_absent_sequence_is_noop() {
+        let mut kv = KvCacheManager::new(64, 16);
+        kv.release(42);
+        assert_eq!(kv.free_tokens(), 64);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut kv = KvCacheManager::new(64, 16);
+        kv.try_reserve(1, 40);
+        kv.release(1);
+        kv.try_reserve(2, 10);
+        assert_eq!(kv.peak_used_tokens(), 40);
+    }
+
+    #[test]
+    fn group_extends_monotonically_and_shares() {
+        let mut kv = KvCacheManager::new(160, 16);
+        assert!(kv.try_extend_group(1, 50));
+        assert_eq!(kv.group_tokens(1), 50);
+        let used_after_first = kv.used_tokens();
+        // Second turn with a larger watermark only pays the delta.
+        assert!(kv.try_extend_group(1, 80));
+        assert_eq!(kv.used_tokens(), used_after_first + 30);
+        // Smaller watermark is free.
+        assert!(kv.try_extend_group(1, 10));
+        assert_eq!(kv.group_tokens(1), 80);
+        kv.release_group(1);
+        assert_eq!(kv.used_tokens(), 0);
+        assert_eq!(kv.group_tokens(1), 0);
+    }
+
+    #[test]
+    fn group_extension_respects_capacity() {
+        let mut kv = KvCacheManager::new(64, 16);
+        assert!(kv.try_extend_group(7, 48));
+        assert!(!kv.try_extend_group(7, 200));
+        assert_eq!(kv.group_tokens(7), 48, "failed extension must not corrupt");
+    }
+
+    #[test]
+    fn groups_do_not_collide_with_request_ids() {
+        let mut kv = KvCacheManager::new(160, 16);
+        assert!(kv.try_reserve(1, 32)); // request id 1
+        assert!(kv.try_extend_group(1, 32)); // group id 1
+        assert_eq!(kv.sequence_tokens(1), 32);
+        assert_eq!(kv.group_tokens(1), 32);
+        kv.release(1);
+        assert_eq!(kv.group_tokens(1), 32, "request release must not free the group");
+    }
+
+    #[test]
+    fn capacity_truncates_partial_blocks() {
+        let kv = KvCacheManager::new(100, 16);
+        assert_eq!(kv.capacity_tokens(), 96);
+    }
+
+    proptest! {
+        #[test]
+        fn accounting_invariants_hold(
+            ops in prop::collection::vec((0u64..8, 1u64..40, any::<bool>()), 0..300)
+        ) {
+            let mut kv = KvCacheManager::new(512, 16);
+            let mut shadow: HashMap<u64, u64> = HashMap::new();
+            for (seq, tokens, is_reserve) in ops {
+                if is_reserve {
+                    if kv.try_reserve(seq, tokens) {
+                        *shadow.entry(seq).or_default() += tokens;
+                    }
+                } else {
+                    kv.release(seq);
+                    shadow.remove(&seq);
+                }
+                let expected: u64 = shadow.values().sum();
+                prop_assert_eq!(kv.used_tokens(), expected);
+                prop_assert!(kv.used_tokens() <= kv.capacity_tokens());
+                for (&s, &t) in &shadow {
+                    prop_assert_eq!(kv.sequence_tokens(s), t);
+                }
+            }
+        }
+
+        #[test]
+        fn can_reserve_agrees_with_try_reserve(
+            seed in prop::collection::vec((0u64..4, 1u64..100), 0..100)
+        ) {
+            let mut kv = KvCacheManager::new(256, 16);
+            for (seq, tokens) in seed {
+                let predicted = kv.can_reserve(seq, tokens);
+                let actual = kv.try_reserve(seq, tokens);
+                prop_assert_eq!(predicted, actual);
+            }
+        }
+    }
+}

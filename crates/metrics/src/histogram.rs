@@ -1,0 +1,169 @@
+//! Logarithmically-bucketed histogram for latency spectra.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with logarithmically-spaced buckets.
+///
+/// Latencies in LLM serving span five orders of magnitude (sub-millisecond
+/// decode steps to multi-minute queue waits during bursts), so the buckets
+/// grow geometrically: bucket `i` covers `[lo * growth^i, lo * growth^(i+1))`.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1e-3, 10.0, 2.0);
+/// h.record(0.005);
+/// h.record(0.005);
+/// h.record(4.0);
+/// assert_eq!(h.total(), 3);
+/// assert!(h.bucket_for(0.005) < h.bucket_for(4.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    lo: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[lo, hi)` with buckets growing by
+    /// `growth` per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `growth <= 1`.
+    pub fn new(lo: f64, hi: f64, growth: f64) -> LogHistogram {
+        assert!(lo > 0.0, "lo must be positive");
+        assert!(hi > lo, "hi must exceed lo");
+        assert!(growth > 1.0, "growth must exceed 1");
+        let n = ((hi / lo).ln() / growth.ln()).ceil() as usize;
+        LogHistogram { lo, growth, counts: vec![0; n.max(1)], underflow: 0, overflow: 0 }
+    }
+
+    /// Index of the bucket that `value` falls into (clamped to range).
+    pub fn bucket_for(&self, value: f64) -> usize {
+        if value < self.lo {
+            return 0;
+        }
+        let idx = ((value / self.lo).ln() / self.growth.ln()).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Records one sample.
+    ///
+    /// Values below the range count as underflow, above as overflow; both are
+    /// still tallied in `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        if value < self.lo {
+            self.underflow += 1;
+        } else {
+            let idx = ((value / self.lo).ln() / self.growth.ln()).floor() as usize;
+            if idx >= self.counts.len() {
+                self.overflow += 1;
+            } else {
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Total number of recorded samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Number of samples below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of samples above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo * self.growth.powi(i as i32), c))
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the histogram has no buckets (never: `new` creates at least 1).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_bounds_grow_geometrically() {
+        let h = LogHistogram::new(1.0, 16.0, 2.0);
+        let bounds: Vec<f64> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = LogHistogram::new(1.0, 10.0, 2.0);
+        h.record(0.1);
+        h.record(100.0);
+        h.record(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_upper_bucket() {
+        let h = LogHistogram::new(1.0, 16.0, 2.0);
+        assert_eq!(h.bucket_for(1.0), 0);
+        assert_eq!(h.bucket_for(2.0), 1);
+        assert_eq!(h.bucket_for(3.999), 1);
+        assert_eq!(h.bucket_for(4.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth must exceed 1")]
+    fn invalid_growth_rejected() {
+        let _ = LogHistogram::new(1.0, 10.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_counts_every_sample(
+            xs in prop::collection::vec(1e-6f64..1e6, 0..200)
+        ) {
+            let mut h = LogHistogram::new(1e-3, 1e3, 2.0);
+            for &x in &xs {
+                h.record(x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn bucket_for_is_monotone(a in 1e-3f64..1e3, b in 1e-3f64..1e3) {
+            let h = LogHistogram::new(1e-3, 1e3, 1.5);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(h.bucket_for(lo) <= h.bucket_for(hi));
+        }
+    }
+}

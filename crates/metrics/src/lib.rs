@@ -1,0 +1,44 @@
+//! Streaming statistics for the Shift Parallelism simulator.
+//!
+//! The serving engine (`sp-engine`) and the benchmark harnesses record
+//! per-request latencies (TTFT, TPOT, completion time) and system-wide
+//! throughput over simulated time. This crate provides the measurement
+//! primitives they share:
+//!
+//! * [`units`] — strongly-typed simulation time ([`SimTime`], [`Dur`]).
+//! * [`summary`] — Welford-style [`StreamingSummary`] (mean/var/min/max).
+//! * [`percentile`] — exact [`Quantiles`] over recorded samples.
+//! * [`histogram`] — log-bucketed [`LogHistogram`] for latency spectra.
+//! * [`timeseries`] — [`BinnedSeries`] for throughput-over-time plots.
+//! * [`latency`] — [`LatencyRecorder`], the per-request metric sink.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp_metrics::{Quantiles, StreamingSummary};
+//!
+//! let mut s = StreamingSummary::new();
+//! let mut q = Quantiles::new();
+//! for v in [1.0, 2.0, 3.0, 4.0] {
+//!     s.record(v);
+//!     q.record(v);
+//! }
+//! assert_eq!(s.mean(), 2.5);
+//! assert_eq!(q.quantile(0.5), Some(2.5));
+//! ```
+
+pub mod histogram;
+pub mod latency;
+pub mod percentile;
+pub mod slo;
+pub mod summary;
+pub mod timeseries;
+pub mod units;
+
+pub use histogram::LogHistogram;
+pub use latency::{LatencyRecorder, RequestRecord};
+pub use percentile::Quantiles;
+pub use slo::{SloReport, SloTarget};
+pub use summary::StreamingSummary;
+pub use timeseries::BinnedSeries;
+pub use units::{Dur, SimTime};

@@ -1,0 +1,150 @@
+//! Service-level objectives and goodput.
+//!
+//! §2.1: "different requests are subject to different quality-of-service
+//! metrics". This module scores completed requests against TTFT/TPOT
+//! targets and computes *goodput* — tokens delivered within SLO per second
+//! — the metric disaggregation papers optimize and a natural yardstick for
+//! Shift Parallelism's QoS claim.
+
+use crate::latency::RequestRecord;
+use crate::units::Dur;
+use serde::{Deserialize, Serialize};
+
+/// A per-request latency target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Maximum acceptable time-to-first-token.
+    pub ttft: Dur,
+    /// Maximum acceptable time-per-output-token.
+    pub tpot: Dur,
+}
+
+impl SloTarget {
+    /// A chatbot-grade target: first token within 1 s, 20 tokens/s
+    /// generation.
+    pub fn interactive() -> SloTarget {
+        SloTarget { ttft: Dur::from_millis(1000.0), tpot: Dur::from_millis(50.0) }
+    }
+
+    /// A relaxed target for background/batch traffic: first token within
+    /// 30 s, 5 tokens/s generation.
+    pub fn relaxed() -> SloTarget {
+        SloTarget { ttft: Dur::from_secs(30.0), tpot: Dur::from_millis(200.0) }
+    }
+
+    /// True if `record` meets both components of the target.
+    pub fn met_by(&self, record: &RequestRecord) -> bool {
+        record.ttft() <= self.ttft && record.tpot() <= self.tpot
+    }
+}
+
+/// Aggregate SLO attainment over a set of completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Requests meeting the target.
+    pub attained: u64,
+    /// All scored requests.
+    pub total: u64,
+    /// Prompt + output tokens of the attaining requests.
+    pub attained_tokens: u64,
+}
+
+impl SloReport {
+    /// Scores `records` against `target`.
+    pub fn evaluate<'a>(
+        records: impl IntoIterator<Item = &'a RequestRecord>,
+        target: SloTarget,
+    ) -> SloReport {
+        let mut report = SloReport::default();
+        for r in records {
+            report.total += 1;
+            if target.met_by(r) {
+                report.attained += 1;
+                report.attained_tokens += r.total_tokens();
+            }
+        }
+        report
+    }
+
+    /// Fraction of requests meeting the SLO (1.0 when no requests).
+    pub fn attainment(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.attained as f64 / self.total as f64
+        }
+    }
+
+    /// Goodput over a run of length `makespan`: SLO-attaining tokens per
+    /// second (0 for an empty run).
+    pub fn goodput(&self, makespan: Dur) -> f64 {
+        if makespan.is_zero() {
+            0.0
+        } else {
+            self.attained_tokens as f64 / makespan.as_secs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SimTime;
+
+    fn rec(ttft_ms: f64, tpot_ms: f64, inp: u32, out: u32) -> RequestRecord {
+        let first = SimTime::from_secs(ttft_ms * 1e-3);
+        RequestRecord {
+            request_id: 0,
+            arrival: SimTime::ZERO,
+            first_token: first,
+            finish: first + Dur::from_millis(tpot_ms) * f64::from(out - 1),
+            input_tokens: inp,
+            output_tokens: out,
+        }
+    }
+
+    #[test]
+    fn interactive_target_splits_fast_and_slow() {
+        let t = SloTarget::interactive();
+        assert!(t.met_by(&rec(200.0, 20.0, 100, 10)));
+        assert!(!t.met_by(&rec(2000.0, 20.0, 100, 10)), "TTFT violation");
+        assert!(!t.met_by(&rec(200.0, 80.0, 100, 10)), "TPOT violation");
+    }
+
+    #[test]
+    fn ttft_boundary_is_inclusive() {
+        // (TPOT kept well under target: its reconstruction from
+        // timestamps is subject to float rounding at the exact boundary.)
+        let t = SloTarget::interactive();
+        assert!(t.met_by(&rec(1000.0, 20.0, 1, 10)));
+        assert!(!t.met_by(&rec(1000.1, 20.0, 1, 10)));
+    }
+
+    #[test]
+    fn report_counts_and_goodput() {
+        let records = vec![
+            rec(100.0, 10.0, 1000, 100), // attains: 1100 tokens
+            rec(5000.0, 10.0, 500, 50),  // misses
+        ];
+        let report = SloReport::evaluate(&records, SloTarget::interactive());
+        assert_eq!(report.attained, 1);
+        assert_eq!(report.total, 2);
+        assert_eq!(report.attained_tokens, 1100);
+        assert_eq!(report.attainment(), 0.5);
+        assert_eq!(report.goodput(Dur::from_secs(11.0)), 100.0);
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_attained() {
+        let report = SloReport::evaluate([], SloTarget::relaxed());
+        assert_eq!(report.attainment(), 1.0);
+        assert_eq!(report.goodput(Dur::ZERO), 0.0);
+    }
+
+    #[test]
+    fn relaxed_target_is_weaker() {
+        let marginal = rec(10_000.0, 100.0, 100, 10);
+        assert!(!SloTarget::interactive().met_by(&marginal));
+        assert!(SloTarget::relaxed().met_by(&marginal));
+    }
+}

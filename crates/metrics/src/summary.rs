@@ -1,0 +1,241 @@
+//! Welford streaming summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// Numerically stable for long simulations: the running mean is updated
+/// incrementally instead of summing raw values.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::StreamingSummary;
+///
+/// let mut s = StreamingSummary::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary.
+    pub fn new() -> StreamingSummary {
+        StreamingSummary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Population variance (dividing by `n`), or 0.0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (dividing by `n - 1`), or 0.0 for fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for StreamingSummary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for StreamingSummary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> StreamingSummary {
+        let mut s = StreamingSummary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_reports_zero() {
+        let s = StreamingSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let s: StreamingSummary = [42.0].into_iter().collect();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn sum_matches_count_times_mean() {
+        let s: StreamingSummary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!((s.sum() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a: StreamingSummary = [1.0, 2.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&StreamingSummary::new());
+        assert_eq!(a, before);
+
+        let mut empty = StreamingSummary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_rejected() {
+        StreamingSummary::new().record(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            xs in prop::collection::vec(-1e6f64..1e6, 0..100),
+            ys in prop::collection::vec(-1e6f64..1e6, 0..100),
+        ) {
+            let mut merged: StreamingSummary = xs.iter().copied().collect();
+            let right: StreamingSummary = ys.iter().copied().collect();
+            merged.merge(&right);
+
+            let sequential: StreamingSummary =
+                xs.iter().chain(ys.iter()).copied().collect();
+
+            prop_assert_eq!(merged.count(), sequential.count());
+            if !merged.is_empty() {
+                let mean_scale = merged.mean().abs().max(1.0);
+                prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-9 * mean_scale);
+                let var_scale = merged.population_variance().abs().max(1.0);
+                prop_assert!(
+                    (merged.population_variance() - sequential.population_variance()).abs()
+                        < 1e-9 * var_scale
+                );
+                prop_assert_eq!(merged.min(), sequential.min());
+                prop_assert_eq!(merged.max(), sequential.max());
+            }
+        }
+
+        #[test]
+        fn mean_within_min_max(xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+            let s: StreamingSummary = xs.iter().copied().collect();
+            let (min, max) = (s.min().unwrap(), s.max().unwrap());
+            prop_assert!(s.mean() >= min - 1e-9 && s.mean() <= max + 1e-9);
+            prop_assert!(s.population_variance() >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Time-binned series for throughput-over-time plots.
+
+use crate::units::{Dur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates `(time, weight)` events into fixed-width time bins.
+///
+/// Used for the throughput panels of Figures 1 and 7: every processed token
+/// is recorded at its completion instant, and `rates()` yields tokens/second
+/// per bin. Bins extend automatically as time advances.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::{BinnedSeries, Dur, SimTime};
+///
+/// let mut s = BinnedSeries::new(Dur::from_secs(1.0));
+/// s.record(SimTime::from_secs(0.5), 100.0);
+/// s.record(SimTime::from_secs(0.9), 50.0);
+/// s.record(SimTime::from_secs(1.5), 10.0);
+/// let rates: Vec<_> = s.rates().collect();
+/// assert_eq!(rates[0].1, 150.0); // 150 units in the first 1 s bin
+/// assert_eq!(rates[1].1, 10.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinnedSeries {
+    bin_width: Dur,
+    bins: Vec<f64>,
+}
+
+impl BinnedSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn new(bin_width: Dur) -> BinnedSeries {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        BinnedSeries { bin_width, bins: Vec::new() }
+    }
+
+    /// Adds `weight` at instant `t`.
+    pub fn record(&mut self, t: SimTime, weight: f64) {
+        let idx = (t.as_secs() / self.bin_width.as_secs()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += weight;
+    }
+
+    /// Number of bins so far.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The configured bin width.
+    pub fn bin_width(&self) -> Dur {
+        self.bin_width
+    }
+
+    /// Iterates over `(bin_start_time, total_weight_in_bin)`.
+    pub fn totals(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let w = self.bin_width.as_secs();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_secs(i as f64 * w), v))
+    }
+
+    /// Iterates over `(bin_start_time, weight_per_second)`.
+    pub fn rates(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let w = self.bin_width.as_secs();
+        self.totals().map(move |(t, v)| (t, v / w))
+    }
+
+    /// Peak per-second rate over all bins, or 0.0 when empty.
+    pub fn peak_rate(&self) -> f64 {
+        self.rates().map(|(_, r)| r).fold(0.0, f64::max)
+    }
+
+    /// Mean per-second rate over the recorded span, or 0.0 when empty.
+    pub fn mean_rate(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.bins.iter().sum();
+        total / (self.bins.len() as f64 * self.bin_width.as_secs())
+    }
+
+    /// Total weight across all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_land_in_correct_bins() {
+        let mut s = BinnedSeries::new(Dur::from_secs(2.0));
+        s.record(SimTime::from_secs(0.0), 1.0);
+        s.record(SimTime::from_secs(1.99), 2.0);
+        s.record(SimTime::from_secs(2.0), 4.0);
+        let totals: Vec<_> = s.totals().map(|(_, v)| v).collect();
+        assert_eq!(totals, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn gap_bins_are_zero() {
+        let mut s = BinnedSeries::new(Dur::from_secs(1.0));
+        s.record(SimTime::from_secs(0.5), 1.0);
+        s.record(SimTime::from_secs(3.5), 1.0);
+        let totals: Vec<_> = s.totals().map(|(_, v)| v).collect();
+        assert_eq!(totals, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn peak_and_mean_rates() {
+        let mut s = BinnedSeries::new(Dur::from_millis(500.0));
+        s.record(SimTime::from_secs(0.1), 10.0); // bin 0: 20/s
+        s.record(SimTime::from_secs(0.6), 5.0); // bin 1: 10/s
+        assert_eq!(s.peak_rate(), 20.0);
+        assert_eq!(s.mean_rate(), 15.0);
+        assert_eq!(s.total(), 15.0);
+    }
+
+    #[test]
+    fn empty_series_rates_are_zero() {
+        let s = BinnedSeries::new(Dur::from_secs(1.0));
+        assert!(s.is_empty());
+        assert_eq!(s.peak_rate(), 0.0);
+        assert_eq!(s.mean_rate(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_is_conserved(
+            events in prop::collection::vec((0.0f64..100.0, 0.0f64..10.0), 0..100)
+        ) {
+            let mut s = BinnedSeries::new(Dur::from_secs(0.7));
+            let mut expected = 0.0;
+            for &(t, w) in &events {
+                s.record(SimTime::from_secs(t), w);
+                expected += w;
+            }
+            prop_assert!((s.total() - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn peak_rate_at_least_mean_rate(
+            events in prop::collection::vec((0.0f64..50.0, 0.1f64..10.0), 1..100)
+        ) {
+            let mut s = BinnedSeries::new(Dur::from_secs(1.0));
+            for &(t, w) in &events {
+                s.record(SimTime::from_secs(t), w);
+            }
+            prop_assert!(s.peak_rate() >= s.mean_rate() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Weight / activation / KV-cache element precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 8-bit floating point (the paper serves all models in FP8).
+    Fp8,
+    /// 16-bit floating point.
+    Fp16,
+}
+
+impl Precision {
+    /// Bytes per element.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp8 => 1,
+            Precision::Fp16 => 2,
+        }
+    }
+}
+
+/// Mixture-of-experts configuration for the MLP blocks.
+///
+/// Dense models have `None` for [`ModelConfig::moe`]; MoE models route each
+/// token to `active_experts` of `num_experts` feed-forward experts, plus an
+/// optional always-on shared expert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MoeConfig {
+    /// Total routed experts per layer.
+    pub num_experts: u32,
+    /// Experts active per token (top-k routing).
+    pub active_experts: u32,
+    /// Intermediate (FFN) size of each routed expert.
+    pub expert_intermediate: u32,
+    /// Intermediate size of the shared (always-active) expert, 0 if absent.
+    pub shared_intermediate: u32,
+}
+
+/// Architecture of one decoder-only transformer.
+///
+/// Field names follow the usual HuggingFace conventions. The accounting
+/// methods in [`crate::accounting`] derive every FLOP/byte quantity the
+/// simulator needs from these fields.
+///
+/// # Examples
+///
+/// ```
+/// use sp_model::presets;
+///
+/// let qwen = presets::qwen_32b();
+/// assert_eq!(qwen.gqa_group_size(), 8); // 64 Q heads / 8 KV heads
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable model name.
+    pub name: String,
+    /// Number of transformer layers.
+    pub num_layers: u32,
+    /// Hidden (embedding) dimension `d`.
+    pub hidden_size: u32,
+    /// Number of query heads `h`.
+    pub q_heads: u32,
+    /// Number of key/value heads `h_kv` (GQA when `h_kv < h`).
+    pub kv_heads: u32,
+    /// Per-head dimension.
+    pub head_dim: u32,
+    /// Dense MLP intermediate size (ignored for MoE layers).
+    pub intermediate_size: u32,
+    /// Vocabulary size (embedding + LM head).
+    pub vocab_size: u32,
+    /// Weight precision.
+    pub weight_precision: Precision,
+    /// KV-cache precision (the Mooncake experiment flips this to FP8).
+    pub kv_precision: Precision,
+    /// Mixture-of-experts configuration, `None` for dense models.
+    pub moe: Option<MoeConfig>,
+}
+
+impl ModelConfig {
+    /// Queries per KV head (the GQA group size); 1 means plain MHA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads` is zero (invalid config).
+    pub fn gqa_group_size(&self) -> u32 {
+        assert!(self.kv_heads > 0, "model must have at least one KV head");
+        self.q_heads / self.kv_heads
+    }
+
+    /// Parameters in one layer's fused QKV projection:
+    /// `d × (h + 2·h_kv) × head_dim`.
+    pub fn qkv_params_per_layer(&self) -> u64 {
+        u64::from(self.hidden_size)
+            * u64::from(self.q_heads + 2 * self.kv_heads)
+            * u64::from(self.head_dim)
+    }
+
+    /// Parameters in one layer's attention output projection:
+    /// `(h × head_dim) × d`.
+    pub fn o_params_per_layer(&self) -> u64 {
+        u64::from(self.q_heads) * u64::from(self.head_dim) * u64::from(self.hidden_size)
+    }
+
+    /// Total attention parameters in one layer (QKV + O).
+    pub fn attn_params_per_layer(&self) -> u64 {
+        self.qkv_params_per_layer() + self.o_params_per_layer()
+    }
+
+    /// *Stored* MLP parameters in one layer (all experts for MoE).
+    ///
+    /// Gated FFNs (SwiGLU) have three matrices: up, gate, down — hence the
+    /// factor 3.
+    pub fn mlp_params_per_layer_total(&self) -> u64 {
+        match self.moe {
+            None => 3 * u64::from(self.hidden_size) * u64::from(self.intermediate_size),
+            Some(moe) => {
+                let routed = u64::from(moe.num_experts)
+                    * 3
+                    * u64::from(self.hidden_size)
+                    * u64::from(moe.expert_intermediate);
+                let shared =
+                    3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
+                routed + shared
+            }
+        }
+    }
+
+    /// *Active* MLP parameters per token in one layer (top-k experts for
+    /// MoE; equal to total for dense).
+    pub fn mlp_params_per_layer_active(&self) -> u64 {
+        match self.moe {
+            None => self.mlp_params_per_layer_total(),
+            Some(moe) => {
+                let routed = u64::from(moe.active_experts)
+                    * 3
+                    * u64::from(self.hidden_size)
+                    * u64::from(moe.expert_intermediate);
+                let shared =
+                    3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
+                routed + shared
+            }
+        }
+    }
+
+    /// Embedding + LM-head parameters (untied): `2 × d × vocab`.
+    pub fn embed_params(&self) -> u64 {
+        2 * u64::from(self.hidden_size) * u64::from(self.vocab_size)
+    }
+
+    /// Total stored parameters.
+    pub fn total_params(&self) -> u64 {
+        u64::from(self.num_layers)
+            * (self.attn_params_per_layer() + self.mlp_params_per_layer_total())
+            + self.embed_params()
+    }
+
+    /// Parameters active per token (MoE models activate a subset).
+    pub fn active_params(&self) -> u64 {
+        u64::from(self.num_layers)
+            * (self.attn_params_per_layer() + self.mlp_params_per_layer_active())
+            + self.embed_params()
+    }
+
+    /// Total weight footprint in bytes at the configured precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.total_params() * self.weight_precision.bytes()
+    }
+
+    /// Bytes of weights streamed per token of decode (active parameters).
+    pub fn active_weight_bytes(&self) -> u64 {
+        self.active_params() * self.weight_precision.bytes()
+    }
+
+    /// KV-cache bytes per token across all layers:
+    /// `layers × 2 × h_kv × head_dim × kv_bytes`.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        u64::from(self.num_layers)
+            * 2
+            * u64::from(self.kv_heads)
+            * u64::from(self.head_dim)
+            * self.kv_precision.bytes()
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: zero-sized
+    /// dimensions, Q heads not divisible by KV heads, or inconsistent MoE
+    /// shape.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_layers == 0
+            || self.hidden_size == 0
+            || self.q_heads == 0
+            || self.kv_heads == 0
+            || self.head_dim == 0
+            || self.vocab_size == 0
+        {
+            return Err(format!("{}: all dimensions must be positive", self.name));
+        }
+        if !self.q_heads.is_multiple_of(self.kv_heads) {
+            return Err(format!(
+                "{}: Q heads ({}) must be a multiple of KV heads ({})",
+                self.name, self.q_heads, self.kv_heads
+            ));
+        }
+        if let Some(moe) = self.moe {
+            if moe.num_experts == 0 || moe.active_experts == 0 {
+                return Err(format!("{}: MoE must have at least one expert", self.name));
+            }
+            if moe.active_experts > moe.num_experts {
+                return Err(format!(
+                    "{}: active experts ({}) exceed total ({})",
+                    self.name, moe.active_experts, moe.num_experts
+                ));
+            }
+            if moe.expert_intermediate == 0 {
+                return Err(format!("{}: expert intermediate size must be positive", self.name));
+            }
+        } else if self.intermediate_size == 0 {
+            return Err(format!("{}: dense intermediate size must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp8.bytes(), 1);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+    }
+
+    #[test]
+    fn dense_active_equals_total() {
+        let m = presets::llama_70b();
+        assert_eq!(m.total_params(), m.active_params());
+    }
+
+    #[test]
+    fn moe_active_less_than_total() {
+        let m = presets::qwen_30b_a3b();
+        assert!(m.active_params() < m.total_params() / 5);
+    }
+
+    #[test]
+    fn gqa_group_sizes_match_table4() {
+        assert_eq!(presets::llama_70b().gqa_group_size(), 8);
+        assert_eq!(presets::qwen_32b().gqa_group_size(), 8);
+        assert_eq!(presets::llama_17b_16e().gqa_group_size(), 5);
+        assert_eq!(presets::qwen_30b_a3b().gqa_group_size(), 8);
+    }
+
+    #[test]
+    fn kv_bytes_scale_with_precision() {
+        let mut m = presets::qwen_32b();
+        let fp16 = m.kv_bytes_per_token();
+        m.kv_precision = Precision::Fp8;
+        assert_eq!(m.kv_bytes_per_token() * 2, fp16);
+    }
+
+    #[test]
+    fn validate_rejects_misaligned_gqa() {
+        let mut m = presets::llama_70b();
+        m.kv_heads = 7;
+        assert!(m.validate().unwrap_err().contains("multiple"));
+    }
+
+    #[test]
+    fn validate_rejects_overactive_moe() {
+        let mut m = presets::qwen_30b_a3b();
+        let moe = m.moe.as_mut().unwrap();
+        moe.active_experts = moe.num_experts + 1;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn qkv_fused_width_uses_gqa() {
+        // GQA replaces 3h with h + 2·h_kv (paper §3.2.1).
+        let m = presets::llama_70b();
+        let full_mha_width = 3 * m.q_heads;
+        let gqa_width = m.q_heads + 2 * m.kv_heads;
+        assert!(gqa_width < full_mha_width);
+        assert_eq!(
+            m.qkv_params_per_layer(),
+            u64::from(m.hidden_size) * u64::from(gqa_width) * u64::from(m.head_dim)
+        );
+    }
+}

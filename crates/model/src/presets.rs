@@ -1,0 +1,179 @@
+//! The four evaluation models of Table 4.
+
+use crate::config::{ModelConfig, MoeConfig, Precision};
+
+/// Llama-3.3-70B-Instruct (FP8): the paper's primary dense model.
+///
+/// 80 layers, hidden 8192, 64 Q / 8 KV heads — 70B parameters.
+pub fn llama_70b() -> ModelConfig {
+    ModelConfig {
+        name: "Llama-70B".into(),
+        num_layers: 80,
+        hidden_size: 8192,
+        q_heads: 64,
+        kv_heads: 8,
+        head_dim: 128,
+        intermediate_size: 28672,
+        vocab_size: 128_256,
+        weight_precision: Precision::Fp8,
+        kv_precision: Precision::Fp16,
+        moe: None,
+    }
+}
+
+/// Qwen3-32B (FP8): the smaller dense model.
+///
+/// 64 layers, hidden 5120, 64 Q / 8 KV heads — 32B parameters.
+pub fn qwen_32b() -> ModelConfig {
+    ModelConfig {
+        name: "Qwen-32B".into(),
+        num_layers: 64,
+        hidden_size: 5120,
+        q_heads: 64,
+        kv_heads: 8,
+        head_dim: 128,
+        intermediate_size: 25_600,
+        vocab_size: 151_936,
+        weight_precision: Precision::Fp8,
+        kv_precision: Precision::Fp16,
+        moe: None,
+    }
+}
+
+/// Llama-4-Scout-17B-16E (FP8): sparse model, 109B total / 17B active.
+///
+/// 48 layers, hidden 5120, 40 Q / 8 KV heads, 16 routed experts (top-1)
+/// plus a shared expert. §4.6 deploys it as (SP=4, TP=2) because the 109 GB
+/// footprint barely fits one 141 GB GPU.
+pub fn llama_17b_16e() -> ModelConfig {
+    ModelConfig {
+        name: "Llama-17B-16E".into(),
+        num_layers: 48,
+        hidden_size: 5120,
+        q_heads: 40,
+        kv_heads: 8,
+        head_dim: 128,
+        intermediate_size: 0, // MoE layers only
+        vocab_size: 202_048,
+        weight_precision: Precision::Fp8,
+        kv_precision: Precision::Fp16,
+        moe: Some(MoeConfig {
+            num_experts: 16,
+            active_experts: 1,
+            expert_intermediate: 8192,
+            shared_intermediate: 8192,
+        }),
+    }
+}
+
+/// Qwen3-30B-A3B (FP8): sparse model, 30B total / 3B active.
+///
+/// 48 layers, hidden 2048, 32 Q / 4 KV heads, 128 experts (top-8). With
+/// only 4 KV heads it cannot scale past 4 GPUs without the paper's KV-cache
+/// replication (§3.2.1).
+pub fn qwen_30b_a3b() -> ModelConfig {
+    ModelConfig {
+        name: "Qwen-30B-A3B".into(),
+        num_layers: 48,
+        hidden_size: 2048,
+        q_heads: 32,
+        kv_heads: 4,
+        head_dim: 128,
+        intermediate_size: 0, // MoE layers only
+        vocab_size: 151_936,
+        weight_precision: Precision::Fp8,
+        kv_precision: Precision::Fp16,
+        moe: Some(MoeConfig {
+            num_experts: 128,
+            active_experts: 8,
+            expert_intermediate: 768,
+            shared_intermediate: 0,
+        }),
+    }
+}
+
+/// Llama-3.1-8B-Instruct (FP8): a small dense model for hardware- and
+/// scale-sensitivity studies (not part of Table 4).
+pub fn llama_8b() -> ModelConfig {
+    ModelConfig {
+        name: "Llama-8B".into(),
+        num_layers: 32,
+        hidden_size: 4096,
+        q_heads: 32,
+        kv_heads: 8,
+        head_dim: 128,
+        intermediate_size: 14_336,
+        vocab_size: 128_256,
+        weight_precision: Precision::Fp8,
+        kv_precision: Precision::Fp16,
+        moe: None,
+    }
+}
+
+/// All four Table 4 models, ordered from larger to smaller as in Figure 17.
+pub fn all_table4() -> Vec<ModelConfig> {
+    vec![llama_70b(), qwen_32b(), llama_17b_16e(), qwen_30b_a3b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for m in all_table4().into_iter().chain([llama_8b()]) {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn llama_8b_param_count() {
+        let p = llama_8b().total_params() as f64;
+        assert!((7.5e9..9e9).contains(&p), "Llama-8B params {p:.3e}");
+    }
+
+    #[test]
+    fn llama_70b_param_count() {
+        let p = llama_70b().total_params() as f64;
+        assert!((68e9..73e9).contains(&p), "Llama-70B params {p:.3e}");
+    }
+
+    #[test]
+    fn qwen_32b_param_count() {
+        let p = qwen_32b().total_params() as f64;
+        assert!((31e9..34e9).contains(&p), "Qwen-32B params {p:.3e}");
+    }
+
+    #[test]
+    fn llama_17b_16e_total_and_active() {
+        let m = llama_17b_16e();
+        let total = m.total_params() as f64;
+        let active = m.active_params() as f64;
+        assert!((100e9..115e9).contains(&total), "Scout total {total:.3e}");
+        assert!((15e9..19e9).contains(&active), "Scout active {active:.3e}");
+    }
+
+    #[test]
+    fn qwen_30b_a3b_total_and_active() {
+        let m = qwen_30b_a3b();
+        let total = m.total_params() as f64;
+        let active = m.active_params() as f64;
+        assert!((28e9..33e9).contains(&total), "A3B total {total:.3e}");
+        assert!((2.5e9..4.5e9).contains(&active), "A3B active {active:.3e}");
+    }
+
+    #[test]
+    fn scout_fp8_footprint_near_109_gb() {
+        // §3.2.2: "Llama-17B-16E (FP8) has 109 GB memory footprint".
+        let gb = llama_17b_16e().weight_bytes() as f64 / 1e9;
+        assert!((100.0..115.0).contains(&gb), "Scout FP8 footprint {gb:.1} GB");
+    }
+
+    #[test]
+    fn table4_ordering_is_large_to_small_active() {
+        let models = all_table4();
+        assert_eq!(models[0].name, "Llama-70B");
+        assert_eq!(models[3].name, "Qwen-30B-A3B");
+        assert!(models[0].active_params() > models[3].active_params());
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated collectives and per-rank KV shards.
+//!
+//! Ranks are simulated in-process: each holds only its own buffers, and
+//! all inter-rank data movement goes through the explicit collective
+//! functions here — mirroring the real system's NCCL calls so the
+//! dataflow of Algorithm 1 is reproduced faithfully, not shortcut.
+
+use crate::reference::ToyTransformer;
+use crate::tensor::Matrix;
+
+/// All-reduce (sum): every rank contributes a same-shaped matrix and every
+/// rank receives the element-wise sum.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `parts` is empty.
+pub fn all_reduce_sum(parts: &[Matrix]) -> Vec<Matrix> {
+    assert!(!parts.is_empty(), "all-reduce needs at least one rank");
+    let mut sum = parts[0].clone();
+    for p in &parts[1..] {
+        sum = sum.add(p);
+    }
+    vec![sum; parts.len()]
+}
+
+/// All-gather over row shards: every rank receives the row-concatenation
+/// of all ranks' shards in rank order.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or column counts disagree.
+pub fn all_gather_rows(parts: &[Matrix]) -> Vec<Matrix> {
+    let full = Matrix::concat_rows(parts);
+    vec![full; parts.len()]
+}
+
+/// All-to-all: `blocks[src][dst]` is what rank `src` sends to rank `dst`;
+/// the result's `[dst][src]` is what rank `dst` received from `src`.
+///
+/// # Panics
+///
+/// Panics if the send grid is not square.
+pub fn all_to_all(blocks: Vec<Vec<Matrix>>) -> Vec<Vec<Matrix>> {
+    let p = blocks.len();
+    assert!(blocks.iter().all(|row| row.len() == p), "all-to-all grid must be square");
+    let mut received: Vec<Vec<Option<Matrix>>> = (0..p).map(|_| vec![None; p]).collect();
+    for (src, row) in blocks.into_iter().enumerate() {
+        for (dst, block) in row.into_iter().enumerate() {
+            received[dst][src] = Some(block);
+        }
+    }
+    received
+        .into_iter()
+        .map(|row| row.into_iter().map(|b| b.expect("square grid")).collect())
+        .collect()
+}
+
+/// The attention state one rank owns: its query heads, the KV heads they
+/// require (GQA), and the per-layer KV shards for those heads.
+#[derive(Debug, Clone)]
+pub struct RankKv {
+    /// Query heads owned by this rank (global head ids).
+    pub q_heads: Vec<usize>,
+    /// KV heads stored by this rank (deduplicated, sorted).
+    pub kv_heads: Vec<usize>,
+    /// Per-layer `(K, V)` shards, `[tokens, kv_heads.len()·head_dim]`.
+    pub layers: Vec<(Matrix, Matrix)>,
+}
+
+impl RankKv {
+    /// Creates the empty shard for a rank owning `q_heads` of `model`.
+    pub fn new(model: &ToyTransformer, q_heads: Vec<usize>) -> RankKv {
+        let mut kv_heads: Vec<usize> =
+            q_heads.iter().map(|&h| model.kv_head_of(h)).collect();
+        kv_heads.sort_unstable();
+        kv_heads.dedup();
+        let width = kv_heads.len() * model.head_dim;
+        let layers =
+            (0..model.num_layers).map(|_| (Matrix::zeros(0, width), Matrix::zeros(0, width))).collect();
+        RankKv { q_heads, kv_heads, layers }
+    }
+
+    /// Local column offset of global KV head `kv_head` in this shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not stored here.
+    pub fn kv_slot(&self, kv_head: usize) -> usize {
+        self.kv_heads
+            .iter()
+            .position(|&h| h == kv_head)
+            .unwrap_or_else(|| panic!("kv head {kv_head} not on this rank"))
+    }
+
+    /// Tokens cached so far.
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |(k, _)| k.rows())
+    }
+
+    /// Tokens cached in `layer` (layers earlier in the stack fill first
+    /// within one step).
+    pub fn len_at(&self, layer: usize) -> usize {
+        self.layers.get(layer).map_or(0, |(k, _)| k.rows())
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Contiguous query-head assignment: rank `r` of `p` owns heads
+/// `[r·qh/p, (r+1)·qh/p)` — the layout of pure TP and pure SP.
+///
+/// # Panics
+///
+/// Panics if `q_heads` is not divisible by `p`.
+pub fn contiguous_heads(q_heads: usize, p: usize) -> Vec<Vec<usize>> {
+    assert!(q_heads.is_multiple_of(p), "{q_heads} heads do not divide across {p} ranks");
+    let per = q_heads / p;
+    (0..p).map(|r| (r * per..(r + 1) * per).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        let parts = vec![
+            Matrix::from_fn(2, 2, |r, c| (r + c) as f32),
+            Matrix::from_fn(2, 2, |_, _| 1.0),
+        ];
+        let out = all_reduce_sum(&parts);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][(1, 1)], 3.0);
+        assert!(out[0].approx_eq(&out[1], 0.0));
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let parts = vec![Matrix::from_fn(1, 2, |_, c| c as f32), Matrix::from_fn(2, 2, |_, _| 9.0)];
+        let out = all_gather_rows(&parts);
+        assert_eq!(out[0].rows(), 3);
+        assert_eq!(out[1][(0, 1)], 1.0);
+        assert_eq!(out[0][(2, 0)], 9.0);
+    }
+
+    #[test]
+    fn all_to_all_transposes_the_grid() {
+        let tag = |s: usize, d: usize| Matrix::from_fn(1, 1, |_, _| (10 * s + d) as f32);
+        let sent = vec![vec![tag(0, 0), tag(0, 1)], vec![tag(1, 0), tag(1, 1)]];
+        let got = all_to_all(sent);
+        assert_eq!(got[1][0][(0, 0)], 1.0); // rank 1 received src 0's (0→1)
+        assert_eq!(got[0][1][(0, 0)], 10.0); // rank 0 received src 1's (1→0)
+    }
+
+    #[test]
+    fn rank_kv_dedups_gqa_heads() {
+        let model = ToyTransformer::seeded(1, 8, 4, 2, 2, 8, 1);
+        // q heads 0 and 1 share kv head 0.
+        let shard = RankKv::new(&model, vec![0, 1]);
+        assert_eq!(shard.kv_heads, vec![0]);
+        assert_eq!(shard.kv_slot(0), 0);
+        assert!(shard.is_empty());
+    }
+
+    #[test]
+    fn contiguous_assignment_partitions() {
+        let a = contiguous_heads(8, 4);
+        assert_eq!(a[0], vec![0, 1]);
+        assert_eq!(a[3], vec![6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on this rank")]
+    fn foreign_kv_head_panics() {
+        let model = ToyTransformer::seeded(1, 8, 4, 2, 2, 8, 1);
+        let shard = RankKv::new(&model, vec![0]);
+        let _ = shard.kv_slot(1);
+    }
+}

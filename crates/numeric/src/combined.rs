@@ -1,0 +1,225 @@
+//! Combined `(SP, TP)` execution — Algorithm 1 of the paper, line by
+//! line, executed numerically.
+//!
+//! Rank `r` sits at SP coordinate `s = r / TP` and TP coordinate
+//! `t = r % TP` (the paper's group construction, §3.3.2): it holds the
+//! `s`-th row slice of the sequence and the `t`-th column slice of each
+//! weight matrix. After the Ulysses all-to-all inside each SP group, rank
+//! `r` owns the *interleaved* head set `ProcessMapping::base_heads_of_rank`
+//! — which is why the shift model must shard in SP_TP order (Figure 6).
+
+use crate::collective::{all_gather_rows, all_reduce_sum, all_to_all, RankKv};
+use crate::reference::ToyTransformer;
+use crate::sp::{fused_qkv_block, split_fused};
+use crate::tensor::Matrix;
+use crate::tp::{append_kv_from_buffers, rank_attention, wo_rows_for};
+use sp_parallel::ProcessMapping;
+
+/// Combined `(SP, TP)` prefill. Returns the output embeddings and the
+/// per-global-rank KV shards (head ownership per the §3.3.1 mapping).
+///
+/// # Panics
+///
+/// Panics if the sequence, heads, or `d_ff` do not divide across the
+/// configuration.
+pub fn forward(
+    model: &ToyTransformer,
+    x: &Matrix,
+    sp: usize,
+    tp: usize,
+) -> (Matrix, Vec<RankKv>) {
+    let p = sp * tp;
+    let n = x.rows();
+    assert!(n.is_multiple_of(sp), "sequence length {n} must divide across SP={sp}");
+    assert!(model.q_heads.is_multiple_of(p), "q heads must divide across {p} ranks");
+    assert!(model.d_ff.is_multiple_of(tp), "d_ff must divide across TP={tp}");
+    let rows = n / sp;
+    let ff = model.d_ff / tp;
+    let _hd = model.head_dim;
+
+    let mapping = ProcessMapping::new(sp, tp);
+    let mut shards: Vec<RankKv> = (0..p)
+        .map(|r| {
+            let heads = mapping
+                .base_heads_of_rank(r, model.q_heads as u32)
+                .into_iter()
+                .map(|h| h as usize)
+                .collect();
+            RankKv::new(model, heads)
+        })
+        .collect();
+
+    // Rank r holds the row slice of its SP coordinate.
+    let mut h: Vec<Matrix> = (0..p)
+        .map(|r| {
+            let s = mapping.sp_rank(r);
+            x.slice_rows(s * rows, (s + 1) * rows)
+        })
+        .collect();
+
+    for (l, w) in model.layers.iter().enumerate() {
+        let past = shards[0].len_at(l);
+
+        // Lines 3–4: local QKV (TP column slice) + all-to-all within each
+        // SP group. We compute exactly the columns each destination owns —
+        // all within this rank's TP slice by construction.
+        let mut q_owned: Vec<Option<Matrix>> = (0..p).map(|_| None).collect();
+        for t in 0..tp {
+            let members: Vec<usize> = (0..sp).map(|s| s * tp + t).collect();
+            let sends: Vec<Vec<Matrix>> = members
+                .iter()
+                .map(|&src| {
+                    let q_full = h[src].matmul(&w.wq);
+                    let k_full = h[src].matmul(&w.wk);
+                    let v_full = h[src].matmul(&w.wv);
+                    members
+                        .iter()
+                        .map(|&dst| fused_qkv_block(model, &q_full, &k_full, &v_full, &shards[dst]))
+                        .collect()
+                })
+                .collect();
+            let received = all_to_all(sends);
+            for (i, &r) in members.iter().enumerate() {
+                let parts: Vec<(Matrix, Matrix, Matrix)> =
+                    received[i].iter().map(|f| split_fused(model, f, &shards[r])).collect();
+                let q = Matrix::concat_rows(
+                    &parts.iter().map(|(q, _, _)| q.clone()).collect::<Vec<_>>(),
+                );
+                let k_new = Matrix::concat_rows(
+                    &parts.iter().map(|(_, k, _)| k.clone()).collect::<Vec<_>>(),
+                );
+                let v_new = Matrix::concat_rows(
+                    &parts.iter().map(|(_, _, v)| v.clone()).collect::<Vec<_>>(),
+                );
+                append_kv_from_buffers(&mut shards[r], l, k_new, v_new);
+                q_owned[r] = Some(q);
+            }
+        }
+
+        // Line 5: attention on owned (interleaved) heads.
+        let attn: Vec<Matrix> = (0..p)
+            .map(|r| {
+                rank_attention(
+                    model,
+                    q_owned[r].as_ref().expect("assembled"),
+                    &shards[r],
+                    l,
+                    past,
+                )
+            })
+            .collect();
+
+        // Line 6: all-to-all back within each SP group.
+        let mut attn_rows: Vec<Option<Matrix>> = (0..p).map(|_| None).collect();
+        let mut wire_orders: Vec<Vec<usize>> = vec![Vec::new(); tp];
+        for (t, wire_order) in wire_orders.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..sp).map(|s| s * tp + t).collect();
+            *wire_order = members
+                .iter()
+                .flat_map(|&r| shards[r].q_heads.iter().copied())
+                .collect();
+            let sends: Vec<Vec<Matrix>> = members
+                .iter()
+                .map(|&src| {
+                    (0..sp).map(|dst| attn[src].slice_rows(dst * rows, (dst + 1) * rows)).collect()
+                })
+                .collect();
+            let received = all_to_all(sends);
+            for (i, &r) in members.iter().enumerate() {
+                attn_rows[r] = Some(Matrix::concat_cols(&received[i]));
+            }
+        }
+
+        // Lines 7–8: partial O projection + all-reduce within TP groups.
+        let partials: Vec<Matrix> = (0..p)
+            .map(|r| {
+                let t = mapping.tp_rank(r);
+                let wo = wo_rows_for(model, &w.wo, &wire_orders[t]);
+                attn_rows[r].as_ref().expect("assembled").matmul(&wo)
+            })
+            .collect();
+        for s in 0..sp {
+            let members: Vec<usize> = (0..tp).map(|t| s * tp + t).collect();
+            let group: Vec<Matrix> = members.iter().map(|&r| partials[r].clone()).collect();
+            let reduced = all_reduce_sum(&group);
+            for (i, &r) in members.iter().enumerate() {
+                h[r] = h[r].add(&reduced[i]);
+            }
+        }
+
+        // Lines 9–11: TP-sharded MLP + all-reduce within TP groups.
+        let partials: Vec<Matrix> = (0..p)
+            .map(|r| {
+                let t = mapping.tp_rank(r);
+                let up = h[r].matmul(&w.w1.slice_cols(t * ff, (t + 1) * ff)).map(f32::tanh);
+                up.matmul(&w.w2.slice_rows(t * ff, (t + 1) * ff))
+            })
+            .collect();
+        for s in 0..sp {
+            let members: Vec<usize> = (0..tp).map(|t| s * tp + t).collect();
+            let group: Vec<Matrix> = members.iter().map(|&r| partials[r].clone()).collect();
+            let reduced = all_reduce_sum(&group);
+            for (i, &r) in members.iter().enumerate() {
+                h[r] = h[r].add(&reduced[i]);
+            }
+        }
+    }
+
+    // Line 13: all-gather across the SP dimension (t = 0 members).
+    let slices: Vec<Matrix> = (0..sp).map(|s| h[s * tp].clone()).collect();
+    let y = all_gather_rows(&slices).swap_remove(0);
+    (y, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ToyTransformer {
+        ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7)
+    }
+
+    #[test]
+    fn combined_matches_serial_for_every_factorization() {
+        let m = model();
+        let x = Matrix::random(8, 16, 31);
+        let (serial, _) = m.forward(&x);
+        for (sp, tp) in [(1, 1), (1, 2), (2, 1), (2, 2), (4, 1), (1, 4)] {
+            let (parallel, _) = forward(&m, &x, sp, tp);
+            assert!(
+                parallel.approx_eq(&serial, 1e-4),
+                "(SP={sp},TP={tp}) diff {}",
+                parallel.max_abs_diff(&serial)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_base_interleaves_head_ownership() {
+        // (SP=2, TP=2) on 4 heads: ownership [0], [2], [1], [3] — the
+        // Figure 6 interleaving.
+        let m = model();
+        let (_, shards) = forward(&m, &Matrix::random(4, 16, 32), 2, 2);
+        let owned: Vec<Vec<usize>> = shards.iter().map(|s| s.q_heads.clone()).collect();
+        assert_eq!(owned, vec![vec![0], vec![2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn combined_kv_shards_match_serial_columns() {
+        let m = model();
+        let x = Matrix::random(8, 16, 33);
+        let (_, serial_cache) = m.forward(&x);
+        let (_, shards) = forward(&m, &x, 2, 2);
+        let hd = m.head_dim;
+        for shard in &shards {
+            for (l, (k, v)) in shard.layers.iter().enumerate() {
+                for (slot, &g) in shard.kv_heads.iter().enumerate() {
+                    let k_ref = serial_cache.layers[l].0.slice_cols(g * hd, (g + 1) * hd);
+                    assert!(k.slice_cols(slot * hd, (slot + 1) * hd).approx_eq(&k_ref, 1e-4));
+                    let v_ref = serial_cache.layers[l].1.slice_cols(g * hd, (g + 1) * hd);
+                    assert!(v.slice_cols(slot * hd, (slot + 1) * hd).approx_eq(&v_ref, 1e-4));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Numerical validation of Shift Parallelism.
+//!
+//! Everything else in this workspace *times* the parallelisms; this crate
+//! *executes* them, on a small dense transformer with real `f32` weights,
+//! and proves the paper's correctness claims at the tensor level:
+//!
+//! 1. **TP correctness** — head/column-sharded execution with explicit
+//!    all-reduces equals the serial forward pass ([`tp`]).
+//! 2. **SP (Ulysses) correctness** — sequence-sharded execution with the
+//!    two all-to-alls and final all-gather of Algorithm 1 equals the
+//!    serial forward pass ([`sp`]).
+//! 3. **Combined (SP, TP)** — Algorithm 1 with both degrees equals the
+//!    serial pass for every factorization ([`combined`]).
+//! 4. **KV-cache invariance** — the per-rank KV shards produced by the
+//!    base `(SP, TP)` prefill are *bit-identical* to what the shift
+//!    configuration `(1, SP·TP)` expects, so decoding can continue in the
+//!    shift configuration on the base cache and still reproduce the serial
+//!    decode exactly ([`shift`]).
+//!
+//! The toy model is a real (if small) decoder: per layer, causal GQA
+//! attention with residual, then a 2-matrix tanh MLP with residual. No
+//! normalization — parallelism correctness is independent of it and the
+//! numbers stay well-conditioned without.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp_numeric::{reference::ToyTransformer, tensor::Matrix, tp};
+//!
+//! let model = ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7);
+//! let x = Matrix::random(6, 16, 11);
+//! let (serial, _) = model.forward(&x);
+//! let (parallel, _) = tp::forward(&model, &x, 2);
+//! assert!(serial.approx_eq(&parallel, 1e-4));
+//! ```
+
+pub mod collective;
+pub mod combined;
+pub mod moe;
+pub mod reference;
+pub mod shift;
+pub mod sp;
+pub mod tensor;
+pub mod tp;
+
+pub use reference::ToyTransformer;
+pub use tensor::Matrix;

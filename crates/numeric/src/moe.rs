@@ -1,0 +1,259 @@
+//! Numerical validation of expert parallelism (the §4.6 future-work
+//! extension modelled in `sp-parallel::expert`).
+//!
+//! A mixture-of-experts layer with deterministic top-1 routing, executed
+//! three ways:
+//!
+//! * serially;
+//! * **EP with replicated activations** (TP-style): each rank holds a
+//!   shard of the experts, computes the tokens routed to them, and an
+//!   all-reduce combines the disjoint partial outputs;
+//! * **SP × EP**: activations row-sharded, tokens *dispatched* to their
+//!   expert's owner with an all-to-all, processed, and *combined* with the
+//!   inverse all-to-all — the DeepSpeed-MoE / Switch dataflow.
+//!
+//! All three must agree exactly.
+
+use crate::collective::{all_reduce_sum, all_to_all};
+use crate::tensor::Matrix;
+
+/// A top-1-routed MoE layer: router `[d, E]` and per-expert MLPs
+/// (`w1 [d, ff]`, `w2 [ff, d]`).
+#[derive(Debug, Clone)]
+pub struct MoeLayer {
+    /// Router logits projection.
+    pub router: Matrix,
+    /// Per-expert up projections.
+    pub w1: Vec<Matrix>,
+    /// Per-expert down projections.
+    pub w2: Vec<Matrix>,
+}
+
+impl MoeLayer {
+    /// Builds a deterministic random layer with `experts` experts.
+    pub fn seeded(d: usize, ff: usize, experts: usize, seed: u64) -> MoeLayer {
+        MoeLayer {
+            router: Matrix::random(d, experts, seed),
+            w1: (0..experts).map(|e| Matrix::random(d, ff, seed + 10 + e as u64)).collect(),
+            w2: (0..experts).map(|e| Matrix::random(ff, d, seed + 100 + e as u64)).collect(),
+        }
+    }
+
+    /// Number of experts.
+    pub fn experts(&self) -> usize {
+        self.w1.len()
+    }
+
+    /// Deterministic top-1 routing of each row of `x`.
+    pub fn route(&self, x: &Matrix) -> Vec<usize> {
+        let logits = x.matmul(&self.router);
+        (0..x.rows())
+            .map(|r| {
+                (0..logits.cols())
+                    .max_by(|&a, &b| {
+                        logits[(r, a)].partial_cmp(&logits[(r, b)]).expect("finite logits")
+                    })
+                    .expect("at least one expert")
+            })
+            .collect()
+    }
+
+    /// Serial reference: each row goes through its routed expert.
+    pub fn forward_serial(&self, x: &Matrix) -> Matrix {
+        let routes = self.route(x);
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for (r, &e) in routes.iter().enumerate() {
+            let row = x.slice_rows(r, r + 1);
+            let y = row.matmul(&self.w1[e]).map(f32::tanh).matmul(&self.w2[e]);
+            for c in 0..x.cols() {
+                out[(r, c)] = y[(0, c)];
+            }
+        }
+        out
+    }
+
+    /// EP with replicated activations across `p` ranks: rank `r` owns
+    /// experts `[r·E/p, (r+1)·E/p)`, computes only the rows routed to
+    /// them (zeros elsewhere), and an all-reduce sums the disjoint
+    /// partials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experts do not divide across `p`.
+    pub fn forward_ep_replicated(&self, x: &Matrix, p: usize) -> Matrix {
+        let experts = self.experts();
+        assert!(experts.is_multiple_of(p), "{experts} experts do not divide across {p} ranks");
+        let per = experts / p;
+        let routes = self.route(x); // every rank computes the same routing
+        let partials: Vec<Matrix> = (0..p)
+            .map(|rank| {
+                let mut out = Matrix::zeros(x.rows(), x.cols());
+                for (r, &e) in routes.iter().enumerate() {
+                    if e / per != rank {
+                        continue;
+                    }
+                    let row = x.slice_rows(r, r + 1);
+                    let y = row.matmul(&self.w1[e]).map(f32::tanh).matmul(&self.w2[e]);
+                    for c in 0..x.cols() {
+                        out[(r, c)] = y[(0, c)];
+                    }
+                }
+                out
+            })
+            .collect();
+        all_reduce_sum(&partials).swap_remove(0)
+    }
+
+    /// SP × EP: activations row-sharded across `p` ranks; tokens are
+    /// dispatched to their expert's owner with an all-to-all, processed
+    /// there, and combined with the inverse all-to-all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows or experts do not divide across `p`.
+    pub fn forward_sp_ep(&self, x: &Matrix, p: usize) -> Matrix {
+        let n = x.rows();
+        let experts = self.experts();
+        assert!(n.is_multiple_of(p), "{n} rows do not divide across {p} ranks");
+        assert!(experts.is_multiple_of(p), "{experts} experts do not divide across {p} ranks");
+        let rows = n / p;
+        let per = experts / p;
+
+        // Each rank routes its local rows and builds per-destination
+        // dispatch buffers (plus the index bookkeeping to un-permute).
+        let mut send_rows: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); p]; p]; // [src][dst] -> local row ids
+        let mut sends: Vec<Vec<Matrix>> = Vec::with_capacity(p);
+        let mut local_routes: Vec<Vec<usize>> = Vec::with_capacity(p);
+        for (src, row_map) in send_rows.iter_mut().enumerate() {
+            let x_local = x.slice_rows(src * rows, (src + 1) * rows);
+            let routes = self.route(&x_local);
+            let mut blocks = Vec::with_capacity(p);
+            for (dst, slot) in row_map.iter_mut().enumerate() {
+                let picked: Vec<usize> =
+                    (0..rows).filter(|&r| routes[r] / per == dst).collect();
+                let block = if picked.is_empty() {
+                    Matrix::zeros(0, x.cols())
+                } else {
+                    Matrix::concat_rows(
+                        &picked.iter().map(|&r| x_local.slice_rows(r, r + 1)).collect::<Vec<_>>(),
+                    )
+                };
+                *slot = picked;
+                blocks.push(block);
+            }
+            sends.push(blocks);
+            local_routes.push(routes);
+        }
+        let dispatched = all_to_all(sends);
+
+        // Each owner processes the received rows with its experts and
+        // sends the results straight back (the combine all-to-all).
+        let mut returns: Vec<Vec<Matrix>> = Vec::with_capacity(p);
+        for (owner, received) in dispatched.iter().enumerate() {
+            let mut blocks = Vec::with_capacity(p);
+            for (src, block) in received.iter().enumerate() {
+                if block.rows() == 0 {
+                    blocks.push(Matrix::zeros(0, x.cols()));
+                    continue;
+                }
+                let outs: Vec<Matrix> = send_rows[src][owner]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &local_row)| {
+                        let e = local_routes[src][local_row];
+                        debug_assert_eq!(e / per, owner, "dispatch sent to wrong owner");
+                        block
+                            .slice_rows(i, i + 1)
+                            .matmul(&self.w1[e])
+                            .map(f32::tanh)
+                            .matmul(&self.w2[e])
+                    })
+                    .collect();
+                blocks.push(Matrix::concat_rows(&outs));
+            }
+            returns.push(blocks);
+        }
+        let combined = all_to_all(returns);
+
+        // Each rank un-permutes its rows back into sequence order.
+        let slices: Vec<Matrix> = (0..p)
+            .map(|src| {
+                let mut out = Matrix::zeros(rows, x.cols());
+                for (owner, block) in combined[src].iter().enumerate() {
+                    for (i, &local_row) in send_rows[src][owner].iter().enumerate() {
+                        for c in 0..x.cols() {
+                            out[(local_row, c)] = block[(i, c)];
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        Matrix::concat_rows(&slices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> MoeLayer {
+        MoeLayer::seeded(16, 32, 8, 5)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_uses_multiple_experts() {
+        let l = layer();
+        let x = Matrix::random(32, 16, 9);
+        let a = l.route(&x);
+        let b = l.route(&x);
+        assert_eq!(a, b);
+        let distinct: std::collections::BTreeSet<usize> = a.iter().copied().collect();
+        assert!(distinct.len() >= 3, "routing collapsed to {distinct:?}");
+    }
+
+    #[test]
+    fn ep_replicated_matches_serial() {
+        let l = layer();
+        let x = Matrix::random(16, 16, 10);
+        let serial = l.forward_serial(&x);
+        for p in [1, 2, 4, 8] {
+            let ep = l.forward_ep_replicated(&x, p);
+            assert!(ep.approx_eq(&serial, 1e-5), "EP={p} diff {}", ep.max_abs_diff(&serial));
+        }
+    }
+
+    #[test]
+    fn sp_ep_dispatch_matches_serial() {
+        let l = layer();
+        let x = Matrix::random(16, 16, 11);
+        let serial = l.forward_serial(&x);
+        for p in [1, 2, 4] {
+            let spep = l.forward_sp_ep(&x, p);
+            assert!(
+                spep.approx_eq(&serial, 1e-5),
+                "SPxEP={p} diff {}",
+                spep.max_abs_diff(&serial)
+            );
+        }
+    }
+
+    #[test]
+    fn imbalanced_routing_still_exact() {
+        // A router that sends almost everything to expert 0 (hot expert):
+        // the dispatch path must handle empty and overfull blocks.
+        let mut l = layer();
+        l.router = Matrix::from_fn(16, 8, |_, c| if c == 0 { 1.0 } else { 0.0 });
+        let x = Matrix::random(8, 16, 12).map(f32::abs); // positive rows → all route to 0
+        let serial = l.forward_serial(&x);
+        let spep = l.forward_sp_ep(&x, 4);
+        assert!(spep.approx_eq(&serial, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_experts_rejected() {
+        let l = layer();
+        let _ = l.forward_ep_replicated(&Matrix::random(4, 16, 13), 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! The serial reference transformer.
+//!
+//! A small decoder-only transformer with causal GQA attention: the ground
+//! truth every parallel execution in this crate is checked against.
+
+use crate::tensor::Matrix;
+
+/// Weights of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection `[d, q_heads·head_dim]`.
+    pub wq: Matrix,
+    /// Key projection `[d, kv_heads·head_dim]`.
+    pub wk: Matrix,
+    /// Value projection `[d, kv_heads·head_dim]`.
+    pub wv: Matrix,
+    /// Attention output projection `[q_heads·head_dim, d]`.
+    pub wo: Matrix,
+    /// MLP up projection `[d, d_ff]`.
+    pub w1: Matrix,
+    /// MLP down projection `[d_ff, d]`.
+    pub w2: Matrix,
+}
+
+/// The KV cache: per layer, the keys and values of every processed token
+/// (`[tokens, kv_heads·head_dim]` each).
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    /// One `(K, V)` pair per layer.
+    pub layers: Vec<(Matrix, Matrix)>,
+}
+
+impl KvCache {
+    /// Tokens currently cached (0 for a fresh cache).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |(k, _)| k.rows())
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A runnable toy transformer.
+#[derive(Debug, Clone)]
+pub struct ToyTransformer {
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Hidden size `d`.
+    pub d: usize,
+    /// Query heads.
+    pub q_heads: usize,
+    /// KV heads (GQA when fewer than `q_heads`).
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// MLP intermediate size.
+    pub d_ff: usize,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl ToyTransformer {
+    /// Builds a deterministic random model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_heads` is not a multiple of `kv_heads`.
+    pub fn seeded(
+        num_layers: usize,
+        d: usize,
+        q_heads: usize,
+        kv_heads: usize,
+        head_dim: usize,
+        d_ff: usize,
+        seed: u64,
+    ) -> ToyTransformer {
+        assert!(q_heads.is_multiple_of(kv_heads), "GQA requires q_heads % kv_heads == 0");
+        let layers = (0..num_layers)
+            .map(|l| {
+                let s = seed.wrapping_mul(1000).wrapping_add(l as u64 * 10);
+                LayerWeights {
+                    wq: Matrix::random(d, q_heads * head_dim, s),
+                    wk: Matrix::random(d, kv_heads * head_dim, s + 1),
+                    wv: Matrix::random(d, kv_heads * head_dim, s + 2),
+                    wo: Matrix::random(q_heads * head_dim, d, s + 3),
+                    w1: Matrix::random(d, d_ff, s + 4),
+                    w2: Matrix::random(d_ff, d, s + 5),
+                }
+            })
+            .collect();
+        ToyTransformer { num_layers, d, q_heads, kv_heads, head_dim, d_ff, layers }
+    }
+
+    /// Queries per KV head.
+    pub fn gqa_group(&self) -> usize {
+        self.q_heads / self.kv_heads
+    }
+
+    /// The KV head serving query head `h`.
+    pub fn kv_head_of(&self, q_head: usize) -> usize {
+        q_head / self.gqa_group()
+    }
+
+    /// Causal GQA attention of `q` `[m, qh·hd]` against the full `k`/`v`
+    /// `[past+m, kvh·hd]`, where the `m` query rows sit at positions
+    /// `past..past+m`.
+    pub fn attention(&self, q: &Matrix, k: &Matrix, v: &Matrix, past: usize) -> Matrix {
+        let hd = self.head_dim;
+        let m = q.rows();
+        let limits: Vec<usize> = (0..m).map(|r| past + r + 1).collect();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let heads: Vec<Matrix> = (0..self.q_heads)
+            .map(|h| {
+                let qh = q.slice_cols(h * hd, (h + 1) * hd);
+                let g = self.kv_head_of(h);
+                let kh = k.slice_cols(g * hd, (g + 1) * hd);
+                let vh = v.slice_cols(g * hd, (g + 1) * hd);
+                let scores = qh.matmul(&kh.transpose()).map(|x| x * scale);
+                scores.masked_softmax_rows(&limits).matmul(&vh)
+            })
+            .collect();
+        Matrix::concat_cols(&heads)
+    }
+
+    /// Processes `x` (`[m, d]`, the embeddings of the next `m` tokens)
+    /// against `cache`, appending their KV entries and returning the
+    /// output embeddings. Prefill is `advance` from an empty cache; decode
+    /// is `advance` with one row.
+    pub fn advance(&self, x: &Matrix, cache: &mut KvCache) -> Matrix {
+        if cache.layers.is_empty() {
+            cache.layers = (0..self.num_layers)
+                .map(|_| {
+                    (
+                        Matrix::zeros(0, self.kv_heads * self.head_dim),
+                        Matrix::zeros(0, self.kv_heads * self.head_dim),
+                    )
+                })
+                .collect();
+        }
+        let mut h = x.clone();
+        for (l, w) in self.layers.iter().enumerate() {
+            let past = cache.layers[l].0.rows();
+            let q = h.matmul(&w.wq);
+            let k_new = h.matmul(&w.wk);
+            let v_new = h.matmul(&w.wv);
+            let (k_cache, v_cache) = &mut cache.layers[l];
+            *k_cache = Matrix::concat_rows(&[k_cache.clone(), k_new]);
+            *v_cache = Matrix::concat_rows(&[v_cache.clone(), v_new]);
+            let attn = self.attention(&q, k_cache, v_cache, past);
+            h = h.add(&attn.matmul(&w.wo));
+            let mlp = h.matmul(&w.w1).map(f32::tanh).matmul(&w.w2);
+            h = h.add(&mlp);
+        }
+        h
+    }
+
+    /// Full prefill of `x`, returning output embeddings and the cache.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, KvCache) {
+        let mut cache = KvCache::default();
+        let y = self.advance(x, &mut cache);
+        (y, cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ToyTransformer {
+        ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = model();
+        let x = Matrix::random(6, 16, 1);
+        let (y, cache) = m.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (6, 16));
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.layers.len(), 2);
+        assert_eq!(cache.layers[0].0.cols(), 2 * 4);
+    }
+
+    #[test]
+    fn chunked_prefill_equals_whole() {
+        // Processing [x1; x2] in two advances equals one shot — the
+        // foundation of chunked prefill.
+        let m = model();
+        let x = Matrix::random(6, 16, 2);
+        let (whole, whole_cache) = m.forward(&x);
+
+        let mut cache = KvCache::default();
+        let y1 = m.advance(&x.slice_rows(0, 2), &mut cache);
+        let y2 = m.advance(&x.slice_rows(2, 6), &mut cache);
+        let chunked = Matrix::concat_rows(&[y1, y2]);
+
+        assert!(chunked.approx_eq(&whole, 1e-5), "diff {}", chunked.max_abs_diff(&whole));
+        for (a, b) in cache.layers.iter().zip(&whole_cache.layers) {
+            assert!(a.0.approx_eq(&b.0, 1e-5));
+            assert!(a.1.approx_eq(&b.1, 1e-5));
+        }
+    }
+
+    #[test]
+    fn causality_later_tokens_do_not_affect_earlier_outputs() {
+        let m = model();
+        let x6 = Matrix::random(6, 16, 3);
+        let x4 = x6.slice_rows(0, 4);
+        let (y6, _) = m.forward(&x6);
+        let (y4, _) = m.forward(&x4);
+        assert!(y6.slice_rows(0, 4).approx_eq(&y4, 1e-5));
+    }
+
+    #[test]
+    fn decode_extends_cache_one_token_at_a_time() {
+        let m = model();
+        let x = Matrix::random(3, 16, 4);
+        let (_, mut cache) = m.forward(&x);
+        let tok = Matrix::random(1, 16, 5);
+        let y = m.advance(&tok, &mut cache);
+        assert_eq!(y.rows(), 1);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn gqa_mapping() {
+        let m = model(); // 4 q heads, 2 kv heads
+        assert_eq!(m.gqa_group(), 2);
+        assert_eq!(m.kv_head_of(0), 0);
+        assert_eq!(m.kv_head_of(1), 0);
+        assert_eq!(m.kv_head_of(2), 1);
+        assert_eq!(m.kv_head_of(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "GQA")]
+    fn misaligned_gqa_rejected() {
+        let _ = ToyTransformer::seeded(1, 8, 3, 2, 4, 8, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Ulysses sequence-parallel execution of the toy transformer.
+//!
+//! Figure 3b / Algorithm 1 with `TP = 1`, executed numerically: the input
+//! sequence is row-sharded; a fused all-to-all switches to head
+//! parallelism for attention (replicating KV heads in the send buffers
+//! when GQA requires, §3.2.1); a second all-to-all switches back; MLP runs
+//! on local rows with full weights; a final all-gather recombines.
+
+use crate::collective::{all_gather_rows, all_to_all, contiguous_heads, RankKv};
+use crate::reference::ToyTransformer;
+use crate::tensor::Matrix;
+use crate::tp::{append_kv_from_buffers, rank_attention, wo_rows_for};
+
+/// The per-destination fused QKV send buffer: the destination's Q-head
+/// columns, then its KV-head K columns, then its KV-head V columns.
+pub(crate) fn fused_qkv_block(
+    model: &ToyTransformer,
+    q_full: &Matrix,
+    k_full: &Matrix,
+    v_full: &Matrix,
+    dst: &RankKv,
+) -> Matrix {
+    let hd = model.head_dim;
+    let mut parts: Vec<Matrix> = dst
+        .q_heads
+        .iter()
+        .map(|&h| q_full.slice_cols(h * hd, (h + 1) * hd))
+        .collect();
+    for &g in &dst.kv_heads {
+        parts.push(k_full.slice_cols(g * hd, (g + 1) * hd));
+    }
+    for &g in &dst.kv_heads {
+        parts.push(v_full.slice_cols(g * hd, (g + 1) * hd));
+    }
+    Matrix::concat_cols(&parts)
+}
+
+/// Splits a received fused buffer back into `(q, k, v)` for `dst`.
+pub(crate) fn split_fused(
+    model: &ToyTransformer,
+    fused: &Matrix,
+    dst: &RankKv,
+) -> (Matrix, Matrix, Matrix) {
+    let hd = model.head_dim;
+    let qw = dst.q_heads.len() * hd;
+    let kw = dst.kv_heads.len() * hd;
+    (
+        fused.slice_cols(0, qw),
+        fused.slice_cols(qw, qw + kw),
+        fused.slice_cols(qw + kw, qw + 2 * kw),
+    )
+}
+
+/// Sequence-parallel prefill of `x` across `p` ranks with the standard
+/// contiguous head layout. Returns the output embeddings and the per-rank
+/// KV shards — which are *the same shards TP would produce* (the KV-cache
+/// invariance the shift policy relies on).
+///
+/// # Panics
+///
+/// Panics if the sequence length or head count does not divide by `p`.
+pub fn forward(model: &ToyTransformer, x: &Matrix, p: usize) -> (Matrix, Vec<RankKv>) {
+    let n = x.rows();
+    assert!(n.is_multiple_of(p), "sequence length {n} must divide across {p} ranks");
+    let rows = n / p;
+    let mut shards: Vec<RankKv> = contiguous_heads(model.q_heads, p)
+        .into_iter()
+        .map(|heads| RankKv::new(model, heads))
+        .collect();
+    // Head order across the wire: rank-major (identical to global order
+    // for the contiguous layout).
+    let wire_order: Vec<usize> =
+        shards.iter().flat_map(|s| s.q_heads.iter().copied()).collect();
+
+    let mut h: Vec<Matrix> =
+        (0..p).map(|r| x.slice_rows(r * rows, (r + 1) * rows)).collect();
+
+    for (l, w) in model.layers.iter().enumerate() {
+        let past = shards[0].len_at(l);
+
+        // Line 3: local QKV on the row shard with full weights.
+        let q_full: Vec<Matrix> = h.iter().map(|hr| hr.matmul(&w.wq)).collect();
+        let k_full: Vec<Matrix> = h.iter().map(|hr| hr.matmul(&w.wk)).collect();
+        let v_full: Vec<Matrix> = h.iter().map(|hr| hr.matmul(&w.wv)).collect();
+
+        // Line 4: fused all-to-all to head parallelism.
+        let sends: Vec<Vec<Matrix>> = (0..p)
+            .map(|src| {
+                (0..p)
+                    .map(|dst| {
+                        fused_qkv_block(model, &q_full[src], &k_full[src], &v_full[src], &shards[dst])
+                    })
+                    .collect()
+            })
+            .collect();
+        let received = all_to_all(sends);
+
+        // Line 5: attention on owned heads over the full sequence.
+        let mut attn_per_rank = Vec::with_capacity(p);
+        for (r, shard) in shards.iter_mut().enumerate() {
+            let parts: Vec<(Matrix, Matrix, Matrix)> =
+                received[r].iter().map(|f| split_fused(model, f, shard)).collect();
+            let q = Matrix::concat_rows(&parts.iter().map(|(q, _, _)| q.clone()).collect::<Vec<_>>());
+            let k_new =
+                Matrix::concat_rows(&parts.iter().map(|(_, k, _)| k.clone()).collect::<Vec<_>>());
+            let v_new =
+                Matrix::concat_rows(&parts.iter().map(|(_, _, v)| v.clone()).collect::<Vec<_>>());
+            append_kv_from_buffers(shard, l, k_new, v_new);
+            attn_per_rank.push(rank_attention(model, &q, shard, l, past));
+        }
+
+        // Line 6: all-to-all back to sequence parallelism.
+        let sends: Vec<Vec<Matrix>> = attn_per_rank
+            .iter()
+            .map(|attn| (0..p).map(|dst| attn.slice_rows(dst * rows, (dst + 1) * rows)).collect())
+            .collect();
+        let received = all_to_all(sends);
+
+        // Line 7 + residual: output projection on local rows, with wo rows
+        // gathered in wire order.
+        let wo = wo_rows_for(model, &w.wo, &wire_order);
+        for (r, h_r) in h.iter_mut().enumerate() {
+            let attn_rows = Matrix::concat_cols(&received[r]);
+            *h_r = h_r.add(&attn_rows.matmul(&wo));
+            // Lines 9–10 + residual: MLP on local rows, full weights.
+            let mlp = h_r.matmul(&w.w1).map(f32::tanh).matmul(&w.w2);
+            *h_r = h_r.add(&mlp);
+        }
+    }
+
+    // Line 13: final all-gather.
+    let y = all_gather_rows(&h).swap_remove(0);
+    (y, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ToyTransformer {
+        ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7)
+    }
+
+    #[test]
+    fn sp_matches_serial_for_all_degrees() {
+        let m = model();
+        let x = Matrix::random(8, 16, 21);
+        let (serial, _) = m.forward(&x);
+        for p in [1, 2, 4] {
+            let (parallel, _) = forward(&m, &x, p);
+            assert!(
+                parallel.approx_eq(&serial, 1e-4),
+                "SP={p} diff {}",
+                parallel.max_abs_diff(&serial)
+            );
+        }
+    }
+
+    #[test]
+    fn sp_and_tp_produce_identical_kv_shards() {
+        // THE invariance property (§3.1): same ranks, same heads, same KV
+        // bytes — switching costs nothing.
+        let m = model();
+        let x = Matrix::random(8, 16, 22);
+        let (_, sp_shards) = forward(&m, &x, 4);
+        let (_, tp_shards) = crate::tp::forward(&m, &x, 4);
+        for (s, t) in sp_shards.iter().zip(&tp_shards) {
+            assert_eq!(s.q_heads, t.q_heads);
+            assert_eq!(s.kv_heads, t.kv_heads);
+            for ((ks, vs), (kt, vt)) in s.layers.iter().zip(&t.layers) {
+                assert!(ks.approx_eq(kt, 1e-4), "K diff {}", ks.max_abs_diff(kt));
+                assert!(vs.approx_eq(vt, 1e-4), "V diff {}", vs.max_abs_diff(vt));
+            }
+        }
+    }
+
+    #[test]
+    fn sp_replicates_kv_heads_when_needed() {
+        // 4 ranks, 2 KV heads: the fused all-to-all replicates each KV
+        // head into two ranks' receive buffers (§3.2.1).
+        let m = model();
+        let (_, shards) = forward(&m, &Matrix::random(4, 16, 23), 4);
+        let copies = shards.iter().filter(|s| s.kv_heads.contains(&0)).count();
+        assert_eq!(copies, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_sequence_rejected() {
+        let m = model();
+        let _ = forward(&m, &Matrix::random(5, 16, 24), 4);
+    }
+}

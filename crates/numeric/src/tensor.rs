@@ -1,0 +1,315 @@
+//! Minimal row-major `f32` matrices — just enough linear algebra for the
+//! toy transformer. Deliberately simple and obviously correct; this crate
+//! validates *parallelization*, not kernels.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix filled by `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A deterministic pseudo-random matrix with entries in ±0.5, scaled
+    /// by `1/sqrt(cols)` for stable magnitudes through deep stacks.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (cols as f32).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| (rng.gen_range(-0.5..0.5)) * scale)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul {}x{} × {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Rows `start..end` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice out of range");
+        Matrix::from_fn(end - start, self.cols, |r, c| self[(start + r, c)])
+    }
+
+    /// Columns `start..end` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "col slice out of range");
+        Matrix::from_fn(self.rows, end - start, |r, c| self[(r, start + c)])
+    }
+
+    /// Stacks matrices vertically (same column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree on columns or are empty.
+    pub fn concat_rows(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut at = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "column mismatch in concat_rows");
+            for r in 0..p.rows {
+                for c in 0..cols {
+                    out[(at + r, c)] = p[(r, c)];
+                }
+            }
+            at += p.rows;
+        }
+        out
+    }
+
+    /// Stacks matrices horizontally (same row count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree on rows or are empty.
+    pub fn concat_cols(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "nothing to concatenate");
+        let rows = parts[0].rows;
+        let cols = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut at = 0;
+        for p in parts {
+            assert_eq!(p.rows, rows, "row mismatch in concat_cols");
+            for r in 0..rows {
+                for c in 0..p.cols {
+                    out[(r, at + c)] = p[(r, c)];
+                }
+            }
+            at += p.cols;
+        }
+        out
+    }
+
+    /// Row-wise softmax over the first `limit[r]` entries of each row;
+    /// entries at or beyond the limit get probability 0 (the causal mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limits.len() != rows` or any limit is 0 or out of range.
+    pub fn masked_softmax_rows(&self, limits: &[usize]) -> Matrix {
+        assert_eq!(limits.len(), self.rows, "one limit per row");
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            let limit = limits[r];
+            assert!(limit > 0 && limit <= self.cols, "bad causal limit");
+            if c >= limit {
+                return 0.0;
+            }
+            let max = (0..limit).map(|j| self[(r, j)]).fold(f32::MIN, f32::max);
+            let denom: f32 = (0..limit).map(|j| (self[(r, j)] - max).exp()).sum();
+            (self[(r, c)] - max).exp() / denom
+        })
+    }
+
+    /// True if every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Largest absolute element difference (infinity when shapes differ).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        if self.rows != other.rows || self.cols != other.cols {
+            return f32::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32); // [[0,1,2],[3,4,5]]
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32); // [[0,1],[2,3],[4,5]]
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 10.0);
+        assert_eq!(c[(0, 1)], 13.0);
+        assert_eq!(c[(1, 0)], 28.0);
+        assert_eq!(c[(1, 1)], 40.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::random(3, 5, 1);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn slices_and_concat_roundtrip() {
+        let a = Matrix::random(4, 6, 2);
+        let left = a.slice_cols(0, 2);
+        let right = a.slice_cols(2, 6);
+        assert!(Matrix::concat_cols(&[left, right]).approx_eq(&a, 0.0));
+        let top = a.slice_rows(0, 1);
+        let bottom = a.slice_rows(1, 4);
+        assert!(Matrix::concat_rows(&[top, bottom]).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn masked_softmax_rows_sum_to_one_within_mask() {
+        let a = Matrix::random(3, 4, 3);
+        let sm = a.masked_softmax_rows(&[1, 2, 4]);
+        for (r, &limit) in [1usize, 2, 4].iter().enumerate() {
+            let sum: f32 = (0..4).map(|c| sm[(r, c)]).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            for c in limit..4 {
+                assert_eq!(sm[(r, c)], 0.0, "masked entry leaked");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn mismatched_matmul_panics() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_column_split(
+            seed in 0u64..1000, rows in 1usize..5, inner in 1usize..5, cols in 2usize..6,
+        ) {
+            // A×[B1|B2] == [A×B1 | A×B2] — the identity column sharding
+            // (tensor parallelism) relies on.
+            let a = Matrix::random(rows, inner, seed);
+            let b = Matrix::random(inner, cols, seed + 1);
+            let split = cols / 2;
+            let whole = a.matmul(&b);
+            let left = a.matmul(&b.slice_cols(0, split));
+            let right = a.matmul(&b.slice_cols(split, cols));
+            prop_assert!(Matrix::concat_cols(&[left, right]).approx_eq(&whole, 1e-6));
+        }
+
+        #[test]
+        fn matmul_partial_sums_over_row_split(
+            seed in 0u64..1000, rows in 1usize..5, inner in 2usize..6, cols in 1usize..5,
+        ) {
+            // [A1|A2]×[B1;B2] == A1×B1 + A2×B2 — the identity row sharding
+            // (the all-reduce in TP) relies on.
+            let a = Matrix::random(rows, inner, seed);
+            let b = Matrix::random(inner, cols, seed + 1);
+            let split = inner / 2;
+            let whole = a.matmul(&b);
+            let p1 = a.slice_cols(0, split).matmul(&b.slice_rows(0, split));
+            let p2 = a.slice_cols(split, inner).matmul(&b.slice_rows(split, inner));
+            prop_assert!(p1.add(&p2).approx_eq(&whole, 1e-5));
+        }
+
+        #[test]
+        fn row_split_matmul_is_row_slice(
+            seed in 0u64..1000, rows in 2usize..6, inner in 1usize..5, cols in 1usize..5,
+        ) {
+            // [X1;X2]×W == [X1×W; X2×W] — the identity sequence
+            // parallelism relies on.
+            let x = Matrix::random(rows, inner, seed);
+            let w = Matrix::random(inner, cols, seed + 1);
+            let split = rows / 2;
+            let whole = x.matmul(&w);
+            let top = x.slice_rows(0, split).matmul(&w);
+            let bottom = x.slice_rows(split, rows).matmul(&w);
+            prop_assert!(Matrix::concat_rows(&[top, bottom]).approx_eq(&whole, 1e-6));
+        }
+    }
+}

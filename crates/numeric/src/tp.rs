@@ -1,0 +1,230 @@
+//! Tensor-parallel execution of the toy transformer.
+//!
+//! Head-parallel attention (column-sharded QKV, row-sharded O) and
+//! column/row-sharded MLP, with an explicit all-reduce after each block —
+//! Figure 3a of the paper, executed numerically.
+
+use crate::collective::{all_reduce_sum, contiguous_heads, RankKv};
+use crate::reference::ToyTransformer;
+use crate::tensor::Matrix;
+
+/// Gathers the `wo` rows for a rank's q heads, in the rank's head order.
+pub(crate) fn wo_rows_for(model: &ToyTransformer, wo: &Matrix, q_heads: &[usize]) -> Matrix {
+    let hd = model.head_dim;
+    let parts: Vec<Matrix> =
+        q_heads.iter().map(|&h| wo.slice_rows(h * hd, (h + 1) * hd)).collect();
+    Matrix::concat_rows(&parts)
+}
+
+/// Computes one rank's attention over its owned heads.
+///
+/// `q` has the rank's heads as column blocks in `shard.q_heads` order;
+/// `shard` holds the full-sequence K/V for the needed KV heads.
+pub(crate) fn rank_attention(
+    model: &ToyTransformer,
+    q: &Matrix,
+    shard: &RankKv,
+    layer: usize,
+    past: usize,
+) -> Matrix {
+    let hd = model.head_dim;
+    let m = q.rows();
+    let limits: Vec<usize> = (0..m).map(|r| past + r + 1).collect();
+    let scale = 1.0 / (hd as f32).sqrt();
+    let (k, v) = &shard.layers[layer];
+    let heads: Vec<Matrix> = shard
+        .q_heads
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            let qh = q.slice_cols(i * hd, (i + 1) * hd);
+            let slot = shard.kv_slot(model.kv_head_of(h));
+            let kh = k.slice_cols(slot * hd, (slot + 1) * hd);
+            let vh = v.slice_cols(slot * hd, (slot + 1) * hd);
+            let scores = qh.matmul(&kh.transpose()).map(|x| x * scale);
+            scores.masked_softmax_rows(&limits).matmul(&vh)
+        })
+        .collect();
+    Matrix::concat_cols(&heads)
+}
+
+/// Appends this step's K/V (for the shard's KV heads) to the shard.
+pub(crate) fn append_kv(
+    model: &ToyTransformer,
+    shard: &mut RankKv,
+    layer: usize,
+    h_in: &Matrix,
+    wk: &Matrix,
+    wv: &Matrix,
+) {
+    let hd = model.head_dim;
+    let k_cols: Vec<Matrix> = shard
+        .kv_heads
+        .iter()
+        .map(|&g| h_in.matmul(&wk.slice_cols(g * hd, (g + 1) * hd)))
+        .collect();
+    let v_cols: Vec<Matrix> = shard
+        .kv_heads
+        .iter()
+        .map(|&g| h_in.matmul(&wv.slice_cols(g * hd, (g + 1) * hd)))
+        .collect();
+    let (k, v) = &mut shard.layers[layer];
+    *k = Matrix::concat_rows(&[k.clone(), Matrix::concat_cols(&k_cols)]);
+    *v = Matrix::concat_rows(&[v.clone(), Matrix::concat_cols(&v_cols)]);
+}
+
+/// Appends already-assembled K/V rows (in the shard's KV-head column
+/// order) to the shard — the SP path, where the all-to-all delivers the
+/// buffers ready-made.
+pub(crate) fn append_kv_from_buffers(
+    shard: &mut RankKv,
+    layer: usize,
+    k_new: Matrix,
+    v_new: Matrix,
+) {
+    let (k, v) = &mut shard.layers[layer];
+    *k = Matrix::concat_rows(&[k.clone(), k_new]);
+    *v = Matrix::concat_rows(&[v.clone(), v_new]);
+}
+
+/// One TP step over `shards.len()` ranks with the head ownership recorded
+/// in `shards` (arbitrary assignments supported — the shift configuration
+/// uses the base config's interleaved order). Activations are replicated;
+/// each rank computes its shard and two all-reduces per layer recombine.
+///
+/// Returns the output embeddings (identical on every rank).
+///
+/// # Panics
+///
+/// Panics if `d_ff` does not divide across the ranks.
+pub fn advance(model: &ToyTransformer, x: &Matrix, shards: &mut [RankKv]) -> Matrix {
+    let p = shards.len();
+    let hd = model.head_dim;
+    assert!(model.d_ff.is_multiple_of(p), "d_ff must divide across ranks");
+    let ff = model.d_ff / p;
+
+    let mut h = vec![x.clone(); p]; // replicated activations
+    for (l, w) in model.layers.iter().enumerate() {
+        let past = shards[0].len_at(l);
+
+        // Attention: each rank projects, caches, and attends its heads.
+        let mut partials = Vec::with_capacity(p);
+        for (r, shard) in shards.iter_mut().enumerate() {
+            let q_cols: Vec<Matrix> = shard
+                .q_heads
+                .iter()
+                .map(|&qh| h[r].matmul(&w.wq.slice_cols(qh * hd, (qh + 1) * hd)))
+                .collect();
+            let q = Matrix::concat_cols(&q_cols);
+            append_kv(model, shard, l, &h[r], &w.wk, &w.wv);
+            let attn = rank_attention(model, &q, shard, l, past);
+            partials.push(attn.matmul(&wo_rows_for(model, &w.wo, &shard.q_heads)));
+        }
+        let attn_out = all_reduce_sum(&partials);
+        for r in 0..p {
+            h[r] = h[r].add(&attn_out[r]);
+        }
+
+        // MLP: column/row sharded with a second all-reduce.
+        let mut partials = Vec::with_capacity(p);
+        for (r, h_r) in h.iter().enumerate() {
+            let up = h_r.matmul(&w.w1.slice_cols(r * ff, (r + 1) * ff)).map(f32::tanh);
+            partials.push(up.matmul(&w.w2.slice_rows(r * ff, (r + 1) * ff)));
+        }
+        let mlp_out = all_reduce_sum(&partials);
+        for r in 0..p {
+            h[r] = h[r].add(&mlp_out[r]);
+        }
+    }
+    h.swap_remove(0)
+}
+
+/// Full TP prefill across `p` ranks with the standard contiguous head
+/// layout. Returns the output and the per-rank KV shards.
+pub fn forward(model: &ToyTransformer, x: &Matrix, p: usize) -> (Matrix, Vec<RankKv>) {
+    let mut shards: Vec<RankKv> = contiguous_heads(model.q_heads, p)
+        .into_iter()
+        .map(|heads| RankKv::new(model, heads))
+        .collect();
+    let y = advance(model, x, &mut shards);
+    (y, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ToyTransformer {
+        ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7)
+    }
+
+    #[test]
+    fn tp_matches_serial_for_all_degrees() {
+        let m = model();
+        let x = Matrix::random(6, 16, 11);
+        let (serial, _) = m.forward(&x);
+        for p in [1, 2, 4] {
+            let (parallel, _) = forward(&m, &x, p);
+            assert!(
+                parallel.approx_eq(&serial, 1e-4),
+                "TP={p} diff {}",
+                parallel.max_abs_diff(&serial)
+            );
+        }
+    }
+
+    #[test]
+    fn tp_kv_shards_are_column_slices_of_serial_cache() {
+        let m = model();
+        let x = Matrix::random(5, 16, 12);
+        let (_, serial_cache) = m.forward(&x);
+        let (_, shards) = forward(&m, &x, 2);
+        let hd = m.head_dim;
+        for (l, (k_serial, v_serial)) in serial_cache.layers.iter().enumerate() {
+            for shard in &shards {
+                for (slot, &g) in shard.kv_heads.iter().enumerate() {
+                    let k_shard = shard.layers[l].0.slice_cols(slot * hd, (slot + 1) * hd);
+                    let k_ref = k_serial.slice_cols(g * hd, (g + 1) * hd);
+                    assert!(k_shard.approx_eq(&k_ref, 1e-5));
+                    let v_shard = shard.layers[l].1.slice_cols(slot * hd, (slot + 1) * hd);
+                    let v_ref = v_serial.slice_cols(g * hd, (g + 1) * hd);
+                    assert!(v_shard.approx_eq(&v_ref, 1e-5));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tp_decode_matches_serial_decode() {
+        let m = model();
+        let x = Matrix::random(4, 16, 13);
+        let (_, mut serial_cache) = m.forward(&x);
+        let (_, mut shards) = forward(&m, &x, 4);
+        // Three decode steps.
+        for step in 0..3u64 {
+            let tok = Matrix::random(1, 16, 100 + step);
+            let serial = m.advance(&tok, &mut serial_cache);
+            let parallel = advance(&m, &tok, &mut shards);
+            assert!(
+                parallel.approx_eq(&serial, 1e-4),
+                "step {step} diff {}",
+                parallel.max_abs_diff(&serial)
+            );
+        }
+    }
+
+    #[test]
+    fn tp_with_replicated_kv_heads() {
+        // 4 ranks, 2 kv heads: kv head replication across ranks (GQA
+        // scaling, §3.2.1) — each rank stores exactly one kv head.
+        let m = model();
+        let (_, shards) = forward(&m, &Matrix::random(4, 16, 14), 4);
+        for shard in &shards {
+            assert_eq!(shard.kv_heads.len(), 1);
+        }
+        // Each kv head stored on exactly 2 ranks.
+        let copies =
+            shards.iter().filter(|s| s.kv_heads[0] == 0).count();
+        assert_eq!(copies, 2);
+    }
+}

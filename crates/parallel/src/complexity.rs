@@ -1,0 +1,154 @@
+//! The symbolic per-GPU complexity of Table 2.
+//!
+//! | | Memory | Compute | Comm. volume | Comm./Compute |
+//! |---|---|---|---|---|
+//! | TP | `m(n,w)/TP` | `f(n,w)/TP` | `c(n,w)` | `TP × const` |
+//! | SP | `m(n,w)` | `f(n,w)/SP` | `c(n,w)/SP` | `const` |
+//!
+//! where `n` is sequence length and `w` the parameter count. These closed
+//! forms explain *why* SP scales: its communication shrinks with the
+//! parallel degree while TP's does not.
+
+use serde::{Deserialize, Serialize};
+use sp_model::ModelConfig;
+
+/// Per-GPU asymptotic resource usage of one forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerGpuComplexity {
+    /// Weight memory resident on each GPU, bytes.
+    pub memory_bytes: f64,
+    /// FLOPs executed by each GPU.
+    pub compute_flops: f64,
+    /// Activation bytes communicated per GPU.
+    pub comm_bytes: f64,
+}
+
+impl PerGpuComplexity {
+    /// The communication-to-compute ratio (bytes per FLOP); Table 2's last
+    /// column up to a hardware constant.
+    pub fn comm_to_compute(&self) -> f64 {
+        self.comm_bytes / self.compute_flops
+    }
+}
+
+/// Bytes of activations per token (FP16/BF16 activations even for FP8
+/// weights, matching the paper's setup).
+pub const ACTIVATION_BYTES: u64 = 2;
+
+fn forward_flops(model: &ModelConfig, n: u64) -> f64 {
+    2.0 * model.linear_params_active() as f64 * n as f64
+}
+
+/// Table 2, TP row: memory and compute divided by `tp`, communication not.
+///
+/// TP all-reduces the full `n × d` embedding twice per layer, so per-GPU
+/// communication volume is `Θ(n · d · L)` regardless of the TP degree.
+pub fn tp_complexity(model: &ModelConfig, n: u64, tp: usize) -> PerGpuComplexity {
+    let d = f64::from(model.hidden_size);
+    let layers = f64::from(model.num_layers);
+    PerGpuComplexity {
+        memory_bytes: model.weight_bytes() as f64 / tp as f64,
+        compute_flops: forward_flops(model, n) / tp as f64,
+        comm_bytes: if tp == 1 {
+            0.0
+        } else {
+            2.0 * layers * n as f64 * d * ACTIVATION_BYTES as f64
+        },
+    }
+}
+
+/// Table 2, SP row: compute *and* communication divided by `sp`, but the
+/// full weights replicated on every GPU.
+///
+/// SP's all-to-alls move each rank's `n/SP × d`-sized buffers, so per-GPU
+/// communication volume is `Θ(n · d · L / SP)`.
+pub fn sp_complexity(model: &ModelConfig, n: u64, sp: usize) -> PerGpuComplexity {
+    let d = f64::from(model.hidden_size);
+    let layers = f64::from(model.num_layers);
+    PerGpuComplexity {
+        memory_bytes: model.weight_bytes() as f64,
+        compute_flops: forward_flops(model, n) / sp as f64,
+        comm_bytes: if sp == 1 {
+            0.0
+        } else {
+            2.0 * layers * (n as f64 / sp as f64) * d * ACTIVATION_BYTES as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+
+    #[test]
+    fn tp_divides_memory_sp_does_not() {
+        let m = presets::llama_70b();
+        let tp = tp_complexity(&m, 4096, 8);
+        let sp = sp_complexity(&m, 4096, 8);
+        assert!((tp.memory_bytes * 8.0 - m.weight_bytes() as f64).abs() < 1.0);
+        assert_eq!(sp.memory_bytes, m.weight_bytes() as f64);
+    }
+
+    #[test]
+    fn both_divide_compute() {
+        let m = presets::qwen_32b();
+        let tp = tp_complexity(&m, 4096, 8);
+        let sp = sp_complexity(&m, 4096, 8);
+        assert!((tp.compute_flops - sp.compute_flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn sp_comm_shrinks_with_degree_tp_comm_does_not() {
+        let m = presets::llama_70b();
+        let n = 8192;
+        let tp2 = tp_complexity(&m, n, 2).comm_bytes;
+        let tp8 = tp_complexity(&m, n, 8).comm_bytes;
+        assert_eq!(tp2, tp8, "TP comm volume is degree-independent");
+        let sp2 = sp_complexity(&m, n, 2).comm_bytes;
+        let sp8 = sp_complexity(&m, n, 8).comm_bytes;
+        assert!((sp2 / sp8 - 4.0).abs() < 1e-9, "SP comm scales as 1/SP");
+    }
+
+    #[test]
+    fn tp_comm_to_compute_grows_linearly_with_degree() {
+        // Table 2's last column: TP × const.
+        let m = presets::llama_70b();
+        let r2 = tp_complexity(&m, 4096, 2).comm_to_compute();
+        let r8 = tp_complexity(&m, 4096, 8).comm_to_compute();
+        assert!((r8 / r2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sp_comm_to_compute_is_constant_in_degree() {
+        let m = presets::llama_70b();
+        let r2 = sp_complexity(&m, 4096, 2).comm_to_compute();
+        let r8 = sp_complexity(&m, 4096, 8).comm_to_compute();
+        assert!((r2 / r8 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_one_has_no_communication() {
+        let m = presets::qwen_32b();
+        assert_eq!(tp_complexity(&m, 1024, 1).comm_bytes, 0.0);
+        assert_eq!(sp_complexity(&m, 1024, 1).comm_bytes, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn comm_to_compute_independent_of_n(
+            n1 in 64u64..100_000, n2 in 64u64..100_000, p in 2usize..16,
+        ) {
+            // Both ratios are Θ(1) in sequence length: communication and
+            // compute are both linear in n.
+            let m = presets::llama_70b();
+            let a = tp_complexity(&m, n1, p).comm_to_compute();
+            let b = tp_complexity(&m, n2, p).comm_to_compute();
+            prop_assert!((a / b - 1.0).abs() < 1e-9);
+            let c = sp_complexity(&m, n1, p).comm_to_compute();
+            let d = sp_complexity(&m, n2, p).comm_to_compute();
+            prop_assert!((c / d - 1.0).abs() < 1e-9);
+        }
+    }
+}

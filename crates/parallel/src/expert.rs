@@ -1,0 +1,293 @@
+//! Expert parallelism (EP) for MoE models — the §4.6 future-work
+//! direction ("there is no prior work that combines SP with EP").
+//!
+//! EP shards the *routed experts* across GPUs instead of (or in addition
+//! to) slicing every matrix: GPU `g` stores `E/EP` whole experts, tokens
+//! are dispatched to their experts' owners with an all-to-all, processed,
+//! and combined with a second all-to-all — two extra collectives per MoE
+//! layer, in exchange for streaming only `1/EP` of the routed weights per
+//! GPU.
+//!
+//! This module models EP and its combination with SP/TP so the future-work
+//! bench (`futurework_ep`) can quantify the tradeoff the paper leaves
+//! open: for small MoE models (Qwen-30B-A3B), does SP×EP beat SP with
+//! replicated experts?
+
+use crate::complexity::ACTIVATION_BYTES;
+use crate::config::BatchWork;
+use crate::exec::{EngineOverhead, IterationBreakdown};
+use serde::{Deserialize, Serialize};
+use sp_cluster::{CollectiveModel, NodeSpec, Roofline};
+use sp_kvcache::layout::LayoutError;
+use sp_kvcache::KvShardLayout;
+use sp_metrics::Dur;
+use sp_model::{ModelConfig, MoeConfig};
+
+/// An `(SP, EP)` configuration for MoE inference: attention runs under
+/// Ulysses SP across all `SP × EP` GPUs (head-parallel, as usual), while
+/// the routed experts are sharded `EP` ways (each expert group replicated
+/// across the `SP` dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExpertParallelConfig {
+    sp: usize,
+    ep: usize,
+}
+
+impl ExpertParallelConfig {
+    /// Creates an `(SP, EP)` configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(sp: usize, ep: usize) -> ExpertParallelConfig {
+        assert!(sp > 0 && ep > 0, "parallel degrees must be positive");
+        ExpertParallelConfig { sp, ep }
+    }
+
+    /// The SP degree.
+    pub fn sp(&self) -> usize {
+        self.sp
+    }
+
+    /// The EP degree.
+    pub fn ep(&self) -> usize {
+        self.ep
+    }
+
+    /// Total GPUs: `SP × EP`.
+    pub fn degree(&self) -> usize {
+        self.sp * self.ep
+    }
+
+    /// Validates that `model`'s experts divide across the EP degree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the model is dense or experts do not divide.
+    pub fn validate_for(&self, model: &ModelConfig) -> Result<MoeConfig, String> {
+        let moe = model
+            .moe
+            .ok_or_else(|| format!("{} is dense; EP needs experts", model.name))?;
+        if !(moe.num_experts as usize).is_multiple_of(self.ep) {
+            return Err(format!(
+                "{} experts do not divide across EP={}",
+                moe.num_experts, self.ep
+            ));
+        }
+        Ok(moe)
+    }
+}
+
+/// Times MoE iterations under `(SP, EP)`.
+///
+/// Differences from the dense [`crate::exec::ExecutionModel`] walk:
+///
+/// * routed-expert weights stream at `1/EP` per GPU (sharded), while
+///   attention + shared-expert weights are replicated (SP semantics);
+/// * two additional all-to-alls per layer dispatch/combine the tokens'
+///   expert assignments across the EP groups;
+/// * the number of *distinct experts touched* per GPU shrinks with EP,
+///   which is what makes small-batch MoE decode cheap under EP.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::NodeSpec;
+/// use sp_model::presets;
+/// use sp_parallel::expert::{ExpertExecutionModel, ExpertParallelConfig};
+/// use sp_parallel::BatchWork;
+///
+/// let exec = ExpertExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_30b_a3b());
+/// let cfg = ExpertParallelConfig::new(2, 4);
+/// let t = exec.iteration(&cfg, &BatchWork::single_prefill(4096));
+/// assert!(t.total().as_secs() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpertExecutionModel {
+    model: ModelConfig,
+    overhead: EngineOverhead,
+    roofline: Roofline,
+    collectives: CollectiveModel,
+}
+
+impl ExpertExecutionModel {
+    /// Creates a model with default engine overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails validation or is dense.
+    pub fn new(node: NodeSpec, model: ModelConfig) -> ExpertExecutionModel {
+        model.validate().expect("invalid model config");
+        assert!(model.moe.is_some(), "expert parallelism requires an MoE model");
+        ExpertExecutionModel {
+            roofline: Roofline::new(node.gpu),
+            collectives: CollectiveModel::new(node.interconnect),
+            model,
+            overhead: EngineOverhead::default(),
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Times one iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid for the model (use
+    /// [`ExpertExecutionModel::try_iteration`] to handle errors).
+    pub fn iteration(
+        &self,
+        config: &ExpertParallelConfig,
+        batch: &BatchWork,
+    ) -> IterationBreakdown {
+        self.try_iteration(config, batch)
+            .unwrap_or_else(|e| panic!("cannot run (SP={}, EP={}): {e}", config.sp, config.ep))
+    }
+
+    /// Times one iteration of `batch` under `(SP, EP)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if experts or KV heads cannot be distributed.
+    pub fn try_iteration(
+        &self,
+        config: &ExpertParallelConfig,
+        batch: &BatchWork,
+    ) -> Result<IterationBreakdown, String> {
+        let moe = config.validate_for(&self.model)?;
+        let p = config.degree();
+        let layout = KvShardLayout::for_model(&self.model, p)
+            .map_err(|e: LayoutError| e.to_string())?;
+        if batch.is_empty() {
+            return Ok(IterationBreakdown::default());
+        }
+
+        let sp = config.sp as u64;
+        let ep = config.ep as u64;
+        let n = batch.total_new_tokens();
+        let n_pad = n.div_ceil(sp * ep) * (sp * ep);
+        let pad_ratio = n_pad as f64 / n as f64;
+        let cost = batch.step_cost(&self.model);
+
+        // --- GEMM ---
+        // Attention + shared-expert compute splits across all P GPUs (the
+        // sequence is split P ways under full SP attention).
+        let linear_pg = cost.linear_flops * pad_ratio / p as f64;
+        let logit_pg = cost.logit_flops / p as f64;
+
+        // Weight streaming per GPU: attention/shared/embed replicated,
+        // routed experts sharded EP ways. Distinct experts touched per EP
+        // shard is bounded by both the shard's expert count and the
+        // tokens' routing fan-out.
+        let prec = self.model.weight_precision.bytes();
+        let routed_per_layer = u64::from(moe.num_experts)
+            * 3
+            * u64::from(self.model.hidden_size)
+            * u64::from(moe.expert_intermediate);
+        let routed_total = u64::from(self.model.num_layers) * routed_per_layer * prec;
+        let non_routed = self.model.weight_bytes() - routed_total;
+        let experts_per_shard = u64::from(moe.num_experts) / ep;
+        let touched = (n_pad * u64::from(moe.active_experts) / ep)
+            .min(experts_per_shard)
+            .max(1);
+        let routed_pg = routed_total / ep * touched / experts_per_shard.max(1);
+        let weight_bytes_pg = non_routed + routed_pg;
+        let gemm = self.roofline.kernel(linear_pg + logit_pg, weight_bytes_pg);
+
+        // --- Attention ---
+        let attn_flops_pg = cost.attn_flops / p as f64;
+        let kv_frac = f64::from(layout.heads_per_gpu()) / f64::from(self.model.kv_heads);
+        let kv_bytes_pg = (cost.total_kv_bytes() as f64 * kv_frac) as u64;
+        let attention = self.roofline.kernel(attn_flops_pg, kv_bytes_pg);
+
+        // --- Communication ---
+        let layers = u64::from(self.model.num_layers);
+        let d = u64::from(self.model.hidden_size);
+        let head_dim = u64::from(self.model.head_dim);
+        let act = ACTIVATION_BYTES;
+
+        // Ulysses all-to-alls (attention), within the full P-GPU group.
+        let qkv_width = u64::from(self.model.q_heads)
+            + 2 * u64::from(self.model.kv_heads) * u64::from(layout.replication());
+        let a2a1 = self
+            .collectives
+            .all_to_all((n_pad / (sp * ep)) * qkv_width * head_dim * act, p);
+        let a2a2 = self
+            .collectives
+            .all_to_all(n_pad * u64::from(self.model.q_heads) * head_dim * act / (sp * ep), p);
+
+        // EP dispatch + combine: each GPU sends its n/P tokens' activations
+        // (×top-k copies) to expert owners within its EP group.
+        let dispatch_bytes =
+            (n_pad / (sp * ep)) * u64::from(moe.active_experts) * d * act;
+        let ep_a2a = self.collectives.all_to_all(dispatch_bytes, config.ep) * 2.0;
+
+        let ag = self.collectives.all_gather(n_pad * d * act, p);
+        let communication = Dur::from_secs(
+            layers as f64 * (a2a1.as_secs() + a2a2.as_secs() + ep_a2a.as_secs())
+                + ag.as_secs(),
+        );
+
+        let overhead = self.overhead.for_batch(batch.num_seqs(), p);
+        Ok(IterationBreakdown { gemm, attention, communication, overhead })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_model::presets;
+
+    fn exec() -> ExpertExecutionModel {
+        ExpertExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_30b_a3b())
+    }
+
+    #[test]
+    fn ep_shards_expert_weights() {
+        // Decode batch 1: EP=8 streams far fewer weight bytes per GPU than
+        // SP=8 with replicated experts, so the iteration is faster.
+        let e = exec();
+        let decode = BatchWork::uniform_decode(1, 4096);
+        let sp8 = e.iteration(&ExpertParallelConfig::new(8, 1), &decode);
+        let ep8 = e.iteration(&ExpertParallelConfig::new(1, 8), &decode);
+        assert!(ep8.gemm < sp8.gemm, "EP should reduce expert streaming");
+    }
+
+    #[test]
+    fn ep_adds_dispatch_communication() {
+        let e = exec();
+        let prefill = BatchWork::single_prefill(8192);
+        let sp8 = e.iteration(&ExpertParallelConfig::new(8, 1), &prefill);
+        let mixed = e.iteration(&ExpertParallelConfig::new(2, 4), &prefill);
+        assert!(mixed.communication > sp8.communication);
+    }
+
+    #[test]
+    fn invalid_expert_split_rejected() {
+        let e = exec();
+        // 128 experts across EP=3 does not divide.
+        let err = e
+            .try_iteration(
+                &ExpertParallelConfig::new(1, 3),
+                &BatchWork::single_prefill(128),
+            )
+            .unwrap_err();
+        assert!(err.contains("divide"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MoE")]
+    fn dense_model_rejected() {
+        let _ = ExpertExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::llama_70b());
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let e = exec();
+        let it = e.iteration(&ExpertParallelConfig::new(2, 4), &BatchWork::default());
+        assert_eq!(it.total(), Dur::ZERO);
+    }
+}

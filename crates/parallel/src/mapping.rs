@@ -1,0 +1,260 @@
+//! The §3.3.1 process-to-data mapping.
+//!
+//! For a base configuration `(SP, TP)` on `P = SP × TP` GPUs the paper
+//! defines three process groups (example for `SP = 3, TP = 2`):
+//!
+//! * `TP`: `[[0, 1], [2, 3], [4, 5]]` — consecutive ranks;
+//! * `SP`: `[[0, 2, 4], [1, 3, 5]]` — strided ranks;
+//! * `SP_TP`: `[[0, 2, 4, 1, 3, 5]]` — SP-major traversal, the order in
+//!   which the *shift* model must shard its heads so the base and shift
+//!   configurations agree on which GPU owns which attention head.
+//!
+//! [`ProcessMapping`] constructs these groups and both head assignments;
+//! their equality ([`ProcessMapping::is_invariant`]) is the generalized
+//! KV-cache-invariance property, proptested over all factorizations.
+
+use serde::{Deserialize, Serialize};
+
+/// Process groups and head assignments for one `(SP, TP)` factorization.
+///
+/// # Examples
+///
+/// ```
+/// use sp_parallel::ProcessMapping;
+///
+/// // The paper's running example: SP=3, TP=2, six heads.
+/// let m = ProcessMapping::new(3, 2);
+/// assert_eq!(m.sp_tp_group(), vec![0, 2, 4, 1, 3, 5]);
+/// assert!(m.is_invariant(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessMapping {
+    sp: usize,
+    tp: usize,
+}
+
+impl ProcessMapping {
+    /// Creates the mapping for a `(SP, TP)` base configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(sp: usize, tp: usize) -> ProcessMapping {
+        assert!(sp > 0 && tp > 0, "parallel degrees must be positive");
+        ProcessMapping { sp, tp }
+    }
+
+    /// Total ranks `P = SP × TP`.
+    pub fn world_size(&self) -> usize {
+        self.sp * self.tp
+    }
+
+    /// The TP rank of global rank `r` (position within its TP group).
+    pub fn tp_rank(&self, r: usize) -> usize {
+        r % self.tp
+    }
+
+    /// The SP rank of global rank `r` (which TP group it belongs to).
+    pub fn sp_rank(&self, r: usize) -> usize {
+        r / self.tp
+    }
+
+    /// TP groups: `SP` groups of `TP` consecutive ranks.
+    pub fn tp_groups(&self) -> Vec<Vec<usize>> {
+        (0..self.sp)
+            .map(|s| (0..self.tp).map(|t| s * self.tp + t).collect())
+            .collect()
+    }
+
+    /// SP groups: `TP` groups of `SP` ranks strided by `TP`.
+    pub fn sp_groups(&self) -> Vec<Vec<usize>> {
+        (0..self.tp)
+            .map(|t| (0..self.sp).map(|s| s * self.tp + t).collect())
+            .collect()
+    }
+
+    /// The SP_TP group: all ranks in SP-major order within each TP slot —
+    /// the shard order the shift model must load weights in (§3.3.2).
+    pub fn sp_tp_group(&self) -> Vec<usize> {
+        (0..self.tp)
+            .flat_map(|t| (0..self.sp).map(move |s| s * self.tp + t))
+            .collect()
+    }
+
+    /// Heads owned by global rank `r` in the *base* configuration after the
+    /// Ulysses all-to-all, for `heads` total attention heads.
+    ///
+    /// The TP column split gives TP rank `t` the head slice
+    /// `[t·h/TP, (t+1)·h/TP)`; the all-to-all within the SP group then
+    /// splits that slice so SP rank `s` holds its `s`-th sub-slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is not divisible by `SP × TP` or `r` is out of
+    /// range.
+    pub fn base_heads_of_rank(&self, r: usize, heads: u32) -> Vec<u32> {
+        let p = self.world_size();
+        assert!(r < p, "rank {r} out of range for world size {p}");
+        assert_eq!(
+            heads as usize % p,
+            0,
+            "heads ({heads}) must divide evenly across {p} ranks"
+        );
+        let per_tp = heads as usize / self.tp;
+        let per_rank = per_tp / self.sp;
+        let t = self.tp_rank(r);
+        let s = self.sp_rank(r);
+        let start = t * per_tp + s * per_rank;
+        (start..start + per_rank).map(|h| h as u32).collect()
+    }
+
+    /// Heads owned by global rank `r` in the *shift* configuration
+    /// (`TP = P`), when head chunks are dealt out in SP_TP group order as
+    /// §3.3.2 prescribes.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ProcessMapping::base_heads_of_rank`].
+    pub fn shift_heads_of_rank(&self, r: usize, heads: u32) -> Vec<u32> {
+        let p = self.world_size();
+        assert!(r < p, "rank {r} out of range for world size {p}");
+        assert_eq!(
+            heads as usize % p,
+            0,
+            "heads ({heads}) must divide evenly across {p} ranks"
+        );
+        let per_rank = heads as usize / p;
+        let order = self.sp_tp_group();
+        let position = order.iter().position(|&x| x == r).expect("rank in group");
+        let start = position * per_rank;
+        (start..start + per_rank).map(|h| h as u32).collect()
+    }
+
+    /// The naive (rank-order) head assignment a shift config would use
+    /// *without* the §3.3.2 correction — used in tests to show the
+    /// invariance genuinely breaks for mixed (SP, TP) bases.
+    pub fn naive_shift_heads_of_rank(&self, r: usize, heads: u32) -> Vec<u32> {
+        let p = self.world_size();
+        assert!(r < p, "rank {r} out of range for world size {p}");
+        let per_rank = heads as usize / p;
+        let start = r * per_rank;
+        (start..start + per_rank).map(|h| h as u32).collect()
+    }
+
+    /// True if the base and (corrected) shift head assignments coincide on
+    /// every rank: the generalized KV-cache invariance of §3.3.1.
+    pub fn is_invariant(&self, heads: u32) -> bool {
+        (0..self.world_size())
+            .all(|r| self.base_heads_of_rank(r, heads) == self.shift_heads_of_rank(r, heads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn paper_example_groups() {
+        // §3.3.2's worked example for (SP=3, TP=2).
+        let m = ProcessMapping::new(3, 2);
+        assert_eq!(m.tp_groups(), vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        assert_eq!(m.sp_groups(), vec![vec![0, 2, 4], vec![1, 3, 5]]);
+        assert_eq!(m.sp_tp_group(), vec![0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn paper_example_head_interleaving() {
+        // With 6 heads on (SP=3, TP=2): ranks hold heads [0,3,1,4,2,5] —
+        // i.e. head order across GPUs is (0, 2, 4, 1, 3, 5) as in Figure 6.
+        let m = ProcessMapping::new(3, 2);
+        let owners: Vec<u32> = (0..6).map(|r| m.base_heads_of_rank(r, 6)[0]).collect();
+        assert_eq!(owners, vec![0, 3, 1, 4, 2, 5]);
+        // Equivalently: head h lives on GPU sp_tp_group[h].
+        let group = m.sp_tp_group();
+        for h in 0..6u32 {
+            assert_eq!(m.base_heads_of_rank(group[h as usize], 6), vec![h]);
+        }
+    }
+
+    #[test]
+    fn corrected_shift_is_invariant_where_naive_is_not() {
+        let m = ProcessMapping::new(3, 2);
+        assert!(m.is_invariant(6));
+        // The naive assignment disagrees on rank 1 (holds head 3 in base).
+        assert_ne!(m.naive_shift_heads_of_rank(1, 6), m.base_heads_of_rank(1, 6));
+    }
+
+    #[test]
+    fn pure_tp_and_pure_sp_are_trivially_invariant() {
+        assert!(ProcessMapping::new(1, 8).is_invariant(64));
+        assert!(ProcessMapping::new(8, 1).is_invariant(64));
+    }
+
+    #[test]
+    fn pure_configs_match_naive_ordering() {
+        // Without a mixed base the SP_TP group is the identity and the
+        // naive shift sharding is already correct.
+        for m in [ProcessMapping::new(1, 6), ProcessMapping::new(6, 1)] {
+            for r in 0..6 {
+                assert_eq!(m.naive_shift_heads_of_rank(r, 12), m.shift_heads_of_rank(r, 12));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_heads_rejected() {
+        let _ = ProcessMapping::new(3, 2).base_heads_of_rank(0, 7);
+    }
+
+    proptest! {
+        #[test]
+        fn invariance_holds_for_all_factorizations(
+            sp in 1usize..9, tp in 1usize..9, heads_mult in 1u32..5,
+        ) {
+            let m = ProcessMapping::new(sp, tp);
+            let heads = (sp * tp) as u32 * heads_mult;
+            prop_assert!(m.is_invariant(heads));
+        }
+
+        #[test]
+        fn base_assignment_partitions_heads(
+            sp in 1usize..7, tp in 1usize..7, heads_mult in 1u32..4,
+        ) {
+            let m = ProcessMapping::new(sp, tp);
+            let heads = (sp * tp) as u32 * heads_mult;
+            let mut seen = BTreeSet::new();
+            for r in 0..m.world_size() {
+                for h in m.base_heads_of_rank(r, heads) {
+                    prop_assert!(seen.insert(h), "head {h} assigned twice");
+                }
+            }
+            prop_assert_eq!(seen.len() as u32, heads);
+        }
+
+        #[test]
+        fn sp_tp_group_is_a_permutation(sp in 1usize..9, tp in 1usize..9) {
+            let m = ProcessMapping::new(sp, tp);
+            let group = m.sp_tp_group();
+            let set: BTreeSet<usize> = group.iter().copied().collect();
+            prop_assert_eq!(set.len(), m.world_size());
+            prop_assert_eq!(*set.iter().max().unwrap(), m.world_size() - 1);
+        }
+
+        #[test]
+        fn groups_cover_all_ranks_disjointly(sp in 1usize..9, tp in 1usize..9) {
+            let m = ProcessMapping::new(sp, tp);
+            for groups in [m.tp_groups(), m.sp_groups()] {
+                let mut seen = BTreeSet::new();
+                for g in &groups {
+                    for &r in g {
+                        prop_assert!(seen.insert(r));
+                    }
+                }
+                prop_assert_eq!(seen.len(), m.world_size());
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Deployment memory planning: weights vs KV-cache budget.
+//!
+//! §3.2.2's deployment rule: partition with TP only as much as needed for
+//! the weights to fit with room for KV cache, then spend the remaining
+//! GPUs on SP (which enlarges the aggregate KV cache). This module computes
+//! the numbers behind that rule.
+
+use crate::config::ParallelConfig;
+use serde::{Deserialize, Serialize};
+use sp_cluster::NodeSpec;
+use sp_kvcache::layout::LayoutError;
+use sp_kvcache::KvShardLayout;
+use sp_model::ModelConfig;
+
+/// Fraction of GPU memory usable for weights + KV cache (the rest holds
+/// activations, CUDA graphs, and allocator slack) — vLLM's
+/// `gpu_memory_utilization` analogue.
+pub const DEFAULT_MEM_FRACTION: f64 = 0.9;
+
+/// The memory consequences of deploying one model under one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::NodeSpec;
+/// use sp_model::presets;
+/// use sp_parallel::{MemoryPlan, ParallelConfig};
+///
+/// let node = NodeSpec::p5en_48xlarge();
+/// let scout = presets::llama_17b_16e();
+/// // §4.6: SP=8 leaves almost no KV room for the 109 GB model…
+/// let sp8 = MemoryPlan::plan(&node, &scout, &ParallelConfig::sequence(8)).unwrap();
+/// // …while (SP=4, TP=2) halves the per-GPU weights:
+/// let mixed = MemoryPlan::plan(&node, &scout, &ParallelConfig::new(4, 2)).unwrap();
+/// assert!(mixed.kv_capacity_tokens > 2 * sp8.kv_capacity_tokens);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// Weight bytes resident on each GPU (`w/TP`, SP replicates).
+    pub weight_bytes_per_gpu: u64,
+    /// Bytes available for KV cache on each GPU after weights.
+    pub kv_budget_bytes_per_gpu: u64,
+    /// Group-wide KV capacity in tokens under the head-shard layout.
+    pub kv_capacity_tokens: u64,
+    /// False if the weights alone exceed the usable memory.
+    pub fits: bool,
+}
+
+impl MemoryPlan {
+    /// Plans `model` on `node` under `config` with the default memory
+    /// fraction and no extra resident weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if KV heads cannot be distributed across
+    /// `config.degree()` GPUs.
+    pub fn plan(
+        node: &NodeSpec,
+        model: &ModelConfig,
+        config: &ParallelConfig,
+    ) -> Result<MemoryPlan, LayoutError> {
+        MemoryPlan::plan_with_extra(node, model, config, 0, DEFAULT_MEM_FRACTION)
+    }
+
+    /// Plans with `extra_weight_bytes_per_gpu` additional resident weights
+    /// (the shift model's replica, Eq. 1) and an explicit memory fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if KV heads cannot be distributed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_fraction` is not in `(0, 1]`.
+    pub fn plan_with_extra(
+        node: &NodeSpec,
+        model: &ModelConfig,
+        config: &ParallelConfig,
+        extra_weight_bytes_per_gpu: u64,
+        mem_fraction: f64,
+    ) -> Result<MemoryPlan, LayoutError> {
+        assert!(
+            mem_fraction > 0.0 && mem_fraction <= 1.0,
+            "memory fraction must be in (0, 1]"
+        );
+        let layout = KvShardLayout::for_model(model, config.degree())?;
+        let usable = (node.gpu.mem_bytes as f64 * mem_fraction) as u64;
+        let weight_bytes_per_gpu =
+            model.weight_bytes() / config.tp() as u64 + extra_weight_bytes_per_gpu;
+        let fits = weight_bytes_per_gpu <= usable;
+        let kv_budget = usable.saturating_sub(weight_bytes_per_gpu);
+        let per_token = layout.per_gpu_kv_bytes_per_token(model).max(1);
+        let kv_capacity_tokens = kv_budget / per_token;
+        Ok(MemoryPlan {
+            weight_bytes_per_gpu,
+            kv_budget_bytes_per_gpu: kv_budget,
+            kv_capacity_tokens,
+            fits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sp_model::presets;
+
+    fn node() -> NodeSpec {
+        NodeSpec::p5en_48xlarge()
+    }
+
+    #[test]
+    fn tp_divides_weights() {
+        let m = presets::llama_70b();
+        let p1 = MemoryPlan::plan(&node(), &m, &ParallelConfig::tensor(8)).unwrap();
+        let p2 = MemoryPlan::plan(&node(), &m, &ParallelConfig::sequence(8)).unwrap();
+        assert_eq!(p1.weight_bytes_per_gpu * 8, m.weight_bytes());
+        assert_eq!(p2.weight_bytes_per_gpu, m.weight_bytes());
+    }
+
+    #[test]
+    fn scout_sp8_barely_fits() {
+        // §4.6 i): Llama-17B-16E at SP=8 fits but leaves little KV room.
+        let m = presets::llama_17b_16e();
+        let plan = MemoryPlan::plan(&node(), &m, &ParallelConfig::sequence(8)).unwrap();
+        assert!(plan.fits);
+        let kv_gb = plan.kv_budget_bytes_per_gpu as f64 / 1e9;
+        assert!(kv_gb < 30.0, "Scout SP=8 KV budget {kv_gb:.0} GB should be scarce");
+    }
+
+    #[test]
+    fn mixed_config_recovers_kv_room_for_scout() {
+        let m = presets::llama_17b_16e();
+        let sp8 = MemoryPlan::plan(&node(), &m, &ParallelConfig::sequence(8)).unwrap();
+        let mixed = MemoryPlan::plan(&node(), &m, &ParallelConfig::new(4, 2)).unwrap();
+        assert!(mixed.kv_capacity_tokens > 2 * sp8.kv_capacity_tokens);
+    }
+
+    #[test]
+    fn llama_70b_does_not_fit_one_gpu_at_fp16_kv_margin() {
+        // 70 GB FP8 weights fit a single 141 GB H200, so DP is possible…
+        let m = presets::llama_70b();
+        let dp = MemoryPlan::plan(&node(), &m, &ParallelConfig::single()).unwrap();
+        assert!(dp.fits);
+        // …but with far less KV capacity than TP=8.
+        let tp = MemoryPlan::plan(&node(), &m, &ParallelConfig::tensor(8)).unwrap();
+        assert!(tp.kv_capacity_tokens > 5 * dp.kv_capacity_tokens);
+    }
+
+    #[test]
+    fn extra_weights_shrink_kv() {
+        let m = presets::llama_70b();
+        let base = MemoryPlan::plan(&node(), &m, &ParallelConfig::sequence(8)).unwrap();
+        let with_shift = MemoryPlan::plan_with_extra(
+            &node(),
+            &m,
+            &ParallelConfig::sequence(8),
+            m.weight_bytes() / 8,
+            DEFAULT_MEM_FRACTION,
+        )
+        .unwrap();
+        assert!(with_shift.kv_capacity_tokens < base.kv_capacity_tokens);
+        assert!(with_shift.fits);
+    }
+
+    #[test]
+    fn fp8_kv_doubles_capacity() {
+        // §4.2.2: the Mooncake run flips the KV cache to FP8.
+        use sp_model::Precision;
+        let m = presets::qwen_32b();
+        let mut m8 = m.clone();
+        m8.kv_precision = Precision::Fp8;
+        let c16 = MemoryPlan::plan(&node(), &m, &ParallelConfig::tensor(8)).unwrap();
+        let c8 = MemoryPlan::plan(&node(), &m8, &ParallelConfig::tensor(8)).unwrap();
+        let ratio = c8.kv_capacity_tokens as f64 / c16.kv_capacity_tokens as f64;
+        assert!((1.9..2.1).contains(&ratio), "FP8 KV capacity ratio {ratio:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "memory fraction")]
+    fn invalid_fraction_rejected() {
+        let _ = MemoryPlan::plan_with_extra(
+            &node(),
+            &presets::qwen_32b(),
+            &ParallelConfig::single(),
+            0,
+            1.5,
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn kv_capacity_decreases_with_extra_weights(
+            extra_gb in 0u64..40, more_gb in 1u64..40,
+        ) {
+            let m = presets::qwen_32b();
+            let cfg = ParallelConfig::sequence(8);
+            let a = MemoryPlan::plan_with_extra(
+                &node(), &m, &cfg, extra_gb << 30, DEFAULT_MEM_FRACTION).unwrap();
+            let b = MemoryPlan::plan_with_extra(
+                &node(), &m, &cfg, (extra_gb + more_gb) << 30, DEFAULT_MEM_FRACTION).unwrap();
+            prop_assert!(b.kv_capacity_tokens <= a.kv_capacity_tokens);
+        }
+
+        #[test]
+        fn more_tp_never_reduces_fit(tp_pow in 0u32..4) {
+            // Increasing TP strictly shrinks per-GPU weights.
+            let m = presets::llama_70b();
+            let small = MemoryPlan::plan(
+                &node(), &m, &ParallelConfig::tensor(1 << tp_pow)).unwrap();
+            let large = MemoryPlan::plan(
+                &node(), &m, &ParallelConfig::tensor(1 << (tp_pow + 1))).unwrap();
+            prop_assert!(large.weight_bytes_per_gpu < small.weight_bytes_per_gpu);
+        }
+    }
+}

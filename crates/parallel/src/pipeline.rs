@@ -1,0 +1,200 @@
+//! Pipeline parallelism (PP) — the taxonomy completion.
+//!
+//! The paper's Table 1 covers TP, DP and SP; pipeline parallelism is the
+//! other classic partitioning (layers split into stages). This module
+//! models it analytically to show *why* it is not a contender for the
+//! latency side of the tradeoff the paper targets:
+//!
+//! * **TTFT** — a single prefill crosses every stage; without
+//!   microbatching there is no intra-request speedup at all, and with
+//!   chunked microbatches a pipeline-fill bubble of `(S−1)` chunk-times
+//!   remains.
+//! * **TPOT** — each decode token traverses all `S` stages sequentially,
+//!   streaming `w/S` weights per stage: total weight-stream time equals a
+//!   single GPU's (DP-grade TPOT), plus `S−1` activation hops.
+//! * **Throughput** — good: stages work concurrently on different
+//!   microbatches/requests with only point-to-point activation traffic
+//!   (DP-like throughput at `1/S` the per-GPU memory).
+//!
+//! PP's one genuine advantage — serving models larger than a node-worth of
+//! memory — is out of the paper's scope (all Table 4 models fit).
+
+use crate::complexity::ACTIVATION_BYTES;
+use serde::{Deserialize, Serialize};
+use sp_cluster::{NodeSpec, Roofline};
+use sp_metrics::Dur;
+use sp_model::ModelConfig;
+
+/// A pipeline-parallel deployment: `stages` sequential layer groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of pipeline stages (GPUs).
+    pub stages: usize,
+    /// Prefill microbatch (chunk) size in tokens.
+    pub microbatch: u64,
+}
+
+impl PipelineConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(stages: usize, microbatch: u64) -> PipelineConfig {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        assert!(microbatch > 0, "microbatch must be positive");
+        PipelineConfig { stages, microbatch }
+    }
+}
+
+/// Analytical PP timing for one model on one node.
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    node: NodeSpec,
+    model: ModelConfig,
+    roofline: Roofline,
+}
+
+impl PipelineModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails validation.
+    pub fn new(node: NodeSpec, model: ModelConfig) -> PipelineModel {
+        model.validate().expect("invalid model config");
+        PipelineModel { roofline: Roofline::new(node.gpu), node, model }
+    }
+
+    /// Inter-stage activation hop for `tokens` tokens (point-to-point).
+    fn hop(&self, tokens: u64) -> Dur {
+        let bytes = tokens * u64::from(self.model.hidden_size) * ACTIVATION_BYTES;
+        Dur::from_secs(
+            self.node.interconnect.step_latency
+                + bytes as f64 / self.node.interconnect.effective_bw(),
+        )
+    }
+
+    /// Per-stage compute time for a chunk of `tokens` prompt tokens at
+    /// context offset `past` (1/S of the layers).
+    fn stage_chunk_time(&self, config: &PipelineConfig, tokens: u64, past: u64) -> Dur {
+        let cost = self.model.chunk_cost(tokens, past, 0);
+        let s = config.stages as f64;
+        let flops = (cost.linear_flops + cost.attn_flops) / s;
+        let bytes = (self.model.streamed_weight_bytes(tokens) as f64 / s) as u64
+            + (cost.total_kv_bytes() as f64 / s) as u64;
+        self.roofline.kernel(flops, bytes)
+    }
+
+    /// TTFT of a lone `prompt`-token request: chunked microbatches flow
+    /// through the pipeline; the last chunk exits after all chunks have
+    /// entered plus the pipeline depth.
+    pub fn prefill_time(&self, config: &PipelineConfig, prompt: u64) -> Dur {
+        let chunks = prompt.div_ceil(config.microbatch).max(1);
+        let chunk_tokens = prompt.div_ceil(chunks);
+        // Mean per-stage chunk time (context grows across chunks; use the
+        // middle chunk as representative).
+        let stage = self.stage_chunk_time(config, chunk_tokens, prompt / 2);
+        let hops = self.hop(chunk_tokens) * (config.stages as f64 - 1.0);
+        stage * (chunks + config.stages as u64 - 1) as f64 + hops
+    }
+
+    /// TPOT of a lone decode stream at context `context`: the token visits
+    /// every stage sequentially.
+    pub fn decode_tpot(&self, config: &PipelineConfig, context: u64) -> Dur {
+        let cost = self.model.decode_cost(context);
+        let s = config.stages as f64;
+        let per_stage_bytes = (self.model.streamed_weight_bytes(1) as f64 / s) as u64
+            + (cost.total_kv_bytes() as f64 / s) as u64;
+        let per_stage = self
+            .roofline
+            .kernel((cost.linear_flops + cost.attn_flops) / s, per_stage_bytes);
+        per_stage * s + self.hop(1) * (s - 1.0)
+    }
+
+    /// Peak combined throughput with saturated microbatches: all stages
+    /// busy, so the node processes one `microbatch` per stage-time.
+    pub fn peak_throughput(&self, config: &PipelineConfig, context: u64) -> f64 {
+        let stage = self.stage_chunk_time(config, config.microbatch, context);
+        config.microbatch as f64 / stage.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchWork, ParallelConfig};
+    use crate::exec::ExecutionModel;
+    use sp_model::presets;
+
+    fn pp() -> PipelineModel {
+        PipelineModel::new(NodeSpec::p5en_48xlarge(), presets::llama_70b())
+    }
+
+    #[test]
+    fn pp_tpot_is_dp_grade_not_tp_grade() {
+        // The taxonomy claim: PP decode latency ≈ single GPU (weights
+        // streamed w/S per stage, S stages in series), far above TP.
+        let pp = pp();
+        let tpot_pp = pp.decode_tpot(&PipelineConfig::new(8, 2048), 4096).as_secs();
+        let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::llama_70b());
+        let tp = exec
+            .iteration(&ParallelConfig::tensor(8), &BatchWork::uniform_decode(1, 4096))
+            .total()
+            .as_secs();
+        let dp = exec
+            .iteration(&ParallelConfig::single(), &BatchWork::uniform_decode(1, 4096))
+            .total()
+            .as_secs();
+        assert!(tpot_pp > 1.3 * tp, "PP TPOT {tpot_pp:.4}s vs TP {tp:.4}s");
+        // Within a factor of DP (same total weight streaming, minor hops).
+        assert!((0.5..1.6).contains(&(tpot_pp / dp)), "PP/DP ratio {}", tpot_pp / dp);
+    }
+
+    #[test]
+    fn pp_prefill_is_far_slower_than_tp() {
+        // The taxonomy claim: even with microbatching, the pipeline-fill
+        // bubble keeps PP's TTFT several times TP's.
+        let pp = pp();
+        let pp_ttft = pp.prefill_time(&PipelineConfig::new(8, 2048), 8192).as_secs();
+        let exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::llama_70b());
+        let tp_ttft = exec
+            .iteration(&ParallelConfig::tensor(8), &BatchWork::single_prefill(8192))
+            .total()
+            .as_secs();
+        assert!(pp_ttft > 1.5 * tp_ttft, "PP {pp_ttft:.3}s vs TP {tp_ttft:.3}s");
+        // …and far above SP, the paper's prefill-optimal choice.
+        let sp_ttft = exec
+            .iteration(&ParallelConfig::sequence(8), &BatchWork::single_prefill(8192))
+            .total()
+            .as_secs();
+        assert!(pp_ttft > 2.0 * sp_ttft, "PP {pp_ttft:.3}s vs SP {sp_ttft:.3}s");
+    }
+
+    #[test]
+    fn pp_without_microbatching_has_no_prefill_speedup() {
+        // One un-chunked prefill crosses the stages sequentially: total
+        // compute equals a single GPU's, regardless of stage count.
+        let pp = pp();
+        let whole = pp.prefill_time(&PipelineConfig::new(8, 8192), 8192).as_secs();
+        let chunked = pp.prefill_time(&PipelineConfig::new(8, 1024), 8192).as_secs();
+        assert!(
+            whole > 1.8 * chunked,
+            "microbatching must be what rescues PP: whole {whole:.3}s vs chunked {chunked:.3}s"
+        );
+    }
+
+    #[test]
+    fn pp_throughput_is_competitive() {
+        let pp = pp();
+        let tput = pp.peak_throughput(&PipelineConfig::new(8, 2048), 2048);
+        // Same ballpark as the DP node (~43k tok/s), not TP's 33k.
+        assert!(tput > 35_000.0, "PP throughput {tput:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        let _ = PipelineConfig::new(0, 2048);
+    }
+}

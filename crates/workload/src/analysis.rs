@@ -1,0 +1,176 @@
+//! Workload characterization.
+//!
+//! §2.1 observes that production traffic mixes interactive and batch
+//! requests into bursty, dynamic patterns. This module quantifies a
+//! trace's shape — the statistics an operator (or the auto-tuner in
+//! `shift-core`) uses to pick a deployment.
+
+use crate::request::{RequestClass, Trace};
+use serde::{Deserialize, Serialize};
+use sp_metrics::{Dur, Quantiles};
+
+/// Coarse traffic regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Low, steady rate of latency-sensitive requests.
+    Interactive,
+    /// High sustained token demand (bulk jobs).
+    Batch,
+    /// Pronounced bursts over a quiet baseline (Figure 2's pattern).
+    Bursty,
+    /// Steady but heavy mixed traffic.
+    Mixed,
+}
+
+/// Measured shape of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Requests per second over the span.
+    pub arrival_rate: f64,
+    /// Coefficient of variation of inter-arrival gaps (1 ≈ Poisson,
+    /// larger = burstier).
+    pub arrival_cv: f64,
+    /// Peak-to-mean ratio of per-window arrival counts.
+    pub burstiness_ratio: f64,
+    /// Mean prompt tokens.
+    pub mean_input: f64,
+    /// Mean output tokens.
+    pub mean_output: f64,
+    /// 99th-percentile prompt tokens.
+    pub p99_input: f64,
+    /// Sustained token demand, tokens/second.
+    pub demand_tokens_per_sec: f64,
+    /// Fraction of interactive-class requests.
+    pub interactive_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Measures `trace` using `window`-wide bins for the burstiness ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn measure(trace: &Trace, window: Dur) -> WorkloadProfile {
+        assert!(!trace.is_empty(), "cannot profile an empty trace");
+        let n = trace.len();
+
+        let gaps: Vec<f64> = trace
+            .requests()
+            .windows(2)
+            .map(|w| w[1].arrival.since(w[0].arrival).as_secs())
+            .collect();
+        let arrival_cv = if gaps.is_empty() {
+            0.0
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            if mean == 0.0 {
+                0.0
+            } else {
+                let var =
+                    gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                var.sqrt() / mean
+            }
+        };
+
+        let hist = trace.arrival_histogram(window);
+        let counts: Vec<f64> = hist.iter().map(|&(_, c)| c as f64).collect();
+        let mean_count = counts.iter().sum::<f64>() / counts.len().max(1) as f64;
+        let peak_count = counts.iter().copied().fold(0.0, f64::max);
+        let burstiness_ratio =
+            if mean_count > 0.0 { peak_count / mean_count } else { 0.0 };
+
+        let mut input_q: Quantiles =
+            trace.requests().iter().map(|r| f64::from(r.input_tokens)).collect();
+
+        let span = trace.span().as_secs().max(1e-9);
+        WorkloadProfile {
+            arrival_rate: trace.mean_arrival_rate(),
+            arrival_cv,
+            burstiness_ratio,
+            mean_input: trace.total_input_tokens() as f64 / n as f64,
+            mean_output: trace.total_output_tokens() as f64 / n as f64,
+            p99_input: input_q.quantile(0.99).unwrap_or(0.0),
+            demand_tokens_per_sec: trace.total_tokens() as f64 / span,
+            interactive_fraction: trace
+                .requests()
+                .iter()
+                .filter(|r| r.class == RequestClass::Interactive)
+                .count() as f64
+                / n as f64,
+        }
+    }
+
+    /// Classifies the regime.
+    pub fn classify(&self) -> WorkloadClass {
+        if self.burstiness_ratio > 3.0 {
+            WorkloadClass::Bursty
+        } else if self.demand_tokens_per_sec > 20_000.0 {
+            if self.interactive_fraction > 0.5 {
+                WorkloadClass::Mixed
+            } else {
+                WorkloadClass::Batch
+            }
+        } else {
+            WorkloadClass::Interactive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::AzureCodeConfig;
+    use crate::bursty::BurstyConfig;
+    use crate::mooncake::MooncakeConfig;
+    use crate::synthetic;
+
+    fn window() -> Dur {
+        Dur::from_secs(15.0)
+    }
+
+    #[test]
+    fn poisson_trace_has_unit_cv() {
+        let trace = synthetic::poisson(5_000, 5.0, 512, 32, 3);
+        let p = WorkloadProfile::measure(&trace, window());
+        assert!((0.85..1.15).contains(&p.arrival_cv), "cv {}", p.arrival_cv);
+        assert!((4.5..5.5).contains(&p.arrival_rate));
+    }
+
+    #[test]
+    fn bursty_trace_classifies_bursty() {
+        let trace = BurstyConfig::default().generate();
+        let p = WorkloadProfile::measure(&trace, window());
+        assert!(p.burstiness_ratio > 3.0, "ratio {}", p.burstiness_ratio);
+        assert_eq!(p.classify(), WorkloadClass::Bursty);
+    }
+
+    #[test]
+    fn light_poisson_classifies_interactive() {
+        let trace = synthetic::poisson(100, 1.0, 2048, 128, 5);
+        let p = WorkloadProfile::measure(&trace, window());
+        assert_eq!(p.classify(), WorkloadClass::Interactive);
+    }
+
+    #[test]
+    fn mooncake_is_heavy_and_steady() {
+        let trace = MooncakeConfig::default().generate();
+        let p = WorkloadProfile::measure(&trace, window());
+        assert!(p.demand_tokens_per_sec > 20_000.0);
+        assert!(p.burstiness_ratio < 3.0, "ratio {}", p.burstiness_ratio);
+        assert_eq!(p.classify(), WorkloadClass::Mixed);
+    }
+
+    #[test]
+    fn azure_profile_matches_published_shape() {
+        let trace = AzureCodeConfig::default().generate();
+        let p = WorkloadProfile::measure(&trace, window());
+        assert!(p.mean_input > 10.0 * p.mean_output, "long in, short out");
+        assert!(p.burstiness_ratio > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_rejected() {
+        let _ = WorkloadProfile::measure(&Trace::default(), window());
+    }
+}

@@ -1,0 +1,164 @@
+//! Statistical regenerator of the Azure LLM Code trace (Figure 8a).
+//!
+//! The original trace (Patel et al., Splitwise/ISCA'24) records real-world
+//! agentic code completion on Azure: long code-context prompts, short
+//! completions, and a bursty arrival pattern with silent regions and a few
+//! prominent bursts (the paper calls out requests ~437, ~1091, ~2181 as
+//! burst onsets in its 15-minute replay, Figure 9).
+//!
+//! We regenerate a trace with the same published shape: a two-state
+//! (silent/burst) arrival process and log-normal code-completion sizes.
+
+use crate::arrival;
+use crate::request::{Request, RequestClass, Trace};
+use crate::sizes::LengthDist;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use sp_metrics::{Dur, SimTime};
+
+/// Parameters of the Azure-code-like regenerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureCodeConfig {
+    /// Trace duration (the paper replays 15 minutes).
+    pub duration: Dur,
+    /// Arrival rate during silent (low-traffic) regions, req/s.
+    pub silent_rate: f64,
+    /// Arrival rate during bursts, req/s.
+    pub burst_rate: f64,
+    /// Number of prominent bursts (Figure 9 shows three).
+    pub bursts: usize,
+    /// Duration of each burst.
+    pub burst_len: Dur,
+    /// Prompt length distribution (code context: long, heavy-tailed).
+    pub input: LengthDist,
+    /// Output length distribution (completions: short).
+    pub output: LengthDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AzureCodeConfig {
+    fn default() -> AzureCodeConfig {
+        AzureCodeConfig {
+            duration: Dur::from_secs(900.0),
+            silent_rate: 2.0,
+            burst_rate: 14.0,
+            bursts: 3,
+            burst_len: Dur::from_secs(25.0),
+            input: LengthDist::LogNormal { median: 2500.0, sigma: 1.0 },
+            output: LengthDist::LogNormal { median: 40.0, sigma: 0.9 },
+            seed: 0x000A_20BE,
+        }
+    }
+}
+
+impl AzureCodeConfig {
+    /// Generates the trace (~2.5k requests at the default 15-minute
+    /// duration, matching the paper's replay volume).
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dur = self.duration.as_secs();
+
+        // Burst onsets: roughly evenly spaced with jitter, echoing the
+        // three prominent bursts of Figure 9.
+        let burst_starts: Vec<f64> = (0..self.bursts)
+            .map(|b| {
+                let frac = (b as f64 + 0.7) / (self.bursts as f64 + 0.4);
+                let jitter: f64 = rng.gen_range(-0.05..0.05);
+                ((frac + jitter) * dur).clamp(0.0, dur - self.burst_len.as_secs())
+            })
+            .collect();
+
+        let mut requests = Vec::new();
+        let sample_req = |arrival: SimTime, rng: &mut StdRng, input: &LengthDist| Request {
+            id: 0,
+            arrival,
+            input_tokens: input.sample(rng).min(32_768),
+            output_tokens: self.output.sample(rng),
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None
+        };
+
+        // Silent-region traffic across the whole duration.
+        let silent_count = (self.silent_rate * dur).round() as usize;
+        for arrival in arrival::poisson(&mut rng, silent_count, self.silent_rate, SimTime::ZERO)
+        {
+            if arrival.as_secs() <= dur {
+                let r = sample_req(arrival, &mut rng, &self.input);
+                requests.push(r);
+            }
+        }
+
+        // Burst traffic.
+        for &start in &burst_starts {
+            let count = (self.burst_rate * self.burst_len.as_secs()).round() as usize;
+            for arrival in arrival::poisson(
+                &mut rng,
+                count,
+                self.burst_rate,
+                SimTime::from_secs(start),
+            ) {
+                if arrival.as_secs() <= dur {
+                    let r = sample_req(arrival, &mut rng, &self.input);
+                    requests.push(r);
+                }
+            }
+        }
+
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_volume_matches_paper_replay() {
+        let trace = AzureCodeConfig::default().generate();
+        // Figure 9's x-axis runs to ~2600 requests over 15 minutes.
+        assert!(
+            (2000..3400).contains(&trace.len()),
+            "Azure-like trace has {} requests",
+            trace.len()
+        );
+        assert!(trace.span().as_secs() <= 900.0);
+    }
+
+    #[test]
+    fn inputs_long_outputs_short() {
+        let trace = AzureCodeConfig::default().generate();
+        let mean_in = trace.total_input_tokens() as f64 / trace.len() as f64;
+        let mean_out = trace.total_output_tokens() as f64 / trace.len() as f64;
+        assert!(mean_in > 2000.0, "mean input {mean_in}");
+        assert!(mean_out < 200.0, "mean output {mean_out}");
+    }
+
+    #[test]
+    fn trace_is_bursty() {
+        let trace = AzureCodeConfig::default().generate();
+        let hist = trace.arrival_histogram(Dur::from_secs(15.0));
+        let counts: Vec<usize> = hist.iter().map(|&(_, c)| c).collect();
+        let peak = *counts.iter().max().unwrap();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(peak >= 4 * median.max(1), "peak {peak} vs median {median}");
+    }
+
+    #[test]
+    fn inputs_are_capped() {
+        let trace = AzureCodeConfig::default().generate();
+        assert!(trace.requests().iter().all(|r| r.input_tokens <= 32_768));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            AzureCodeConfig::default().generate(),
+            AzureCodeConfig::default().generate()
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The bursty synthetic workload of Figures 2 and 7.
+//!
+//! "A steady stream of requests at low frequency with occasional bursts of
+//! high-frequency requests" — a random mix of two real-life datasets
+//! (§4.1.4): one-shot HumanEval-style completions (short prompts) and
+//! agentic SWE-bench-style requests (long prompts, repeated refinement).
+
+use crate::arrival;
+use crate::request::{Request, RequestClass, Trace};
+use crate::sizes::LengthDist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_metrics::{Dur, SimTime};
+
+/// Parameters of the bursty synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyConfig {
+    /// Total trace duration.
+    pub duration: Dur,
+    /// Steady interactive request rate, req/s.
+    pub base_rate: f64,
+    /// Number of high-traffic bursts, evenly spread over the duration.
+    pub bursts: usize,
+    /// Requests submitted per burst.
+    pub burst_size: usize,
+    /// Window over which each burst's requests arrive.
+    pub burst_window: Dur,
+    /// Prompt lengths of steady (HumanEval-like) requests.
+    pub base_input: LengthDist,
+    /// Output lengths of steady requests.
+    pub base_output: LengthDist,
+    /// Prompt lengths of burst (agentic, SWE-bench-like) requests.
+    pub burst_input: LengthDist,
+    /// Output lengths of burst requests.
+    pub burst_output: LengthDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BurstyConfig {
+    /// The Figure 7 setup: four bursts over a ~10 minute run on top of a
+    /// low-frequency interactive stream.
+    fn default() -> BurstyConfig {
+        BurstyConfig {
+            duration: Dur::from_secs(600.0),
+            base_rate: 1.5,
+            bursts: 4,
+            burst_size: 160,
+            burst_window: Dur::from_secs(10.0),
+            base_input: LengthDist::LogNormal { median: 450.0, sigma: 0.6 },
+            base_output: LengthDist::LogNormal { median: 250.0, sigma: 0.5 },
+            burst_input: LengthDist::LogNormal { median: 4000.0, sigma: 0.8 },
+            burst_output: LengthDist::LogNormal { median: 350.0, sigma: 0.5 },
+            seed: 0xB5_257,
+        }
+    }
+}
+
+impl BurstyConfig {
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero or `base_rate` is not positive.
+    pub fn generate(&self) -> Trace {
+        assert!(!self.duration.is_zero(), "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Steady interactive stream over the whole duration.
+        let steady_count = (self.base_rate * self.duration.as_secs()).round() as usize;
+        let mut requests: Vec<Request> =
+            arrival::poisson(&mut rng, steady_count, self.base_rate, SimTime::ZERO)
+                .into_iter()
+                .filter(|t| t.as_secs() <= self.duration.as_secs())
+                .map(|arrival| Request {
+                    id: 0,
+                    arrival,
+                    input_tokens: self.base_input.sample(&mut rng),
+                    output_tokens: self.base_output.sample(&mut rng),
+                    class: RequestClass::Interactive,
+                    cached_prefix: 0,
+                    prefix_group: None
+                })
+                .collect();
+
+        // Bursts at evenly-spaced instants (avoiding the very start/end).
+        for b in 0..self.bursts {
+            let center =
+                self.duration.as_secs() * (b as f64 + 1.0) / (self.bursts as f64 + 1.0);
+            let start = SimTime::from_secs(
+                (center - self.burst_window.as_secs() / 2.0).max(0.0),
+            );
+            let burst_rate = self.burst_size as f64 / self.burst_window.as_secs().max(1e-9);
+            for arrival in arrival::poisson(&mut rng, self.burst_size, burst_rate, start) {
+                requests.push(Request {
+                    id: 0,
+                    arrival,
+                    input_tokens: self.burst_input.sample(&mut rng),
+                    output_tokens: self.burst_output.sample(&mut rng),
+                    class: RequestClass::Batch,
+                    cached_prefix: 0,
+                    prefix_group: None
+                });
+            }
+        }
+
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_trace_has_bursts_and_steady_traffic() {
+        let trace = BurstyConfig::default().generate();
+        let interactive =
+            trace.requests().iter().filter(|r| r.class == RequestClass::Interactive).count();
+        let batch = trace.requests().iter().filter(|r| r.class == RequestClass::Batch).count();
+        assert!(interactive > 500, "steady stream too small: {interactive}");
+        assert_eq!(batch, 4 * BurstyConfig::default().burst_size);
+    }
+
+    #[test]
+    fn burst_windows_have_elevated_rates() {
+        let cfg = BurstyConfig::default();
+        let trace = cfg.generate();
+        let hist = trace.arrival_histogram(Dur::from_secs(10.0));
+        let peak = hist.iter().map(|&(_, c)| c).max().unwrap();
+        let median = {
+            let mut counts: Vec<usize> = hist.iter().map(|&(_, c)| c).collect();
+            counts.sort_unstable();
+            counts[counts.len() / 2]
+        };
+        assert!(
+            peak > 5 * median.max(1),
+            "peak bin {peak} should dwarf median bin {median}"
+        );
+    }
+
+    #[test]
+    fn burst_requests_have_longer_prompts() {
+        let trace = BurstyConfig::default().generate();
+        let mean = |class: RequestClass| {
+            let xs: Vec<f64> = trace
+                .requests()
+                .iter()
+                .filter(|r| r.class == class)
+                .map(|r| f64::from(r.input_tokens))
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(RequestClass::Batch) > 3.0 * mean(RequestClass::Interactive));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BurstyConfig::default().generate();
+        let b = BurstyConfig::default().generate();
+        assert_eq!(a, b);
+        let c = BurstyConfig { seed: 1, ..BurstyConfig::default() }.generate();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,44 @@
+//! Request workloads for the Shift Parallelism simulator.
+//!
+//! The paper's evaluation drives the serving system with four kinds of
+//! traffic (§4.1.4); this crate regenerates all of them as deterministic,
+//! seeded synthetic traces:
+//!
+//! * [`bursty`] — the bursty synthetic mix of Figures 2 and 7: a steady
+//!   stream of interactive requests with periodic high-rate bursts of
+//!   batch requests.
+//! * [`azure`] — a statistical regenerator of the Azure LLM Code trace
+//!   (Figure 8a): agentic code completion with silent and burst phases,
+//!   long inputs and short outputs.
+//! * [`mooncake`] — a regenerator of the Mooncake conversation trace
+//!   (Figure 8b): a batch of ~9 requests every ~3 seconds with medium
+//!   inputs and long outputs.
+//! * [`synthetic`] — parameterized benchmarks (fixed request sizes,
+//!   Poisson or all-at-once arrivals) for Figures 12–14 and 17.
+//!
+//! Substitution note (DESIGN.md): we do not ship the original trace files;
+//! the regenerators match the published arrival patterns and size
+//! distributions, which is what the evaluation conclusions depend on.
+//!
+//! # Examples
+//!
+//! ```
+//! use sp_workload::synthetic;
+//!
+//! let trace = synthetic::poisson(100, 2.0, 4096, 250, 42);
+//! assert_eq!(trace.len(), 100);
+//! assert!(trace.requests().iter().all(|r| r.input_tokens == 4096));
+//! ```
+
+pub mod analysis;
+pub mod arrival;
+pub mod azure;
+pub mod bursty;
+pub mod mixed;
+pub mod mooncake;
+pub mod multiturn;
+pub mod request;
+pub mod sizes;
+pub mod synthetic;
+
+pub use request::{Request, RequestClass, Trace};

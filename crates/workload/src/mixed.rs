@@ -1,0 +1,176 @@
+//! The production request mix used by §4.5 / Figure 16.
+//!
+//! "These experiments were run on data sets generated using real-world
+//! production traces… and a mixture of ShareGPT, HumanEval and SWEBench to
+//! measure latency." This module mixes the three archetypes:
+//!
+//! * **ShareGPT** — conversational turns: short-to-medium prompts, long
+//!   chatty answers;
+//! * **HumanEval** — one-shot code completion: short prompts, medium
+//!   completions;
+//! * **SWE-bench (agentic)** — repository-context prompts: long inputs,
+//!   medium outputs, arriving in repeated closed-loop batches.
+
+use crate::arrival;
+use crate::request::{Request, RequestClass, Trace};
+use crate::sizes::LengthDist;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use sp_metrics::{Dur, SimTime};
+
+/// One archetype of the mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Archetype {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Sampling weight (relative).
+    pub weight: f64,
+    /// Prompt lengths.
+    pub input: LengthDist,
+    /// Output lengths.
+    pub output: LengthDist,
+    /// QoS class.
+    pub class: RequestClass,
+}
+
+/// Configuration of the production mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductionMixConfig {
+    /// Trace duration.
+    pub duration: Dur,
+    /// Aggregate arrival rate, req/s.
+    pub rate: f64,
+    /// The archetypes and weights.
+    pub archetypes: Vec<Archetype>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProductionMixConfig {
+    fn default() -> ProductionMixConfig {
+        ProductionMixConfig {
+            duration: Dur::from_secs(300.0),
+            rate: 4.0,
+            archetypes: vec![
+                Archetype {
+                    name: "sharegpt",
+                    weight: 0.5,
+                    input: LengthDist::LogNormal { median: 600.0, sigma: 1.0 },
+                    output: LengthDist::LogNormal { median: 350.0, sigma: 0.7 },
+                    class: RequestClass::Interactive,
+                },
+                Archetype {
+                    name: "humaneval",
+                    weight: 0.2,
+                    input: LengthDist::LogNormal { median: 220.0, sigma: 0.4 },
+                    output: LengthDist::LogNormal { median: 250.0, sigma: 0.5 },
+                    class: RequestClass::Interactive,
+                },
+                Archetype {
+                    name: "swebench",
+                    weight: 0.3,
+                    input: LengthDist::LogNormal { median: 9000.0, sigma: 0.7 },
+                    output: LengthDist::LogNormal { median: 400.0, sigma: 0.5 },
+                    class: RequestClass::Batch,
+                },
+            ],
+            seed: 0x41C,
+        }
+    }
+}
+
+impl ProductionMixConfig {
+    /// Generates the mixed trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the archetype list is empty or all weights are zero.
+    pub fn generate(&self) -> Trace {
+        assert!(!self.archetypes.is_empty(), "mix needs at least one archetype");
+        let total_weight: f64 = self.archetypes.iter().map(|a| a.weight).sum();
+        assert!(total_weight > 0.0, "mix weights must be positive");
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let count = (self.rate * self.duration.as_secs()).round() as usize;
+        arrival::poisson(&mut rng, count, self.rate, SimTime::ZERO)
+            .into_iter()
+            .filter(|t| t.as_secs() <= self.duration.as_secs())
+            .map(|arrival| {
+                let mut pick: f64 = rng.gen_range(0.0..total_weight);
+                let archetype = self
+                    .archetypes
+                    .iter()
+                    .find(|a| {
+                        pick -= a.weight;
+                        pick <= 0.0
+                    })
+                    .unwrap_or_else(|| self.archetypes.last().expect("non-empty"));
+                Request {
+                    id: 0,
+                    arrival,
+                    input_tokens: archetype.input.sample(&mut rng).min(65_536),
+                    output_tokens: archetype.output.sample(&mut rng),
+                    class: archetype.class,
+                    cached_prefix: 0,
+                    prefix_group: None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_has_both_classes() {
+        let trace = ProductionMixConfig::default().generate();
+        let interactive =
+            trace.requests().iter().filter(|r| r.class == RequestClass::Interactive).count();
+        let batch = trace.len() - interactive;
+        // ~70% interactive, ~30% batch.
+        let frac = interactive as f64 / trace.len() as f64;
+        assert!((0.6..0.8).contains(&frac), "interactive fraction {frac}");
+        assert!(batch > 0);
+    }
+
+    #[test]
+    fn agentic_requests_have_long_prompts() {
+        let trace = ProductionMixConfig::default().generate();
+        let mean = |class: RequestClass| {
+            let xs: Vec<f64> = trace
+                .requests()
+                .iter()
+                .filter(|r| r.class == class)
+                .map(|r| f64::from(r.input_tokens))
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(RequestClass::Batch) > 5.0 * mean(RequestClass::Interactive));
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let cfg = ProductionMixConfig::default();
+        let trace = cfg.generate();
+        let measured = trace.mean_arrival_rate();
+        assert!((measured / cfg.rate - 1.0).abs() < 0.2, "rate {measured}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            ProductionMixConfig::default().generate(),
+            ProductionMixConfig::default().generate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "archetype")]
+    fn empty_mix_rejected() {
+        let cfg = ProductionMixConfig { archetypes: vec![], ..ProductionMixConfig::default() };
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,103 @@
+//! Regenerator of the Mooncake conversation trace (Figure 8b).
+//!
+//! The original trace (Qin et al., FAST'25) records chatbot conversations
+//! on Moonshot AI's platform. The paper characterizes its replay window as
+//! "a steady arrival of medium input, long output, where a batch of nearly
+//! 9 requests is sent every 3 seconds" — a heavier, KV-cache-hungry
+//! workload that overflows TP and DP deployments on a single node
+//! (Figure 10).
+
+use crate::arrival;
+use crate::request::{Request, RequestClass, Trace};
+use crate::sizes::LengthDist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_metrics::{Dur, SimTime};
+
+/// Parameters of the Mooncake-conversation-like regenerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MooncakeConfig {
+    /// Trace duration (the paper replays 15 minutes).
+    pub duration: Dur,
+    /// Requests per arrival group ("a batch of nearly 9 requests").
+    pub group_size: usize,
+    /// Period between groups ("every 3 seconds").
+    pub period: Dur,
+    /// Prompt lengths (conversation context: medium, accumulating turns).
+    pub input: LengthDist,
+    /// Output lengths (assistant replies: long).
+    pub output: LengthDist,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MooncakeConfig {
+    fn default() -> MooncakeConfig {
+        MooncakeConfig {
+            duration: Dur::from_secs(900.0),
+            group_size: 9,
+            period: Dur::from_secs(3.0),
+            input: LengthDist::LogNormal { median: 13_000.0, sigma: 1.1 },
+            output: LengthDist::LogNormal { median: 600.0, sigma: 0.6 },
+            seed: 0x30_0C_A3,
+        }
+    }
+}
+
+impl MooncakeConfig {
+    /// Generates the trace (~2.7k requests at the default duration).
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let groups = (self.duration.as_secs() / self.period.as_secs()) as usize;
+        let count = groups * self.group_size;
+        arrival::grouped(count, self.group_size, self.period, SimTime::ZERO)
+            .into_iter()
+            .map(|arrival| Request {
+                id: 0,
+                arrival,
+                input_tokens: self.input.sample(&mut rng).min(65_536),
+                output_tokens: self.output.sample(&mut rng),
+                class: RequestClass::Interactive,
+                cached_prefix: 0,
+                prefix_group: None
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_volume_and_cadence() {
+        let trace = MooncakeConfig::default().generate();
+        assert_eq!(trace.len(), 300 * 9);
+        // Steady: every 3 s bin holds exactly one group.
+        let hist = trace.arrival_histogram(Dur::from_secs(3.0));
+        assert!(hist.iter().all(|&(_, c)| c == 9));
+    }
+
+    #[test]
+    fn medium_input_long_output() {
+        let trace = MooncakeConfig::default().generate();
+        let mean_in = trace.total_input_tokens() as f64 / trace.len() as f64;
+        let mean_out = trace.total_output_tokens() as f64 / trace.len() as f64;
+        assert!((8000.0..26000.0).contains(&mean_in), "mean input {mean_in}");
+        assert!(mean_out > 300.0, "mean output {mean_out}");
+    }
+
+    #[test]
+    fn heavier_than_azure_workload() {
+        // Figure 10: "the Mooncake trace involves a heavier workload".
+        let mooncake = MooncakeConfig::default().generate();
+        let azure = crate::azure::AzureCodeConfig::default().generate();
+        let rate = |t: &Trace| t.total_tokens() as f64 / t.span().as_secs();
+        assert!(rate(&mooncake) > 1.5 * rate(&azure));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(MooncakeConfig::default().generate(), MooncakeConfig::default().generate());
+    }
+}

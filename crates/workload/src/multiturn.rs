@@ -1,0 +1,137 @@
+//! Multi-turn conversation / agent sessions with prefix reuse.
+//!
+//! The coding-agent pattern of §2.1 ("a small number of repeated requests
+//! in a closed loop to iteratively refine its generated code"): each turn
+//! resubmits the whole accumulated context plus fresh tokens. With prefix
+//! caching, only the fresh tail needs prefilling — this generator marks
+//! the reusable prefix on every turn so engines with
+//! `prefix_caching = true` can exploit it.
+
+use crate::request::{Request, RequestClass, Trace};
+use crate::sizes::LengthDist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_metrics::{Dur, SimTime};
+
+/// Parameters of a population of multi-turn sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTurnConfig {
+    /// Number of concurrent sessions (users/agents).
+    pub sessions: usize,
+    /// Turns per session.
+    pub turns: usize,
+    /// Initial context tokens of each session.
+    pub initial_context: LengthDist,
+    /// Fresh tokens added per turn (user message / tool output).
+    pub turn_tokens: LengthDist,
+    /// Output tokens generated per turn.
+    pub output: LengthDist,
+    /// Think time between receiving an answer and the next turn.
+    pub think_time: Dur,
+    /// Estimated server-side completion time per turn, used to space the
+    /// turn arrivals (the generator is open-loop; the engine's actual
+    /// latency may differ).
+    pub expected_turn_latency: Dur,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiTurnConfig {
+    fn default() -> MultiTurnConfig {
+        MultiTurnConfig {
+            sessions: 8,
+            turns: 10,
+            initial_context: LengthDist::LogNormal { median: 4000.0, sigma: 0.5 },
+            turn_tokens: LengthDist::LogNormal { median: 800.0, sigma: 0.6 },
+            output: LengthDist::LogNormal { median: 300.0, sigma: 0.4 },
+            think_time: Dur::from_secs(2.0),
+            expected_turn_latency: Dur::from_secs(4.0),
+            seed: 0x77,
+        }
+    }
+}
+
+impl MultiTurnConfig {
+    /// Generates the interleaved trace of all sessions. Every turn's
+    /// `cached_prefix` covers the previous turn's full context + output —
+    /// the tokens a prefix cache would retain — and `prefix_group` is the
+    /// session id, so prefix-caching engines share the KV memory too.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut requests = Vec::new();
+        for s in 0..self.sessions {
+            // Stagger session starts.
+            let mut at =
+                SimTime::from_secs(s as f64 * self.think_time.as_secs() / self.sessions as f64);
+            let mut context = u64::from(self.initial_context.sample(&mut rng));
+            let mut cached: u64 = 0;
+            for _ in 0..self.turns {
+                let fresh = u64::from(self.turn_tokens.sample(&mut rng));
+                let output = self.output.sample(&mut rng);
+                let input = (context + fresh).min(u64::from(u32::MAX)) as u32;
+                requests.push(Request {
+                    id: 0,
+                    arrival: at,
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: RequestClass::Interactive,
+                    cached_prefix: cached.min(u64::from(input)) as u32,
+                    prefix_group: Some(s as u64),
+                });
+                // Next turn: context accumulates this turn's input+output,
+                // all of which the server has cached.
+                cached = u64::from(input) + u64::from(output);
+                context = cached;
+                at += self.expected_turn_latency + self.think_time;
+            }
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_grow_and_prefixes_cover_history() {
+        let trace = MultiTurnConfig { sessions: 1, ..MultiTurnConfig::default() }.generate();
+        assert_eq!(trace.len(), 10);
+        let reqs = trace.requests();
+        assert_eq!(reqs[0].cached_prefix, 0, "first turn has nothing cached");
+        for w in reqs.windows(2) {
+            assert!(w[1].input_tokens > w[0].input_tokens, "context accumulates");
+            assert_eq!(
+                u64::from(w[1].cached_prefix),
+                w[0].total_tokens(),
+                "turn caches the whole previous exchange"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_interleave() {
+        let trace = MultiTurnConfig::default().generate();
+        assert_eq!(trace.len(), 80);
+        // First few arrivals come from different sessions (staggered).
+        let first_inputs: Vec<u32> =
+            trace.requests().iter().take(8).map(|r| r.cached_prefix).collect();
+        assert!(first_inputs.iter().all(|&c| c == 0), "all sessions start cold");
+    }
+
+    #[test]
+    fn cached_prefix_never_exceeds_input() {
+        let trace = MultiTurnConfig::default().generate();
+        for r in trace.requests() {
+            assert!(r.cached_prefix <= r.input_tokens);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            MultiTurnConfig::default().generate(),
+            MultiTurnConfig::default().generate()
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Requests and traces.
+
+use serde::{Deserialize, Serialize};
+use sp_metrics::{Dur, SimTime};
+
+/// Quality-of-service class of a request (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Latency-sensitive: chatbot/agentic traffic; TTFT and TPOT matter.
+    Interactive,
+    /// Throughput-sensitive: bulk summarization/translation jobs.
+    Batch,
+}
+
+/// One inference request: a prompt of `input_tokens` arriving at `arrival`,
+/// generating `output_tokens`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id within a trace.
+    pub id: u64,
+    /// When the client submits the request.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub input_tokens: u32,
+    /// Output length in tokens (known a priori in replay, like the paper's
+    /// trace-driven evaluation).
+    pub output_tokens: u32,
+    /// QoS class.
+    pub class: RequestClass,
+    /// Prompt tokens already present in a shared prefix cache (multi-turn
+    /// conversations re-submitting their context). Engines with prefix
+    /// caching enabled skip prefilling them.
+    #[serde(default)]
+    pub cached_prefix: u32,
+    /// Identity of the shared prefix (e.g. a session id). Engines with
+    /// prefix caching share the cached tokens' KV *memory* across
+    /// requests of the same group instead of duplicating it.
+    #[serde(default)]
+    pub prefix_group: Option<u64>,
+}
+
+impl Request {
+    /// Prompt + output tokens.
+    pub fn total_tokens(&self) -> u64 {
+        u64::from(self.input_tokens) + u64::from(self.output_tokens)
+    }
+}
+
+/// A time-ordered sequence of requests.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::SimTime;
+/// use sp_workload::{Request, RequestClass, Trace};
+///
+/// let trace = Trace::new(vec![Request {
+///     id: 0,
+///     arrival: SimTime::ZERO,
+///     input_tokens: 128,
+///     output_tokens: 16,
+///     class: RequestClass::Interactive,
+///     cached_prefix: 0,
+///     prefix_group: None,
+/// }]);
+/// assert_eq!(trace.total_tokens(), 144);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting requests by arrival time and reassigning
+    /// ids in arrival order.
+    pub fn new(mut requests: Vec<Request>) -> Trace {
+        requests.sort_by(|a, b| {
+            a.arrival.as_secs().partial_cmp(&b.arrival.as_secs()).expect("finite times")
+        });
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace { requests }
+    }
+
+    /// Creates a trace preserving the requests' existing ids (used when
+    /// slicing an already-numbered trace, e.g. routing shards to
+    /// data-parallel replicas).
+    pub fn with_ids(mut requests: Vec<Request>) -> Trace {
+        requests.sort_by(|a, b| {
+            a.arrival.as_secs().partial_cmp(&b.arrival.as_secs()).expect("finite times")
+        });
+        Trace { requests }
+    }
+
+    /// The requests in arrival order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Time span from first to last arrival.
+    pub fn span(&self) -> Dur {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) => last.arrival.since(first.arrival),
+            _ => Dur::ZERO,
+        }
+    }
+
+    /// Total prompt + output tokens across all requests.
+    pub fn total_tokens(&self) -> u64 {
+        self.requests.iter().map(Request::total_tokens).sum()
+    }
+
+    /// Total prompt tokens.
+    pub fn total_input_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| u64::from(r.input_tokens)).sum()
+    }
+
+    /// Total output tokens.
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| u64::from(r.output_tokens)).sum()
+    }
+
+    /// Mean request arrival rate over the span, requests/second.
+    pub fn mean_arrival_rate(&self) -> f64 {
+        let span = self.span().as_secs();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / span
+        }
+    }
+
+    /// Requests arriving per `bin`-second window, for the Figure 2/7/8
+    /// arrival-rate panels.
+    pub fn arrival_histogram(&self, bin: Dur) -> Vec<(SimTime, usize)> {
+        let mut series = sp_metrics::BinnedSeries::new(bin);
+        for r in &self.requests {
+            series.record(r.arrival, 1.0);
+        }
+        series.totals().map(|(t, v)| (t, v as usize)).collect()
+    }
+
+    /// Merges two traces, re-sorting by arrival.
+    pub fn merge(self, other: Trace) -> Trace {
+        let mut all = self.requests;
+        all.extend(other.requests);
+        Trace::new(all)
+    }
+
+    /// Serializes to JSON lines (one request per line), the cleaned-trace
+    /// format of the paper's artifact.
+    pub fn to_jsonl(&self) -> String {
+        self.requests
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("request serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Writes the trace to `path` as JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Reads a trace from a JSON-lines file written by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files, or an
+    /// `InvalidData` error for malformed lines.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
+        let text = std::fs::read_to_string(path)?;
+        Trace::from_jsonl(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Parses a trace from JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for the first malformed
+    /// line.
+    pub fn from_jsonl(s: &str) -> Result<Trace, serde_json::Error> {
+        let requests = s
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<Request>, _>>()?;
+        Ok(Trace::new(requests))
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<T: IntoIterator<Item = Request>>(iter: T) -> Trace {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(at: f64, inp: u32, out: u32) -> Request {
+        Request {
+            id: 0,
+            arrival: SimTime::from_secs(at),
+            input_tokens: inp,
+            output_tokens: out,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None
+        }
+    }
+
+    #[test]
+    fn new_sorts_and_renumbers() {
+        let t = Trace::new(vec![req(5.0, 1, 1), req(1.0, 2, 2), req(3.0, 3, 3)]);
+        let arrivals: Vec<f64> = t.requests().iter().map(|r| r.arrival.as_secs()).collect();
+        assert_eq!(arrivals, vec![1.0, 3.0, 5.0]);
+        let ids: Vec<u64> = t.requests().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn token_totals() {
+        let t = Trace::new(vec![req(0.0, 100, 10), req(1.0, 200, 20)]);
+        assert_eq!(t.total_input_tokens(), 300);
+        assert_eq!(t.total_output_tokens(), 30);
+        assert_eq!(t.total_tokens(), 330);
+    }
+
+    #[test]
+    fn span_and_rate() {
+        let t = Trace::new(vec![req(0.0, 1, 1), req(10.0, 1, 1)]);
+        assert_eq!(t.span().as_secs(), 10.0);
+        assert_eq!(t.mean_arrival_rate(), 0.2);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.span(), Dur::ZERO);
+        assert_eq!(t.mean_arrival_rate(), 0.0);
+        assert!(t.arrival_histogram(Dur::from_secs(1.0)).is_empty());
+    }
+
+    #[test]
+    fn arrival_histogram_bins_correctly() {
+        let t = Trace::new(vec![req(0.1, 1, 1), req(0.2, 1, 1), req(2.5, 1, 1)]);
+        let h = t.arrival_histogram(Dur::from_secs(1.0));
+        assert_eq!(h[0].1, 2);
+        assert_eq!(h[1].1, 0);
+        assert_eq!(h[2].1, 1);
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let a = Trace::new(vec![req(0.0, 1, 1), req(4.0, 1, 1)]);
+        let b = Trace::new(vec![req(2.0, 9, 9)]);
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.requests()[1].input_tokens, 9);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = Trace::new(vec![req(0.5, 128, 16), req(1.5, 64, 8)]);
+        let parsed = Trace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(Trace::from_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = Trace::new(vec![req(0.5, 128, 16), req(1.5, 64, 8)]);
+        let path = std::env::temp_dir().join("sp_trace_roundtrip_test.jsonl");
+        t.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, t);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Trace::load("/nonexistent/sp_trace.jsonl").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Token-length distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over request token lengths.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sp_workload::sizes::LengthDist;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let d = LengthDist::LogNormal { median: 2000.0, sigma: 0.8 };
+/// let v = d.sample(&mut rng);
+/// assert!(v >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LengthDist {
+    /// Always the same length.
+    Fixed(u32),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Log-normal with the given median and log-space standard deviation —
+    /// the classic shape of LLM prompt/response length distributions.
+    LogNormal {
+        /// Median length (`exp(μ)`).
+        median: f64,
+        /// Log-space standard deviation σ.
+        sigma: f64,
+    },
+    /// Samples uniformly from an empirical set of observed lengths.
+    Empirical(Vec<u32>),
+}
+
+impl LengthDist {
+    /// Draws one length, clamped to at least 1 token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is structurally invalid (`lo > hi`,
+    /// non-positive median/sigma, or an empty empirical set).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            LengthDist::Fixed(v) => (*v).max(1),
+            LengthDist::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform bounds inverted");
+                rng.gen_range(*lo..=*hi).max(1)
+            }
+            LengthDist::LogNormal { median, sigma } => {
+                assert!(*median > 0.0 && *sigma > 0.0, "lognormal params must be positive");
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let v = (median.ln() + sigma * z).exp();
+                v.round().clamp(1.0, u32::MAX as f64) as u32
+            }
+            LengthDist::Empirical(values) => {
+                assert!(!values.is_empty(), "empirical distribution needs samples");
+                values[rng.gen_range(0..values.len())].max(1)
+            }
+        }
+    }
+
+    /// Draws `n` lengths.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_returns_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = LengthDist::Fixed(500);
+        assert!(d.sample_n(&mut rng, 10).iter().all(|&v| v == 500));
+    }
+
+    #[test]
+    fn fixed_zero_clamps_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(LengthDist::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LengthDist::Uniform { lo: 10, hi: 20 };
+        for v in d.sample_n(&mut rng, 1000) {
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LengthDist::LogNormal { median: 2000.0, sigma: 1.0 };
+        let mut samples = d.sample_n(&mut rng, 20_001);
+        samples.sort_unstable();
+        let median = samples[10_000] as f64;
+        assert!((1700.0..2300.0).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn empirical_draws_from_set() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LengthDist::Empirical(vec![7, 11, 13]);
+        for v in d.sample_n(&mut rng, 100) {
+            assert!([7, 11, 13].contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empirical")]
+    fn empty_empirical_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = LengthDist::Empirical(vec![]).sample(&mut rng);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_are_at_least_one(
+            seed in any::<u64>(),
+            median in 1.0f64..100_000.0,
+            sigma in 0.1f64..3.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = LengthDist::LogNormal { median, sigma };
+            for v in d.sample_n(&mut rng, 50) {
+                prop_assert!(v >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Mixed-QoS scenario: interactive and batch traffic sharing one
+//! deployment under bursty arrivals (Figure 2's production pattern).
+//!
+//! Shows per-class latency: interactive requests should stay fast even
+//! while batch bursts are being absorbed.
+//!
+//! ```text
+//! cargo run --release --example bursty_mixed
+//! ```
+
+use shift_parallelism::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    let trace = BurstyConfig::default().generate();
+    let class_of: HashMap<u64, RequestClass> =
+        trace.requests().iter().map(|r| (r.id, r.class)).collect();
+    println!(
+        "Bursty mixed trace: {} requests ({} interactive / {} batch)\n",
+        trace.len(),
+        trace.requests().iter().filter(|r| r.class == RequestClass::Interactive).count(),
+        trace.requests().iter().filter(|r| r.class == RequestClass::Batch).count(),
+    );
+
+    for (name, kind) in [
+        ("TP", DeploymentKind::TensorParallel),
+        ("DP", DeploymentKind::DataParallel),
+        ("Shift", DeploymentKind::Shift),
+    ] {
+        let mut deployment = Deployment::builder(NodeSpec::p5en_48xlarge(), presets::llama_70b())
+            .kind(kind)
+            .build()
+            .expect("deployable");
+        let report = deployment.run(&trace);
+
+        let mut by_class: HashMap<RequestClass, Quantiles> = HashMap::new();
+        for rec in report.records() {
+            by_class
+                .entry(class_of[&rec.request_id])
+                .or_default()
+                .record(rec.ttft().as_secs());
+        }
+        let inter = by_class
+            .get_mut(&RequestClass::Interactive)
+            .and_then(|q| q.median())
+            .unwrap_or(f64::NAN);
+        let batch = by_class
+            .get_mut(&RequestClass::Batch)
+            .and_then(|q| q.median())
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:6} median TTFT — interactive {:8.0} ms | batch {:8.0} ms | \
+             throughput {:6.0} tok/s",
+            inter * 1e3,
+            batch * 1e3,
+            report.combined_throughput()
+        );
+    }
+    println!(
+        "\nExpected: with Shift Parallelism, interactive requests keep a low TTFT even\n\
+         during bursts, because bursts drain ~1.5x faster than under TP (Table 5)."
+    );
+}

@@ -1,0 +1,62 @@
+//! Capacity planner: for each Table 4 model, enumerate `(SP, TP)` base
+//! configurations, check memory fit, KV capacity, and KV-cache
+//! invariance, and report the recommended Shift Parallelism deployment
+//! (the §3.2.2 deployment rule, automated).
+//!
+//! ```text
+//! cargo run --release --example capacity_planner
+//! ```
+
+use shift_parallelism::prelude::*;
+
+fn main() {
+    let node = NodeSpec::p5en_48xlarge();
+    println!(
+        "Node: {} GPUs x {:.0} GB, NVSwitch {:.0} GB/s\n",
+        node.gpu_count,
+        node.gpu.mem_bytes as f64 / 1e9,
+        node.interconnect.link_bw / 1e9
+    );
+
+    for model in presets::all_table4() {
+        println!(
+            "### {} — {:.0} GB FP8 weights, {} KV heads",
+            model.name,
+            model.weight_bytes() as f64 / 1e9,
+            model.kv_heads
+        );
+        println!(
+            "{:>10}  {:>12} {:>14} {:>12} {:>10}",
+            "base", "w/GPU (GB)", "KV cap (tok)", "shift ovh", "invariant"
+        );
+        let mut tp = 1;
+        while tp <= node.gpu_count {
+            let base = ParallelConfig::new(node.gpu_count / tp, tp);
+            let weights = ShiftWeightPlan::new(&model, base, WeightStrategy::SeparateModels);
+            let plan = MemoryPlan::plan_with_extra(
+                &node,
+                &model,
+                &base,
+                weights.shift_extra_bytes_per_gpu(),
+                0.9,
+            );
+            let invariant = InvarianceCertificate::verify(&model, base).is_ok();
+            match plan {
+                Ok(p) => println!(
+                    "{:>10}  {:>12.1} {:>14} {:>11.1}% {:>10}",
+                    base.to_string(),
+                    p.weight_bytes_per_gpu as f64 / 1e9,
+                    if p.fits { p.kv_capacity_tokens.to_string() } else { "OOM".into() },
+                    weights.overhead_fraction() * 100.0,
+                    invariant
+                ),
+                Err(e) => println!("{:>10}  invalid layout: {e}", base.to_string()),
+            }
+            tp *= 2;
+        }
+        match Deployment::auto_base(&node, &model, 0.9) {
+            Ok(base) => println!("--> recommended base config: {base}\n"),
+            Err(e) => println!("--> no viable base config: {e}\n"),
+        }
+    }
+}

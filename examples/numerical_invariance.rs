@@ -1,0 +1,57 @@
+//! Numerical demonstration of KV-cache invariance — the mechanism that
+//! makes Shift Parallelism possible, executed on real (toy-sized) f32
+//! tensors rather than cost models.
+//!
+//! ```text
+//! cargo run --release --example numerical_invariance
+//! ```
+
+use shift_parallelism::numeric::{combined, shift, sp, tensor::Matrix, tp, ToyTransformer};
+
+fn main() {
+    // A 2-layer toy transformer: d=16, 4 query heads, 2 KV heads (GQA).
+    let model = ToyTransformer::seeded(2, 16, 4, 2, 4, 32, 7);
+    let prompt = Matrix::random(8, 16, 42);
+    let decode_tokens: Vec<Matrix> = (0..3).map(|i| Matrix::random(1, 16, 100 + i)).collect();
+
+    println!("Toy model: 2 layers, d=16, 4 Q heads / 2 KV heads (GQA), 4 ranks\n");
+
+    // 1. All parallelisms compute the same prefill.
+    let (serial, serial_cache) = model.forward(&prompt);
+    let (tp_out, _) = tp::forward(&model, &prompt, 4);
+    let (sp_out, sp_shards) = sp::forward(&model, &prompt, 4);
+    let (mixed_out, _) = combined::forward(&model, &prompt, 2, 2);
+    println!("prefill max |Δ| vs serial:");
+    println!("  TP=4          {:.2e}", tp_out.max_abs_diff(&serial));
+    println!("  SP=4          {:.2e}", sp_out.max_abs_diff(&serial));
+    println!("  (SP=2, TP=2)  {:.2e}", mixed_out.max_abs_diff(&serial));
+
+    // 2. SP and TP leave IDENTICAL per-rank KV shards.
+    let (_, tp_shards) = tp::forward(&model, &prompt, 4);
+    let max_kv_diff = sp_shards
+        .iter()
+        .zip(&tp_shards)
+        .flat_map(|(s, t)| s.layers.iter().zip(&t.layers))
+        .map(|((ks, _), (kt, _))| ks.max_abs_diff(kt))
+        .fold(0.0f32, f32::max);
+    println!("\nKV-cache invariance: max |Δ| between SP and TP shards = {max_kv_diff:.2e}");
+
+    // 3. The full shift run: prefill in (SP=2, TP=2), decode in TP=4 on
+    //    the SAME cache — outputs match the serial decode.
+    let (_, serial_decode, _) = shift::serial_run(&model, &prompt, &decode_tokens);
+    let (_, shift_decode, shards) =
+        shift::prefill_base_decode_shift(&model, &prompt, 2, 2, &decode_tokens);
+    println!("\nshift run (base (2,2) prefill → TP=4 decode), per-step max |Δ| vs serial:");
+    for (i, (got, want)) in shift_decode.iter().zip(&serial_decode).enumerate() {
+        println!("  decode step {i}: {:.2e}", got.max_abs_diff(want));
+    }
+
+    // 4. The §3.3.1 interleaving is real: mixed-base head ownership.
+    let owned: Vec<Vec<usize>> = shards.iter().map(|s| s.q_heads.clone()).collect();
+    println!(
+        "\nhead ownership under the (SP=2, TP=2) base: {owned:?}\n\
+         (interleaved (0,2,1,3) — the Figure 6 ordering the shift model must follow)"
+    );
+    let _ = serial_cache;
+    println!("\nAll differences are at f32 round-off: the switch is numerically exact.");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: deploy Shift Parallelism and serve one request.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use shift_parallelism::prelude::*;
+
+fn main() {
+    // An 8xH200 node, as in the paper's evaluation.
+    let node = NodeSpec::p5en_48xlarge();
+
+    // Llama-3.3-70B in FP8 (Table 4).
+    let model = presets::llama_70b();
+
+    // Build a Shift Parallelism deployment. The base (SP, TP) config is
+    // chosen automatically per §3.2.2; the invariance certificate and
+    // memory plan are validated under the hood.
+    let mut deployment = Deployment::builder(node, model)
+        .kind(DeploymentKind::Shift)
+        .build()
+        .expect("Llama-70B fits an 8xH200 node");
+
+    println!("KV cache capacity: {} tokens", deployment.kv_capacity_tokens());
+
+    // A single interactive request: 4k-token prompt, 128-token answer.
+    let trace = synthetic::single(4096, 128);
+    let mut report = deployment.run(&trace);
+
+    let m = report.metrics_mut();
+    println!("TTFT:            {:.1} ms", m.ttft().median().unwrap() * 1e3);
+    println!("TPOT:            {:.2} ms", m.tpot().median().unwrap() * 1e3);
+    println!("completion time: {:.2} s", m.completion().median().unwrap());
+
+    let (base, shift, switches) = deployment.shift_stats().expect("shift deployment");
+    println!(
+        "policy: {base} base-config iterations, {shift} shift-config iterations, \
+         {switches} switches"
+    );
+}

@@ -1,0 +1,134 @@
+//! Randomized stress tests of the serving engine: arbitrary traces,
+//! scheduler knobs and deployment kinds must never lose requests, violate
+//! timestamp ordering, or leak KV accounting.
+
+use proptest::prelude::*;
+use shift_parallelism::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = DeploymentKind> {
+    prop_oneof![
+        Just(DeploymentKind::TensorParallel),
+        Just(DeploymentKind::DataParallel),
+        Just(DeploymentKind::SequenceParallel),
+        Just(DeploymentKind::Shift),
+        (1usize..4, 0u64..2048).prop_map(|(sp_pow, threshold)| {
+            let sp = 1 << sp_pow;
+            DeploymentKind::ShiftWithBase {
+                base: ParallelConfig::new(sp, 8 / sp),
+                threshold,
+            }
+        }),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        prop::collection::vec((1u32..16_000, 1u32..200, 0.0f64..120.0, any::<bool>()), 1..40),
+    )
+        .prop_map(|(reqs,)| {
+            reqs.into_iter()
+                .enumerate()
+                .map(|(i, (input, output, at, interactive))| Request {
+                    id: i as u64,
+                    arrival: SimTime::from_secs(at),
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: if interactive {
+                        RequestClass::Interactive
+                    } else {
+                        RequestClass::Batch
+                    },
+                    cached_prefix: 0,
+                    prefix_group: None
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_never_loses_or_corrupts_requests(
+        trace in arb_trace(),
+        kind in arb_kind(),
+        max_batched in prop_oneof![Just(2048u64), Just(8192)],
+        max_seqs in prop_oneof![Just(4usize), Just(64)],
+        preempt in any::<bool>(),
+        priority in any::<bool>(),
+        cap in prop_oneof![Just(None), Just(Some(1024u64))],
+    ) {
+        let mut builder = Deployment::builder(NodeSpec::p5en_48xlarge(), presets::qwen_32b())
+            .kind(kind)
+            .max_batched_tokens(max_batched)
+            .max_seqs(max_seqs)
+            .queue_policy(if priority {
+                QueuePolicy::InteractiveFirst
+            } else {
+                QueuePolicy::Fcfs
+            })
+            .admission(if preempt {
+                AdmissionMode::PreemptRestart
+            } else {
+                AdmissionMode::ReserveFull
+            });
+        if let Some(c) = cap {
+            builder = builder.max_prefill_tokens(c);
+        }
+        let mut dep = builder.build().expect("evaluation configs always deploy");
+        let report = dep.run(&trace);
+
+        // 1. Conservation: every request completed or rejected, once.
+        prop_assert_eq!(report.records().len() + report.rejected().len(), trace.len());
+        let mut ids: Vec<u64> = report
+            .records()
+            .iter()
+            .map(|r| r.request_id)
+            .chain(report.rejected().iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+
+        // 2. Timestamp sanity on every record.
+        for r in report.records() {
+            prop_assert!(r.first_token >= r.arrival);
+            prop_assert!(r.finish >= r.first_token);
+            prop_assert!(r.finish.as_secs() <= report.makespan().as_secs() + 1e-9);
+        }
+
+        // 3. Output fidelity: completed requests produced exactly their
+        //    requested output tokens.
+        for r in report.records() {
+            let want = trace
+                .requests()
+                .iter()
+                .find(|q| q.id == r.request_id)
+                .expect("record corresponds to a request");
+            prop_assert_eq!(r.output_tokens, want.output_tokens);
+            prop_assert_eq!(r.input_tokens, want.input_tokens);
+        }
+
+        // 4. Accounting sanity.
+        prop_assert!(report.peak_kv_utilization() <= 1.0 + 1e-9);
+        let configs: u64 = report.config_usage().values().sum();
+        prop_assert_eq!(configs, report.iterations());
+        if !preempt {
+            prop_assert_eq!(report.preemptions(), 0);
+        }
+    }
+
+    #[test]
+    fn fleet_conserves_requests(
+        trace in arb_trace(),
+        nodes in 1usize..4,
+    ) {
+        let mut fleet = shift_parallelism::core::fleet::Fleet::new(nodes, || {
+            Deployment::builder(NodeSpec::p5en_48xlarge(), presets::qwen_32b())
+                .kind(DeploymentKind::Shift)
+        })
+        .unwrap();
+        let report = fleet.run(&trace);
+        prop_assert_eq!(report.records().len() + report.rejected().len(), trace.len());
+    }
+}

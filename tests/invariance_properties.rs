@@ -1,0 +1,139 @@
+//! Property-based integration tests of the paper's core soundness claims,
+//! spanning the mapping, KV-layout and deployment crates.
+
+use proptest::prelude::*;
+use shift_parallelism::prelude::*;
+
+proptest! {
+    /// The shard maps of `shift-core::shards` (what a weight loader would
+    /// use) agree with the head ownership the `sp-numeric` tensor
+    /// implementation actually computes under Algorithm 1.
+    #[test]
+    fn shard_maps_agree_with_numeric_execution(sp_pow in 0u32..3, tp_pow in 0u32..3) {
+        use shift_parallelism::numeric::{combined, tensor::Matrix, ToyTransformer};
+        use shift_parallelism::core::shards::ShardMap;
+
+        let sp = 1usize << sp_pow;
+        let tp = 1usize << tp_pow;
+        prop_assume!(sp * tp > 1 && sp * tp <= 8); // 8 q heads to distribute
+        // Toy model with 8 q heads / 4 kv heads, matching head counts into
+        // a ModelConfig for the shard map.
+        let toy = ToyTransformer::seeded(1, 16, 8, 4, 2, 32, 3);
+        let mut cfg = presets::llama_70b();
+        cfg.q_heads = 8;
+        cfg.kv_heads = 4;
+        let map = ShardMap::for_base(&cfg, ParallelConfig::new(sp, tp)).unwrap();
+
+        let x = Matrix::random(8, 16, 9);
+        let (_, numeric_shards) = combined::forward(&toy, &x, sp, tp);
+        for (rank_map, rank_numeric) in map.ranks().iter().zip(&numeric_shards) {
+            let loader_heads: Vec<usize> =
+                rank_map.q_heads.iter().map(|&h| h as usize).collect();
+            prop_assert_eq!(&loader_heads, &rank_numeric.q_heads,
+                "rank {} loader vs numeric ownership", rank_map.rank);
+        }
+    }
+
+    /// §3.3.1 generalized: for every (SP, TP) factorization of 8 GPUs and
+    /// every Table 4 model, a valid base config yields an invariance
+    /// certificate, and its head order is exactly the SP_TP group.
+    #[test]
+    fn certificates_match_sp_tp_group(tp_pow in 0u32..4, model_idx in 0usize..4) {
+        let tp = 1usize << tp_pow;
+        let sp = 8 / tp;
+        let base = ParallelConfig::new(sp, tp);
+        let model = presets::all_table4()[model_idx].clone();
+        if let Ok(cert) = InvarianceCertificate::verify(&model, base) {
+            let mapping = ProcessMapping::new(sp, tp);
+            let expected: Vec<u32> =
+                mapping.sp_tp_group().into_iter().map(|r| r as u32).collect();
+            prop_assert_eq!(cert.head_order(), &expected[..]);
+        }
+    }
+
+    /// Eq. 1 end-to-end: the deployment's KV capacity shrinks by exactly
+    /// the shift model's weight share relative to a static SP deployment.
+    #[test]
+    fn shift_kv_capacity_reflects_eq1(model_idx in 0usize..2) {
+        let model = presets::all_table4()[model_idx].clone();
+        let node = NodeSpec::p5en_48xlarge();
+        let base = Deployment::auto_base(&node, &model, 0.9).unwrap();
+        let shift = Deployment::builder(node, model.clone())
+            .kind(DeploymentKind::ShiftWithBase { base, threshold: 256 })
+            .build()
+            .unwrap();
+        let static_base = Deployment::builder(node, model.clone())
+            .kind(DeploymentKind::Static(base))
+            .build()
+            .unwrap();
+        prop_assert!(shift.kv_capacity_tokens() < static_base.kv_capacity_tokens());
+        // The missing capacity equals w/(SP·TP) bytes of KV tokens.
+        let plan = ShiftWeightPlan::new(&model, base, WeightStrategy::SeparateModels);
+        let missing_bytes = (static_base.kv_capacity_tokens()
+            - shift.kv_capacity_tokens()) as f64
+            * sp_kvcache::KvShardLayout::for_model(&model, base.degree())
+                .unwrap()
+                .per_gpu_kv_bytes_per_token(&model) as f64;
+        let expected = plan.shift_extra_bytes_per_gpu() as f64;
+        prop_assert!((missing_bytes / expected - 1.0).abs() < 0.01,
+            "missing {missing_bytes} vs expected {expected}");
+    }
+
+    /// Conservation: every request in every workload is either completed
+    /// exactly once or rejected, never lost, for all deployment kinds.
+    #[test]
+    fn no_request_is_ever_lost(
+        count in 1usize..30,
+        rate in 0.5f64..30.0,
+        input in 64u32..4096,
+        output in 1u32..64,
+        seed in any::<u64>(),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            DeploymentKind::TensorParallel,
+            DeploymentKind::DataParallel,
+            DeploymentKind::SequenceParallel,
+            DeploymentKind::Shift,
+        ][kind_idx];
+        let trace = synthetic::poisson(count, rate, input, output, seed);
+        let mut dep = Deployment::builder(NodeSpec::p5en_48xlarge(), presets::qwen_32b())
+            .kind(kind)
+            .build()
+            .unwrap();
+        let report = dep.run(&trace);
+        prop_assert_eq!(report.records().len() + report.rejected().len(), count);
+        let mut ids: Vec<u64> = report
+            .records()
+            .iter()
+            .map(|r| r.request_id)
+            .chain(report.rejected().iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), count);
+    }
+
+    /// Latency sanity for every completed request: arrival ≤ first token ≤
+    /// finish, and decode time is consistent with TPOT.
+    #[test]
+    fn record_timestamps_are_ordered(
+        count in 1usize..20,
+        input in 128u32..8192,
+        output in 2u32..128,
+    ) {
+        let trace = synthetic::uniform_batch(count, input, output);
+        let mut dep = Deployment::builder(NodeSpec::p5en_48xlarge(), presets::llama_70b())
+            .kind(DeploymentKind::Shift)
+            .build()
+            .unwrap();
+        let report = dep.run(&trace);
+        for r in report.records() {
+            prop_assert!(r.first_token >= r.arrival);
+            prop_assert!(r.finish >= r.first_token);
+            let decode = r.finish.since(r.first_token).as_secs();
+            let tpot = r.tpot().as_secs();
+            prop_assert!((decode - tpot * f64::from(output - 1)).abs() < 1e-9);
+        }
+    }
+}
