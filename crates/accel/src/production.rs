@@ -210,9 +210,7 @@ mod tests {
 
         for profile in [FrameworkProfile::vllm(), FrameworkProfile::sglang()] {
             // Latency-optimized baseline: TP.
-            let mut tp = profile
-                .deploy(node(), model(), DeploymentKind::TensorParallel)
-                .unwrap();
+            let mut tp = profile.deploy(node(), model(), DeploymentKind::TensorParallel).unwrap();
             let mut tp_report = tp.run(&trace);
             let tp_completion = tp_report.metrics_mut().completion().median().unwrap();
             assert!(
@@ -221,8 +219,7 @@ mod tests {
                 profile.name
             );
             // Throughput-optimized baseline: DP.
-            let mut dp =
-                profile.deploy(node(), model(), DeploymentKind::DataParallel).unwrap();
+            let mut dp = profile.deploy(node(), model(), DeploymentKind::DataParallel).unwrap();
             let dp_report = dp.run(&trace);
             assert!(
                 ours_tput > 0.9 * dp_report.combined_throughput(),
@@ -237,11 +234,8 @@ mod tests {
     #[test]
     fn framework_profiles_differ_in_overhead() {
         assert!(
-            FrameworkProfile::trt_llm().overhead.base
-                < FrameworkProfile::sglang().overhead.base
+            FrameworkProfile::trt_llm().overhead.base < FrameworkProfile::sglang().overhead.base
         );
-        assert!(
-            FrameworkProfile::sglang().overhead.base < FrameworkProfile::vllm().overhead.base
-        );
+        assert!(FrameworkProfile::sglang().overhead.base < FrameworkProfile::vllm().overhead.base);
     }
 }

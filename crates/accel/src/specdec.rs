@@ -64,17 +64,13 @@ mod tests {
         let plain_report = plain.run(&trace);
         let spec_report = spec.run(&trace);
         assert!(
-            (spec_report.iterations() as f64)
-                < plain_report.iterations() as f64 / 1.8,
+            (spec_report.iterations() as f64) < plain_report.iterations() as f64 / 1.8,
             "spec {} vs plain {} iterations",
             spec_report.iterations(),
             plain_report.iterations()
         );
         // Same client-visible tokens.
-        assert_eq!(
-            spec_report.metrics().total_tokens(),
-            plain_report.metrics().total_tokens()
-        );
+        assert_eq!(spec_report.metrics().total_tokens(), plain_report.metrics().total_tokens());
     }
 
     #[test]
@@ -82,8 +78,7 @@ mod tests {
         let node = NodeSpec::p5en_48xlarge();
         let trace = synthetic::single(1024, 250);
         let run = |sd: Option<SpecDecode>| {
-            let mut b = Deployment::builder(node, presets::llama_70b())
-                .kind(DeploymentKind::Shift);
+            let mut b = Deployment::builder(node, presets::llama_70b()).kind(DeploymentKind::Shift);
             if let Some(sd) = sd {
                 b = b.spec_decode(sd);
             }

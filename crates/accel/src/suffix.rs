@@ -239,11 +239,7 @@ mod tests {
         let mut tree = SuffixTree::new(12);
         tree.observe(&history);
         let report = measure_acceptance(&tree, &target, 7);
-        assert!(
-            report.acceptance > 0.5,
-            "agentic acceptance {:.2} too low",
-            report.acceptance
-        );
+        assert!(report.acceptance > 0.5, "agentic acceptance {:.2} too low", report.acceptance);
         assert!(report.speedup() > 2.0, "speedup {:.2}", report.speedup());
     }
 

@@ -6,8 +6,6 @@
 //! and MLP compute. With the standard 50% layer cut this removes roughly
 //! half of the prefill GEMM work while leaving decode untouched.
 
-use serde::{Deserialize, Serialize};
-
 /// SwiftKV configuration: the fraction of layers whose prefill compute is
 /// skipped.
 ///
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let sk = SwiftKv::new(0.5);
 /// assert_eq!(sk.prefill_flops_scale(), 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwiftKv {
     skip_fraction: f64,
 }

@@ -6,8 +6,7 @@ use sp_model::presets;
 use sp_parallel::{BatchWork, ChunkWork, ExecutionModel, ParallelConfig};
 
 fn bench_iteration(c: &mut Criterion) {
-    let exec =
-        ExecutionModel::new(sp_cluster::NodeSpec::p5en_48xlarge(), presets::llama_70b());
+    let exec = ExecutionModel::new(sp_cluster::NodeSpec::p5en_48xlarge(), presets::llama_70b());
     let mut group = c.benchmark_group("iteration");
 
     let prefill = BatchWork::single_prefill(8192);

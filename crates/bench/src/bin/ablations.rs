@@ -52,7 +52,15 @@ fn threshold_sweep() {
     }
     print_table(
         "Ablation 1 — shift threshold sweep (Llama-70B, bursty trace)",
-        &["threshold", "TTFT p50(ms)", "TPOT p50(ms)", "compl p50(s)", "base it", "shift it", "switches"],
+        &[
+            "threshold",
+            "TTFT p50(ms)",
+            "TPOT p50(ms)",
+            "compl p50(s)",
+            "base it",
+            "shift it",
+            "switches",
+        ],
         &rows,
     );
     println!(
@@ -181,8 +189,7 @@ fn prefill_cap() {
     let trace = sp_workload::mixed::ProductionMixConfig::default().generate();
     let mut rows = Vec::new();
     for cap in [None, Some(4096u64), Some(2048), Some(1024), Some(512)] {
-        let mut builder =
-            Deployment::builder(node(), model.clone()).kind(DeploymentKind::Shift);
+        let mut builder = Deployment::builder(node(), model.clone()).kind(DeploymentKind::Shift);
         if let Some(c) = cap {
             builder = builder.max_prefill_tokens(c);
         }

@@ -17,9 +17,29 @@ use sp_workload::Trace;
 
 fn main() {
     let workloads: Vec<(&str, Trace)> = vec![
-        ("bursty", BurstyConfig { duration: Dur::from_secs(180.0), bursts: 1, burst_size: 120, ..BurstyConfig::default() }.generate()),
-        ("azure-code", AzureCodeConfig { duration: Dur::from_secs(240.0), ..AzureCodeConfig::default() }.generate()),
-        ("production-mix", ProductionMixConfig { duration: Dur::from_secs(120.0), ..ProductionMixConfig::default() }.generate()),
+        (
+            "bursty",
+            BurstyConfig {
+                duration: Dur::from_secs(180.0),
+                bursts: 1,
+                burst_size: 120,
+                ..BurstyConfig::default()
+            }
+            .generate(),
+        ),
+        (
+            "azure-code",
+            AzureCodeConfig { duration: Dur::from_secs(240.0), ..AzureCodeConfig::default() }
+                .generate(),
+        ),
+        (
+            "production-mix",
+            ProductionMixConfig {
+                duration: Dur::from_secs(120.0),
+                ..ProductionMixConfig::default()
+            }
+            .generate(),
+        ),
     ];
 
     // Workload profiles first.
@@ -62,7 +82,14 @@ fn main() {
                     best.max_prefill_tokens.map_or("none".into(), |c| c.to_string()),
                     format!("{:.3}", best.score.abs()),
                 ]),
-                Err(e) => rows.push(vec![name.to_string(), obj_name.to_string(), e, String::new(), String::new(), String::new()]),
+                Err(e) => rows.push(vec![
+                    name.to_string(),
+                    obj_name.to_string(),
+                    e,
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]),
             }
         }
     }

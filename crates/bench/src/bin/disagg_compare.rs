@@ -10,8 +10,9 @@
 //! cargo run --release -p sp-bench --bin disagg_compare
 //! ```
 
-use shift_core::DeploymentKind;
+use shift_core::{Deployment, DeploymentKind, Fleet};
 use sp_bench::harness::{node, print_table, run_kind};
+use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
 use sp_engine::disagg::{DisaggConfig, DisaggregatedServer};
 use sp_model::presets;
 use sp_workload::synthetic;
@@ -26,17 +27,26 @@ fn main() {
         ("saturating batch", synthetic::uniform_batch(400, 4096, 250)),
     ] {
         // Disaggregated: 2×TP2 prefill + 1×TP4 decode.
-        let mut disagg = DisaggregatedServer::new(
-            node(),
-            model.clone(),
-            DisaggConfig::half_and_half(),
-        );
+        let mut disagg =
+            DisaggregatedServer::new(node(), model.clone(), DisaggConfig::half_and_half());
         let mut d = disagg.run(&trace);
 
         // Shift on the full node.
         let mut s = run_kind(DeploymentKind::Shift, &model, &trace);
 
-        for (name, report) in [("disagg 4P+4D", &mut d), ("Shift (8 GPUs)", &mut s)] {
+        // Same 8 GPUs split like disagg's pools — but as two symmetric
+        // Shift replicas behind the online JSQ router instead of a static
+        // prefill/decode partition. Any replica serves any phase.
+        let half_node = NodeSpec::new(GpuSpec::h200(), 4, InterconnectSpec::nvswitch());
+        let mut fleet = Fleet::new(2, || {
+            Deployment::builder(half_node, model.clone()).kind(DeploymentKind::Shift)
+        })
+        .expect("known-good fleet");
+        let mut f = fleet.run(&trace);
+
+        for (name, report) in
+            [("disagg 4P+4D", &mut d), ("Shift (8 GPUs)", &mut s), ("Shift x2 (JSQ)", &mut f)]
+        {
             let tput = report.combined_throughput();
             let m = report.metrics_mut();
             rows.push(vec![

@@ -26,12 +26,7 @@ fn main() {
     }
     print_table(
         "Figure 1 — Llama-70B, 4k/250",
-        &[
-            "system",
-            "response speed (in-tok/s)",
-            "gen rate (tok/s)",
-            "high-traffic tok/s",
-        ],
+        &["system", "response speed (in-tok/s)", "gen rate (tok/s)", "high-traffic tok/s"],
         &rows,
     );
     println!(

@@ -8,8 +8,8 @@
 use shift_core::DeploymentKind;
 use sp_accel::{FrameworkProfile, ProductionStack, SwiftKv};
 use sp_bench::harness::{node, print_table};
-use sp_workload::mixed::ProductionMixConfig;
 use sp_model::presets;
+use sp_workload::mixed::ProductionMixConfig;
 use sp_workload::Trace;
 
 fn mixed_trace() -> Trace {
@@ -23,9 +23,18 @@ fn main() {
     println!("Mixed production-like trace: {} requests", trace.len());
 
     let mut rows = Vec::new();
+    // Multi-replica (DP) rows route online: each request is dispatched at
+    // its arrival instant to the least-loaded replica. Single-engine rows
+    // have nothing to route.
     let mut push = |name: &str, report: &mut sp_engine::EngineReport| {
+        let router = if report.routing_decisions().is_empty() {
+            "-".to_string()
+        } else {
+            format!("JSQ ({} decisions)", report.routing_decisions().len())
+        };
         rows.push(vec![
             name.to_string(),
+            router,
             format!("{:.2}", report.metrics_mut().completion().median().unwrap()),
             format!("{:.2}", report.metrics_mut().completion().p99().unwrap()),
             format!("{:.0}", report.combined_throughput()),
@@ -34,11 +43,9 @@ fn main() {
 
     // Baselines: each framework, latency- (TP) and throughput- (DP)
     // optimized, out of the box.
-    for profile in [
-        FrameworkProfile::vllm(),
-        FrameworkProfile::sglang(),
-        FrameworkProfile::trt_llm(),
-    ] {
+    for profile in
+        [FrameworkProfile::vllm(), FrameworkProfile::sglang(), FrameworkProfile::trt_llm()]
+    {
         // Baselines ship with their best available speculation enabled
         // (the §4.5 footnote), hence the "+spec" tag.
         for (suffix, kind) in [
@@ -64,7 +71,7 @@ fn main() {
 
     print_table(
         "Figure 16 — production comparison, Llama-70B",
-        &["system", "compl p50 (s)", "compl p99 (s)", "tok/s"],
+        &["system", "router", "compl p50 (s)", "compl p99 (s)", "tok/s"],
         &rows,
     );
     println!(

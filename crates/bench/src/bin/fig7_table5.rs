@@ -37,12 +37,8 @@ fn main() {
 
         // Throughput time series (Figure 7 bottom panel), decimated.
         if name == "Shift" {
-            let series: Vec<(f64, f64)> = report
-                .metrics()
-                .throughput()
-                .rates()
-                .map(|(t, r)| (t.as_secs(), r))
-                .collect();
+            let series: Vec<(f64, f64)> =
+                report.metrics().throughput().rates().map(|(t, r)| (t.as_secs(), r)).collect();
             let rows: Vec<Vec<String>> = series
                 .chunks(30)
                 .map(|c| {

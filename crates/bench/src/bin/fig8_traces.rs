@@ -5,16 +5,17 @@
 //! cargo run --release -p sp-bench --bin fig8_traces
 //! ```
 
-use sp_bench::harness::print_table;
+use shift_core::{Deployment, DeploymentKind, Fleet, RoutingKind};
+use sp_bench::harness::{node, print_table};
 use sp_metrics::{Dur, Quantiles};
+use sp_model::presets;
 use sp_workload::azure::AzureCodeConfig;
 use sp_workload::bursty::BurstyConfig;
 use sp_workload::mooncake::MooncakeConfig;
 use sp_workload::Trace;
 
 fn describe(name: &str, trace: &Trace) {
-    let mut input: Quantiles =
-        trace.requests().iter().map(|r| f64::from(r.input_tokens)).collect();
+    let mut input: Quantiles = trace.requests().iter().map(|r| f64::from(r.input_tokens)).collect();
     let mut output: Quantiles =
         trace.requests().iter().map(|r| f64::from(r.output_tokens)).collect();
     let mut rows = Vec::new();
@@ -36,15 +37,54 @@ fn describe(name: &str, trace: &Trace) {
         .iter()
         .map(|(t, c)| vec![format!("{:.0}", t.as_secs()), format!("{c}"), "#".repeat(c / 10)])
         .collect();
+    print_table(&format!("Figure 8 — {name}: arrivals per 30s"), &["t(s)", "req", ""], &rows);
+}
+
+/// How much routing policy matters on a bursty trace: p99 TTFT across a
+/// 2-node fleet for each online policy, plus the offline static split
+/// the online router replaced.
+fn routing_comparison(trace: &Trace) {
+    let make_fleet = || {
+        Fleet::new(2, || {
+            Deployment::builder(node(), presets::qwen_32b()).kind(DeploymentKind::Shift)
+        })
+        .expect("known-good fleet")
+    };
+
+    let mut rows = Vec::new();
+    for kind in
+        [RoutingKind::JoinShortestOutstanding, RoutingKind::RoundRobin, RoutingKind::StaticSplit]
+    {
+        let mut report = make_fleet().routing(kind).run(trace);
+        let to_node0 = report.routing_decisions().iter().filter(|d| d.replica == 0).count();
+        let total = report.routing_decisions().len().max(1);
+        let m = report.metrics_mut();
+        rows.push(vec![
+            kind.policy().name().to_string(),
+            format!("{:.0}", m.ttft().median().unwrap_or(0.0) * 1e3),
+            format!("{:.0}", m.ttft().p99().unwrap_or(0.0) * 1e3),
+            format!("{:.1}%", 100.0 * to_node0 as f64 / total as f64),
+        ]);
+    }
+    let mut offline = make_fleet().run_offline(trace);
+    let m = offline.metrics_mut();
+    rows.push(vec![
+        "offline-static (baseline)".to_string(),
+        format!("{:.0}", m.ttft().median().unwrap_or(0.0) * 1e3),
+        format!("{:.0}", m.ttft().p99().unwrap_or(0.0) * 1e3),
+        "-".to_string(),
+    ]);
     print_table(
-        &format!("Figure 8 — {name}: arrivals per 30s"),
-        &["t(s)", "req", ""],
+        "Online routing policies, 2-node Shift fleet on the bursty trace",
+        &["router", "TTFT p50(ms)", "TTFT p99(ms)", "to node 0"],
         &rows,
     );
 }
 
 fn main() {
-    describe("bursty synthetic (Fig. 2/7)", &BurstyConfig::default().generate());
+    let bursty = BurstyConfig::default().generate();
+    describe("bursty synthetic (Fig. 2/7)", &bursty);
+    routing_comparison(&bursty);
     describe("Azure LLM Code (Fig. 8a)", &AzureCodeConfig::default().generate());
     describe("Mooncake conversation (Fig. 8b)", &MooncakeConfig::default().generate());
     println!(

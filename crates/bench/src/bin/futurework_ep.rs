@@ -30,9 +30,7 @@ fn main() {
             // SP×EP combinations.
             for (sp, ep) in [(4usize, 2usize), (2, 4), (1, 8)] {
                 if (moe.num_experts as usize).is_multiple_of(ep) {
-                    let t = ep_walk
-                        .iteration(&ExpertParallelConfig::new(sp, ep), &batch)
-                        .total();
+                    let t = ep_walk.iteration(&ExpertParallelConfig::new(sp, ep), &batch).total();
                     row.push(format!("{:.2}", t.as_millis()));
                 } else {
                     row.push("n/a".into());

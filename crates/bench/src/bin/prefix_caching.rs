@@ -27,10 +27,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (name, kind) in [
-        ("TP", DeploymentKind::TensorParallel),
-        ("Shift", DeploymentKind::Shift),
-    ] {
+    for (name, kind) in [("TP", DeploymentKind::TensorParallel), ("Shift", DeploymentKind::Shift)] {
         for caching in [false, true] {
             let mut dep = Deployment::builder(node(), presets::llama_70b())
                 .kind(kind)
@@ -38,10 +35,8 @@ fn main() {
                 .build()
                 .unwrap();
             let mut report = dep.run(&trace);
-            let shift_stats = dep
-                .shift_stats()
-                .map(|(b, s, _)| format!("{b}/{s}"))
-                .unwrap_or_else(|| "-".into());
+            let shift_stats =
+                dep.shift_stats().map(|(b, s, _)| format!("{b}/{s}")).unwrap_or_else(|| "-".into());
             rows.push(vec![
                 format!("{name}{}", if caching { " + APC" } else { "" }),
                 format!("{:.0}", report.metrics_mut().ttft().median().unwrap() * 1e3),

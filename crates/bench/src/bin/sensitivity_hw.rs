@@ -35,7 +35,10 @@ fn main() {
         ("8xH200 + PCIe", NodeSpec::new(GpuSpec::h200(), 8, InterconnectSpec::pcie_gen5())),
         // Pathological: running the node's parallelism over an inter-node
         // fabric — why the paper deploys within one NVSwitch node.
-        ("8xH200 + EFA (cross-node)", NodeSpec::new(GpuSpec::h200(), 8, InterconnectSpec::efa_internode())),
+        (
+            "8xH200 + EFA (cross-node)",
+            NodeSpec::new(GpuSpec::h200(), 8, InterconnectSpec::efa_internode()),
+        ),
     ];
 
     for (node_name, node) in nodes {

@@ -31,10 +31,10 @@ fn main() {
             let report = run_kind(kind, &model, &trace);
             let slo = SloReport::evaluate(report.records(), target);
             row.push(format!("{:.0}%", slo.attainment() * 100.0));
-            goodput_row
-                .push(format!("{:.0}", slo.goodput(report.makespan().since(
-                    sp_metrics::SimTime::ZERO,
-                ))));
+            goodput_row.push(format!(
+                "{:.0}",
+                slo.goodput(report.makespan().since(sp_metrics::SimTime::ZERO,))
+            ));
         }
         rows.push(row);
         rows.push(goodput_row);

@@ -32,10 +32,8 @@ fn main() {
     let model = presets::llama_70b();
 
     // Low traffic: one request at a time.
-    let low: Vec<(&str, _)> = STATIC_KINDS
-        .iter()
-        .map(|(n, k)| (*n, min_latency_probe(*k, &model, 4096, 250)))
-        .collect();
+    let low: Vec<(&str, _)> =
+        STATIC_KINDS.iter().map(|(n, k)| (*n, min_latency_probe(*k, &model, 4096, 250))).collect();
 
     // High traffic: a stream near (but below) the SP/DP capacity — TP
     // saturates, the others sustain. ~8 req/s × 4.3k tokens ≈ 35k tok/s.
@@ -54,27 +52,18 @@ fn main() {
     let rows = vec![
         vec![
             "TTFT (ms)".to_string(),
-            argbest(
-                &low.iter().map(|(n, l)| (*n, l.ttft_ms)).collect::<Vec<_>>(),
-                true,
-            ),
+            argbest(&low.iter().map(|(n, l)| (*n, l.ttft_ms)).collect::<Vec<_>>(), true),
             argbest(&high.iter().map(|&(n, t, _, _)| (n, t)).collect::<Vec<_>>(), true),
         ],
         vec![
             "TPOT (ms)".to_string(),
-            argbest(
-                &low.iter().map(|(n, l)| (*n, l.tpot_ms)).collect::<Vec<_>>(),
-                true,
-            ),
+            argbest(&low.iter().map(|(n, l)| (*n, l.tpot_ms)).collect::<Vec<_>>(), true),
             argbest(&high.iter().map(|&(n, _, t, _)| (n, t)).collect::<Vec<_>>(), true),
         ],
         vec![
             "Throughput".to_string(),
             // In low traffic throughput is 1/completion-time (s).
-            argbest(
-                &low.iter().map(|(n, l)| (*n, l.completion_s)).collect::<Vec<_>>(),
-                true,
-            ),
+            argbest(&low.iter().map(|(n, l)| (*n, l.completion_s)).collect::<Vec<_>>(), true),
             argbest(&high.iter().map(|&(n, _, _, t)| (n, t)).collect::<Vec<_>>(), false),
         ],
     ];

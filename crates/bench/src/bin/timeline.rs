@@ -37,21 +37,15 @@ fn main() {
     let mut w = 1.0;
     while start < timeline.len() {
         let end_time = w * window;
-        let slice: Vec<_> = timeline[start..]
-            .iter()
-            .take_while(|e| e.end.as_secs() <= end_time)
-            .collect();
+        let slice: Vec<_> =
+            timeline[start..].iter().take_while(|e| e.end.as_secs() <= end_time).collect();
         if slice.is_empty() {
             w += 1.0;
             continue;
         }
-        let base_iters = slice
-            .iter()
-            .filter(|e| e.config != ParallelConfig::tensor(8))
-            .count();
+        let base_iters = slice.iter().filter(|e| e.config != ParallelConfig::tensor(8)).count();
         let shift_iters = slice.len() - base_iters;
-        let mean_tokens =
-            slice.iter().map(|e| e.tokens).sum::<u64>() as f64 / slice.len() as f64;
+        let mean_tokens = slice.iter().map(|e| e.tokens).sum::<u64>() as f64 / slice.len() as f64;
         let peak_kv = slice.iter().map(|e| e.kv_utilization).fold(0.0, f64::max);
         rows.push(vec![
             format!("{:.0}-{:.0}", end_time - window, end_time),

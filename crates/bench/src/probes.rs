@@ -44,11 +44,7 @@ pub fn peak_throughput_probe(
     output: u32,
     count: usize,
 ) -> f64 {
-    let count = if count == 0 {
-        (2_000_000 / input as usize).clamp(8, 4_000)
-    } else {
-        count
-    };
+    let count = if count == 0 { (2_000_000 / input as usize).clamp(8, 4_000) } else { count };
     let report = run_kind(kind, model, &synthetic::uniform_batch(count, input, output));
     report.combined_throughput()
 }

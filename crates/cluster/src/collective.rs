@@ -17,11 +17,10 @@
 //! with `V` bytes) and the *per-rank send buffer* for all-to-all.
 
 use crate::interconnect::InterconnectSpec;
-use serde::{Deserialize, Serialize};
 use sp_metrics::Dur;
 
 /// The collective operations the parallelisms issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
     /// Reduce + broadcast: every rank ends with the reduced payload.
     AllReduce,
@@ -46,7 +45,7 @@ pub enum CollectiveKind {
 /// // More ranks move more data for the same payload:
 /// assert!(m.all_reduce(1 << 20, 8) > m.all_reduce(1 << 20, 2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CollectiveModel {
     interconnect: InterconnectSpec,
 }

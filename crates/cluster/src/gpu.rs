@@ -1,7 +1,5 @@
 //! Per-GPU compute and memory capabilities.
 
-use serde::{Deserialize, Serialize};
-
 /// Static capabilities of one GPU.
 ///
 /// All calibration constants for the reproduction live here and in
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h200.mem_bytes, 141 * (1u64 << 30));
 /// assert!(h200.effective_flops() < h200.dense_flops);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSpec {
     /// HBM capacity in bytes.
     pub mem_bytes: u64,

@@ -1,7 +1,5 @@
 //! GPU-to-GPU interconnect model.
 
-use serde::{Deserialize, Serialize};
-
 /// An intra-node GPU interconnect, described by the α–β parameters used by
 /// the collective cost models.
 ///
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// let nv = InterconnectSpec::nvswitch();
 /// assert_eq!(nv.link_bw, 900e9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterconnectSpec {
     /// Per-GPU injection bandwidth in bytes/second (unidirectional).
     pub link_bw: f64,

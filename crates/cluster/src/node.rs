@@ -2,7 +2,6 @@
 
 use crate::gpu::GpuSpec;
 use crate::interconnect::InterconnectSpec;
-use serde::{Deserialize, Serialize};
 
 /// A node of `gpu_count` identical GPUs joined by one interconnect.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(node.gpu_count, 8);
 /// assert!(node.total_mem_bytes() > 1_000_000_000_000); // > 1 TB HBM
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Per-GPU capabilities.
     pub gpu: GpuSpec,

@@ -1,7 +1,6 @@
 //! Roofline kernel timing: `max(compute time, memory time)`.
 
 use crate::gpu::GpuSpec;
-use serde::{Deserialize, Serialize};
 use sp_metrics::Dur;
 
 /// Times a kernel on one GPU with the roofline model.
@@ -22,7 +21,7 @@ use sp_metrics::Dur;
 /// let t = r.kernel(1e9, 1024);
 /// assert_eq!(t, r.compute(1e9).max(r.memory(1024)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     gpu: GpuSpec,
 }

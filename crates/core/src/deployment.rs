@@ -9,8 +9,8 @@ use crate::invariance::InvarianceCertificate;
 use crate::policy::{ShiftPolicy, DEFAULT_SHIFT_THRESHOLD};
 use crate::weights::{ShiftWeightPlan, WeightStrategy};
 use sp_cluster::NodeSpec;
-use sp_engine::{DataParallelCluster, Engine, EngineConfig, EngineReport};
-use sp_metrics::Dur;
+use sp_engine::{DataParallelCluster, Engine, EngineConfig, EngineReport, RoutingKind, SimNode};
+use sp_metrics::{Dur, SimTime};
 use sp_model::ModelConfig;
 use sp_parallel::{
     BatchStats, EngineOverhead, ExecutionModel, MemoryPlan, ParallelConfig, ParallelismPolicy,
@@ -120,6 +120,7 @@ pub struct DeploymentBuilder {
     queue_policy: sp_engine::QueuePolicy,
     record_timeline: bool,
     prefix_caching: bool,
+    routing: RoutingKind,
 }
 
 impl DeploymentBuilder {
@@ -142,7 +143,16 @@ impl DeploymentBuilder {
             queue_policy: sp_engine::QueuePolicy::Fcfs,
             record_timeline: false,
             prefix_caching: false,
+            routing: RoutingKind::default(),
         }
+    }
+
+    /// Selects the online routing policy for multi-replica deployments
+    /// (default: join-shortest-outstanding-tokens). Single-engine
+    /// deployments ignore it.
+    pub fn routing(mut self, kind: RoutingKind) -> DeploymentBuilder {
+        self.routing = kind;
+        self
     }
 
     /// Honors requests' cached prefixes (automatic prefix caching).
@@ -241,19 +251,25 @@ impl DeploymentBuilder {
         let gpus = self.node.gpu_count;
         let usable = (self.node.gpu.mem_bytes as f64 * self.mem_fraction) as u64;
 
-        let check_fit = |config: ParallelConfig, extra: u64| -> Result<MemoryPlan, DeploymentError> {
-            let plan =
-                MemoryPlan::plan_with_extra(&self.node, &self.model, &config, extra, self.mem_fraction)
-                    .map_err(|e| DeploymentError::Layout(e.to_string()))?;
-            if !plan.fits {
-                return Err(DeploymentError::DoesNotFit {
-                    config,
-                    needed: plan.weight_bytes_per_gpu,
-                    available: usable,
-                });
-            }
-            Ok(plan)
-        };
+        let check_fit =
+            |config: ParallelConfig, extra: u64| -> Result<MemoryPlan, DeploymentError> {
+                let plan = MemoryPlan::plan_with_extra(
+                    &self.node,
+                    &self.model,
+                    &config,
+                    extra,
+                    self.mem_fraction,
+                )
+                .map_err(|e| DeploymentError::Layout(e.to_string()))?;
+                if !plan.fits {
+                    return Err(DeploymentError::DoesNotFit {
+                        config,
+                        needed: plan.weight_bytes_per_gpu,
+                        available: usable,
+                    });
+                }
+                Ok(plan)
+            };
 
         let engine_config = |kv_capacity_tokens: u64| EngineConfig {
             max_batched_tokens: self.max_batched_tokens,
@@ -277,10 +293,7 @@ impl DeploymentBuilder {
             exec
         };
 
-        let make_static = |config: ParallelConfig,
-                           name: &str,
-                           plan: MemoryPlan|
-         -> Engine {
+        let make_static = |config: ParallelConfig, name: &str, plan: MemoryPlan| -> Engine {
             Engine::new(
                 make_exec(self.node),
                 Box::new(StaticPolicy::new(name, config)),
@@ -296,6 +309,7 @@ impl DeploymentBuilder {
                     kind: self.kind,
                     kv_capacity_tokens: plan.kv_capacity_tokens,
                     shift_policy: None,
+                    routing: self.routing,
                     inner: Inner::Single(Box::new(make_static(config, "TP", plan))),
                 })
             }
@@ -306,6 +320,7 @@ impl DeploymentBuilder {
                     kind: self.kind,
                     kv_capacity_tokens: plan.kv_capacity_tokens,
                     shift_policy: None,
+                    routing: self.routing,
                     inner: Inner::Single(Box::new(make_static(config, "SP", plan))),
                 })
             }
@@ -315,6 +330,7 @@ impl DeploymentBuilder {
                     kind: self.kind,
                     kv_capacity_tokens: plan.kv_capacity_tokens,
                     shift_policy: None,
+                    routing: self.routing,
                     inner: Inner::Single(Box::new(make_static(config, "static", plan))),
                 })
             }
@@ -347,6 +363,7 @@ impl DeploymentBuilder {
                     kind: self.kind,
                     kv_capacity_tokens: plan.kv_capacity_tokens * gpus as u64,
                     shift_policy: None,
+                    routing: self.routing,
                     inner: Inner::Cluster(cluster),
                 })
             }
@@ -361,8 +378,7 @@ impl DeploymentBuilder {
                 };
                 InvarianceCertificate::verify(&self.model, base)
                     .map_err(|e| DeploymentError::Invariance(e.to_string()))?;
-                let weight_plan =
-                    ShiftWeightPlan::new(&self.model, base, self.weight_strategy);
+                let weight_plan = ShiftWeightPlan::new(&self.model, base, self.weight_strategy);
                 let plan = check_fit(base, weight_plan.shift_extra_bytes_per_gpu())?;
                 let policy = Arc::new(ShiftPolicy::new(base, threshold));
                 let engine = Engine::new(
@@ -374,6 +390,7 @@ impl DeploymentBuilder {
                     kind: self.kind,
                     kv_capacity_tokens: plan.kv_capacity_tokens,
                     shift_policy: Some(policy),
+                    routing: self.routing,
                     inner: Inner::Single(Box::new(engine)),
                 })
             }
@@ -409,6 +426,7 @@ pub struct Deployment {
     kind: DeploymentKind,
     kv_capacity_tokens: u64,
     shift_policy: Option<Arc<ShiftPolicy>>,
+    routing: RoutingKind,
     inner: Inner,
 }
 
@@ -438,8 +456,7 @@ impl Deployment {
         while tp <= gpus {
             if gpus.is_multiple_of(tp) {
                 let base = ParallelConfig::new(gpus / tp, tp);
-                match MemoryPlan::plan_with_extra(node, model, &base, shift_extra, mem_fraction)
-                {
+                match MemoryPlan::plan_with_extra(node, model, &base, shift_extra, mem_fraction) {
                     Ok(plan) if plan.fits && plan.kv_capacity_tokens >= MIN_KV_TOKENS_FOR_BASE => {
                         return Ok(base);
                     }
@@ -475,11 +492,58 @@ impl Deployment {
             .map(|p| (p.base_iterations(), p.shift_iterations(), p.switches()))
     }
 
-    /// Runs a trace to completion.
+    /// The online routing policy multi-replica deployments dispatch with.
+    pub fn routing_kind(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// Runs a trace to completion. Multi-replica (DP) deployments serve it
+    /// online: replicas advance together in simulated time and each request
+    /// is dispatched at its arrival instant by the configured
+    /// [`RoutingKind`] acting on live load.
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
         match &mut self.inner {
             Inner::Single(engine) => engine.run(trace),
-            Inner::Cluster(cluster) => cluster.run(trace),
+            Inner::Cluster(cluster) => cluster.run_online(trace, self.routing.policy()),
+        }
+    }
+}
+
+/// A deployment is itself a steppable node, so whole fleets of them can be
+/// co-simulated behind an online router (see [`crate::fleet::Fleet`]).
+impl SimNode for Deployment {
+    fn push_request(&mut self, req: sp_workload::Request) {
+        match &mut self.inner {
+            Inner::Single(engine) => engine.push_request(req),
+            Inner::Cluster(cluster) => SimNode::push_request(cluster, req),
+        }
+    }
+
+    fn step_once(&mut self) {
+        match &mut self.inner {
+            Inner::Single(engine) => engine.step_once(),
+            Inner::Cluster(cluster) => SimNode::step_once(cluster),
+        }
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        match &self.inner {
+            Inner::Single(engine) => engine.next_event_time(),
+            Inner::Cluster(cluster) => SimNode::next_event_time(cluster),
+        }
+    }
+
+    fn outstanding_tokens(&self) -> u64 {
+        match &self.inner {
+            Inner::Single(engine) => engine.outstanding_tokens(),
+            Inner::Cluster(cluster) => SimNode::outstanding_tokens(cluster),
+        }
+    }
+
+    fn take_report(&mut self) -> EngineReport {
+        match &mut self.inner {
+            Inner::Single(engine) => engine.take_report(),
+            Inner::Cluster(cluster) => SimNode::take_report(cluster),
         }
     }
 }
@@ -552,10 +616,7 @@ mod tests {
     #[test]
     fn shift_threshold_is_respected() {
         let mut dep = Deployment::builder(node(), presets::llama_70b())
-            .kind(DeploymentKind::ShiftWithBase {
-                base: ParallelConfig::sequence(8),
-                threshold: 0,
-            })
+            .kind(DeploymentKind::ShiftWithBase { base: ParallelConfig::sequence(8), threshold: 0 })
             .build()
             .unwrap();
         // Threshold 0: every non-empty batch runs in the base config.
@@ -588,10 +649,8 @@ mod tests {
 
     #[test]
     fn static_kind_accepts_mixed_config() {
-        let mut dep = build(
-            DeploymentKind::Static(ParallelConfig::new(2, 4)),
-            presets::llama_70b(),
-        );
+        let mut dep =
+            build(DeploymentKind::Static(ParallelConfig::new(2, 4)), presets::llama_70b());
         let report = dep.run(&synthetic::uniform_batch(2, 256, 4));
         assert_eq!(report.records().len(), 2);
         assert_eq!(report.config_usage().len(), 1);

@@ -9,7 +9,7 @@
 //! across nodes.
 
 use crate::deployment::{Deployment, DeploymentBuilder, DeploymentError};
-use sp_engine::EngineReport;
+use sp_engine::{ClusterSim, EngineReport, RoutingKind};
 use sp_metrics::Dur;
 use sp_workload::{Request, Trace};
 
@@ -34,6 +34,7 @@ use sp_workload::{Request, Trace};
 #[derive(Debug)]
 pub struct Fleet {
     nodes: Vec<Deployment>,
+    routing: RoutingKind,
 }
 
 impl Fleet {
@@ -51,10 +52,15 @@ impl Fleet {
         mut make: impl FnMut() -> DeploymentBuilder,
     ) -> Result<Fleet, DeploymentError> {
         assert!(node_count > 0, "fleet needs at least one node");
-        let nodes = (0..node_count)
-            .map(|_| make().build())
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Fleet { nodes })
+        let nodes = (0..node_count).map(|_| make().build()).collect::<Result<Vec<_>, _>>()?;
+        Ok(Fleet { nodes, routing: RoutingKind::default() })
+    }
+
+    /// Selects the inter-node routing policy (default:
+    /// join-shortest-outstanding-tokens).
+    pub fn routing(mut self, kind: RoutingKind) -> Fleet {
+        self.routing = kind;
+        self
     }
 
     /// Number of nodes.
@@ -62,9 +68,10 @@ impl Fleet {
         self.nodes.len()
     }
 
-    /// Splits `trace` across nodes: each request goes to the node with the
-    /// least total tokens assigned so far (deterministic join-shortest-
-    /// queue approximation, same policy as the intra-node DP router).
+    /// Splits `trace` across nodes offline: each request goes to the node
+    /// with the least total tokens assigned so far. This is the static
+    /// baseline [`Fleet::run`] replaced — kept for comparisons (it is the
+    /// assignment [`sp_engine::StaticSplit`] reproduces online).
     pub fn route(&self, trace: &Trace) -> Vec<Trace> {
         let n = self.nodes.len();
         let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); n];
@@ -77,8 +84,23 @@ impl Fleet {
         assigned.into_iter().map(Trace::with_ids).collect()
     }
 
-    /// Runs `trace` across the fleet, merging node reports.
+    /// Runs `trace` across the fleet with online routing: nodes advance
+    /// together in simulated time and each request is dispatched at its
+    /// arrival instant by the configured policy acting on live
+    /// outstanding load. The merged report carries the routing decision
+    /// trail and per-node load series.
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        let nodes = std::mem::take(&mut self.nodes);
+        let mut sim =
+            ClusterSim::new(nodes, self.routing.policy()).throughput_bin(Dur::from_secs(1.0));
+        let report = sim.run(trace);
+        self.nodes = sim.into_nodes();
+        report
+    }
+
+    /// Runs `trace` with the offline static split ([`Fleet::route`]) —
+    /// the pre-event-driven behaviour, kept as a comparison baseline.
+    pub fn run_offline(&mut self, trace: &Trace) -> EngineReport {
         let shards = self.route(trace);
         let mut merged = EngineReport::new(Dur::from_secs(1.0));
         for (node, shard) in self.nodes.iter_mut().zip(shards) {

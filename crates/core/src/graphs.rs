@@ -10,7 +10,6 @@
 //! the paper's claim that the shift model's extra graphs "do not increase
 //! the capturing time or memory significantly".
 
-use serde::{Deserialize, Serialize};
 use sp_metrics::Dur;
 use sp_parallel::ParallelConfig;
 use std::collections::BTreeMap;
@@ -29,7 +28,7 @@ pub fn default_capture_sizes() -> Vec<u64> {
 }
 
 /// One captured graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CapturedGraph {
     /// The configuration the graph was captured under.
     pub config: ParallelConfig,
@@ -52,7 +51,7 @@ pub struct CapturedGraph {
 /// let g = reg.lookup(ParallelConfig::tensor(8), 13).unwrap();
 /// assert_eq!(g.batch_size, 16);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphRegistry {
     graphs: BTreeMap<(ParallelConfig, u64), CapturedGraph>,
     capture_cost_per_graph: Dur,
@@ -134,14 +133,11 @@ mod tests {
         // the capturing time or memory significantly" — it is exactly 2x a
         // single config, i.e. linear, not combinatorial.
         let base_only = GraphRegistry::capture_all(&[ParallelConfig::sequence(8)]);
-        let with_shift = GraphRegistry::capture_all(&[
-            ParallelConfig::sequence(8),
-            ParallelConfig::tensor(8),
-        ]);
+        let with_shift =
+            GraphRegistry::capture_all(&[ParallelConfig::sequence(8), ParallelConfig::tensor(8)]);
         assert_eq!(with_shift.len(), 2 * base_only.len());
         assert!(
-            with_shift.capture_time().as_secs()
-                <= 2.0 * base_only.capture_time().as_secs() + 1e-12
+            with_shift.capture_time().as_secs() <= 2.0 * base_only.capture_time().as_secs() + 1e-12
         );
     }
 

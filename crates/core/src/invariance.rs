@@ -46,10 +46,9 @@ impl fmt::Display for InvarianceError {
                 write!(f, "{q_heads} query heads do not divide across {degree} GPUs")
             }
             InvarianceError::KvLayout(e) => write!(f, "KV head layout invalid: {e}"),
-            InvarianceError::HeadMismatch { rank, base, shift } => write!(
-                f,
-                "rank {rank} holds heads {base:?} in base but {shift:?} in shift config"
-            ),
+            InvarianceError::HeadMismatch { rank, base, shift } => {
+                write!(f, "rank {rank} holds heads {base:?} in base but {shift:?} in shift config")
+            }
         }
     }
 }
@@ -92,10 +91,7 @@ impl InvarianceCertificate {
     ) -> Result<InvarianceCertificate, InvarianceError> {
         let degree = base.degree();
         if !(model.q_heads as usize).is_multiple_of(degree) {
-            return Err(InvarianceError::IndivisibleQueryHeads {
-                q_heads: model.q_heads,
-                degree,
-            });
+            return Err(InvarianceError::IndivisibleQueryHeads { q_heads: model.q_heads, degree });
         }
         KvShardLayout::for_model(model, degree)
             .map_err(|e| InvarianceError::KvLayout(e.to_string()))?;
@@ -116,11 +112,7 @@ impl InvarianceCertificate {
         let layout = KvShardLayout::for_model(model, degree).expect("checked above");
         // Head h is owned by the h-th rank of the SP_TP group — the order
         // the shift model loads its shards in (§3.3.2).
-        let head_order: Vec<u32> = mapping
-            .sp_tp_group()
-            .into_iter()
-            .map(|r| r as u32)
-            .collect();
+        let head_order: Vec<u32> = mapping.sp_tp_group().into_iter().map(|r| r as u32).collect();
 
         Ok(InvarianceCertificate {
             base,
@@ -161,11 +153,9 @@ mod tests {
     #[test]
     fn all_table4_models_certify_on_eight_gpus() {
         for model in presets::all_table4() {
-            for base in [
-                ParallelConfig::sequence(8),
-                ParallelConfig::new(4, 2),
-                ParallelConfig::new(2, 4),
-            ] {
+            for base in
+                [ParallelConfig::sequence(8), ParallelConfig::new(4, 2), ParallelConfig::new(2, 4)]
+            {
                 InvarianceCertificate::verify(&model, base)
                     .unwrap_or_else(|e| panic!("{} {base}: {e}", model.name));
             }
@@ -184,11 +174,9 @@ mod tests {
 
     #[test]
     fn replication_reported_for_a3b() {
-        let cert = InvarianceCertificate::verify(
-            &presets::qwen_30b_a3b(),
-            ParallelConfig::sequence(8),
-        )
-        .unwrap();
+        let cert =
+            InvarianceCertificate::verify(&presets::qwen_30b_a3b(), ParallelConfig::sequence(8))
+                .unwrap();
         assert_eq!(cert.kv_replication(), 2);
         assert_eq!(cert.q_heads_per_rank(), 4); // 32 / 8
     }
@@ -197,8 +185,7 @@ mod tests {
     fn indivisible_query_heads_rejected() {
         let mut model = presets::llama_70b();
         model.q_heads = 60; // not divisible by 8
-        let err =
-            InvarianceCertificate::verify(&model, ParallelConfig::sequence(8)).unwrap_err();
+        let err = InvarianceCertificate::verify(&model, ParallelConfig::sequence(8)).unwrap_err();
         assert!(matches!(err, InvarianceError::IndivisibleQueryHeads { .. }));
     }
 
@@ -207,8 +194,7 @@ mod tests {
         let mut model = presets::llama_70b();
         model.q_heads = 63;
         model.kv_heads = 9;
-        let err =
-            InvarianceCertificate::verify(&model, ParallelConfig::new(7, 1)).unwrap_err();
+        let err = InvarianceCertificate::verify(&model, ParallelConfig::new(7, 1)).unwrap_err();
         // 9 KV heads across 7 GPUs: neither splits nor replicates.
         assert!(matches!(err, InvarianceError::KvLayout(_)), "got {err}");
     }

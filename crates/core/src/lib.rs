@@ -51,6 +51,8 @@ pub mod tuner;
 pub mod weights;
 
 pub use deployment::{Deployment, DeploymentBuilder, DeploymentError, DeploymentKind};
+pub use fleet::Fleet;
 pub use invariance::InvarianceCertificate;
 pub use policy::{ShiftPolicy, DEFAULT_SHIFT_THRESHOLD};
+pub use sp_engine::RoutingKind;
 pub use weights::{ShiftWeightPlan, WeightStrategy};

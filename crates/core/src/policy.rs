@@ -171,10 +171,7 @@ mod tests {
     #[test]
     fn configurations_lists_both() {
         let p = ShiftPolicy::with_default_threshold(ParallelConfig::new(4, 2));
-        assert_eq!(
-            p.configurations(),
-            vec![ParallelConfig::new(4, 2), ParallelConfig::tensor(8)]
-        );
+        assert_eq!(p.configurations(), vec![ParallelConfig::new(4, 2), ParallelConfig::tensor(8)]);
         assert_eq!(p.threshold(), DEFAULT_SHIFT_THRESHOLD);
     }
 

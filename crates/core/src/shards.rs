@@ -9,12 +9,11 @@
 //! projection `O` is row-sharded by head; MLP up/gate are column-sharded
 //! and MLP down row-sharded by the TP degree.
 
-use serde::{Deserialize, Serialize};
 use sp_model::ModelConfig;
 use sp_parallel::{ParallelConfig, ProcessMapping};
 
 /// A contiguous slice of one weight tensor's sharded dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRange {
     /// First element index (inclusive).
     pub start: u64,
@@ -35,7 +34,7 @@ impl ShardRange {
 }
 
 /// The weight slices one rank loads for one transformer layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankShard {
     /// Global rank.
     pub rank: usize,
@@ -62,7 +61,7 @@ pub struct RankShard {
 /// // Every rank holds 64/8 = 8 Q heads.
 /// assert!(map.ranks().iter().all(|r| r.q_heads.len() == 8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardMap {
     config: ParallelConfig,
     ranks: Vec<RankShard>,
@@ -82,8 +81,8 @@ impl ShardMap {
             return Err(format!("{} Q heads do not divide across {p} ranks", model.q_heads));
         }
         let mapping = ProcessMapping::new(config.sp(), config.tp());
-        let kv_layout = sp_kvcache::KvShardLayout::for_model(model, p)
-            .map_err(|e| e.to_string())?;
+        let kv_layout =
+            sp_kvcache::KvShardLayout::for_model(model, p).map_err(|e| e.to_string())?;
         let mlp_cols = u64::from(model.intermediate_size).max(1);
         let per_tp = mlp_cols / config.tp() as u64;
 
@@ -114,8 +113,8 @@ impl ShardMap {
             return Err(format!("{} Q heads do not divide across {p} ranks", model.q_heads));
         }
         let mapping = ProcessMapping::new(base.sp(), base.tp());
-        let kv_layout = sp_kvcache::KvShardLayout::for_model(model, p)
-            .map_err(|e| e.to_string())?;
+        let kv_layout =
+            sp_kvcache::KvShardLayout::for_model(model, p).map_err(|e| e.to_string())?;
         let mlp_cols = u64::from(model.intermediate_size).max(1);
         let per_rank = mlp_cols / p as u64;
         let order = mapping.sp_tp_group();
@@ -124,16 +123,12 @@ impl ShardMap {
             .map(|rank| {
                 // The shift model deals MLP slices in SP_TP order too, so
                 // slice i goes to order[i].
-                let position =
-                    order.iter().position(|&r| r == rank).expect("rank in group") as u64;
+                let position = order.iter().position(|&r| r == rank).expect("rank in group") as u64;
                 RankShard {
                     rank,
                     q_heads: mapping.shift_heads_of_rank(rank, model.q_heads),
                     kv_heads: kv_layout.heads_on_gpu(rank),
-                    mlp: ShardRange {
-                        start: position * per_rank,
-                        end: (position + 1) * per_rank,
-                    },
+                    mlp: ShardRange { start: position * per_rank, end: (position + 1) * per_rank },
                 }
             })
             .collect();
@@ -171,11 +166,9 @@ mod tests {
     #[test]
     fn base_and_shift_attention_coincide() {
         let m = presets::llama_70b();
-        for base in [
-            ParallelConfig::sequence(8),
-            ParallelConfig::new(4, 2),
-            ParallelConfig::new(2, 4),
-        ] {
+        for base in
+            [ParallelConfig::sequence(8), ParallelConfig::new(4, 2), ParallelConfig::new(2, 4)]
+        {
             let b = ShardMap::for_base(&m, base).unwrap();
             let s = ShardMap::for_shift(&m, base).unwrap();
             assert!(b.attention_coincides_with(&s), "{base}");

@@ -82,12 +82,7 @@ pub struct Tuner {
 impl Tuner {
     /// Creates a tuner with the default search grid.
     pub fn new(node: NodeSpec, model: ModelConfig) -> Tuner {
-        Tuner {
-            node,
-            model,
-            thresholds: vec![64, 256, 1024],
-            prefill_caps: vec![None, Some(2048)],
-        }
+        Tuner { node, model, thresholds: vec![64, 256, 1024], prefill_caps: vec![None, Some(2048)] }
     }
 
     /// Overrides the threshold grid.
@@ -131,9 +126,7 @@ impl Tuner {
             Objective::MedianCompletion => {
                 report.metrics_mut().completion().median().unwrap_or(f64::INFINITY)
             }
-            Objective::TailTtft => {
-                report.metrics_mut().ttft().p99().unwrap_or(f64::INFINITY)
-            }
+            Objective::TailTtft => report.metrics_mut().ttft().p99().unwrap_or(f64::INFINITY),
             Objective::Throughput => -report.combined_throughput(),
             Objective::Goodput(target) => {
                 let slo = SloReport::evaluate(report.records(), target);
@@ -150,10 +143,7 @@ impl Tuner {
     pub fn sweep(&self, sample: &Trace, objective: Objective) -> Result<Vec<Candidate>, String> {
         let bases = self.base_candidates();
         if bases.is_empty() {
-            return Err(format!(
-                "no viable shift base for {} on this node",
-                self.model.name
-            ));
+            return Err(format!("no viable shift base for {} on this node", self.model.name));
         }
         let mut out = Vec::new();
         for &base in &bases {
@@ -166,12 +156,7 @@ impl Tuner {
                     }
                     let Ok(mut dep) = builder.build() else { continue };
                     let score = self.score(&mut dep, sample, objective);
-                    out.push(Candidate {
-                        base,
-                        threshold,
-                        max_prefill_tokens: cap,
-                        score,
-                    });
+                    out.push(Candidate { base, threshold, max_prefill_tokens: cap, score });
                 }
             }
         }

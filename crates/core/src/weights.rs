@@ -17,12 +17,11 @@
 //! so the shift model's overhead is `1/SP` of the base model's memory —
 //! e.g. 12.5% at SP = 8.
 
-use serde::{Deserialize, Serialize};
 use sp_model::ModelConfig;
 use sp_parallel::ParallelConfig;
 
 /// How the shift configuration obtains its weight shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WeightStrategy {
     /// Slice the base partition per iteration (FP8 transpose penalty).
     OnTheFlySlicing,
@@ -51,7 +50,7 @@ pub const SLICING_GEMM_PENALTY: f64 = 1.15;
 /// // Eq. 1 at SP=8: the shift copy adds 1/8 = 12.5%.
 /// assert!((plan.overhead_fraction() - 0.125).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShiftWeightPlan {
     strategy: WeightStrategy,
     base_bytes_per_gpu: u64,
@@ -170,11 +169,8 @@ mod tests {
     #[test]
     fn more_tp_in_base_shrinks_both_terms() {
         let m = presets::llama_70b();
-        let sp8 = ShiftWeightPlan::new(
-            &m,
-            ParallelConfig::sequence(8),
-            WeightStrategy::SeparateModels,
-        );
+        let sp8 =
+            ShiftWeightPlan::new(&m, ParallelConfig::sequence(8), WeightStrategy::SeparateModels);
         let mixed =
             ShiftWeightPlan::new(&m, ParallelConfig::new(4, 2), WeightStrategy::SeparateModels);
         assert!(mixed.base_bytes_per_gpu() < sp8.base_bytes_per_gpu());

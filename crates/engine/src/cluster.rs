@@ -7,7 +7,8 @@
 
 use crate::engine::Engine;
 use crate::report::EngineReport;
-use sp_metrics::Dur;
+use crate::routing::{ClusterSim, RoutingPolicy, SimNode};
+use sp_metrics::{Dur, SimTime};
 use sp_workload::{Request, Trace};
 
 /// N independent engines behind a balance-by-expected-work router.
@@ -49,7 +50,10 @@ impl DataParallelCluster {
     /// # Panics
     ///
     /// Panics if `replica_count` is zero.
-    pub fn new(replica_count: usize, make_engine: impl FnMut(usize) -> Engine) -> DataParallelCluster {
+    pub fn new(
+        replica_count: usize,
+        make_engine: impl FnMut(usize) -> Engine,
+    ) -> DataParallelCluster {
         assert!(replica_count > 0, "cluster needs at least one replica");
         DataParallelCluster { replicas: (0..replica_count).map(make_engine).collect() }
     }
@@ -73,15 +77,81 @@ impl DataParallelCluster {
     }
 
     /// Runs `trace` across the cluster and merges per-replica reports.
+    ///
+    /// This is the offline path: the trace is split up front by
+    /// [`DataParallelCluster::route`] and each replica runs its shard in
+    /// isolation. Use [`DataParallelCluster::run_online`] for arrival-time
+    /// dispatch against live load.
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
         let shards = self.route(trace);
-        let bin = self
-            .replicas
-            .first()
-            .map_or(Dur::from_secs(1.0), |e| e.config().throughput_bin);
+        let bin = self.throughput_bin();
         let mut merged = EngineReport::new(bin);
         for (engine, shard) in self.replicas.iter_mut().zip(shards) {
             merged.merge(engine.run(&shard));
+        }
+        merged
+    }
+
+    /// Runs `trace` with online routing: replicas advance together in
+    /// simulated time and each request is dispatched at its arrival
+    /// instant to the replica `policy` picks from live outstanding load.
+    /// The merged report carries the decision trail
+    /// ([`EngineReport::routing_decisions`]) and per-replica load series.
+    pub fn run_online(&mut self, trace: &Trace, policy: Box<dyn RoutingPolicy>) -> EngineReport {
+        let bin = self.throughput_bin();
+        let replicas = std::mem::take(&mut self.replicas);
+        let mut sim = ClusterSim::new(replicas, policy).throughput_bin(bin);
+        let report = sim.run(trace);
+        self.replicas = sim.into_nodes();
+        report
+    }
+
+    fn throughput_bin(&self) -> Dur {
+        self.replicas.first().map_or(Dur::from_secs(1.0), |e| e.config().throughput_bin)
+    }
+}
+
+/// A whole DP cluster can itself be a node in a larger co-simulation
+/// (e.g. one fleet deployment = one cluster): requests entering the
+/// cluster are join-shortest-outstanding routed across its replicas, and
+/// the cluster's next event is its earliest replica event.
+impl SimNode for DataParallelCluster {
+    fn push_request(&mut self, req: Request) {
+        let target = (0..self.replicas.len())
+            .min_by_key(|&i| self.replicas[i].outstanding_tokens())
+            .expect("non-empty cluster");
+        self.replicas[target].push_request(req);
+    }
+
+    fn step_once(&mut self) {
+        let earliest = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.next_event_time().map(|t| (i, t)))
+            .min_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).expect("finite"))
+            .map(|(i, _)| i);
+        if let Some(i) = earliest {
+            self.replicas[i].step_once();
+        }
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.replicas
+            .iter()
+            .filter_map(Engine::next_event_time)
+            .min_by(|a, b| a.as_secs().partial_cmp(&b.as_secs()).expect("finite"))
+    }
+
+    fn outstanding_tokens(&self) -> u64 {
+        self.replicas.iter().map(Engine::outstanding_tokens).sum()
+    }
+
+    fn take_report(&mut self) -> EngineReport {
+        let bin = self.throughput_bin();
+        let mut merged = EngineReport::new(bin);
+        for engine in &mut self.replicas {
+            merged.merge(engine.take_report());
         }
         merged
     }
@@ -130,7 +200,7 @@ mod tests {
                 output_tokens: 10,
                 class: sp_workload::RequestClass::Batch,
                 cached_prefix: 0,
-                prefix_group: None
+                prefix_group: None,
             });
         }
         let shards = cluster.route(&Trace::new(reqs));
@@ -164,5 +234,143 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         let _ = make_cluster(0);
+    }
+
+    fn make_tight_cluster(replicas: usize, kv: u64) -> DataParallelCluster {
+        let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+        DataParallelCluster::new(replicas, |_| {
+            Engine::new(
+                ExecutionModel::new(node, presets::qwen_32b()),
+                Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+                EngineConfig { kv_capacity_tokens: kv, ..EngineConfig::default() },
+            )
+        })
+    }
+
+    /// A bursty Poisson trace with a handful of long-decode "agentic"
+    /// requests up front. The long decodes pin KV blocks on whichever
+    /// replica admits them for minutes of simulated time — an asymmetry
+    /// the offline token-count split cannot see, so it keeps sending half
+    /// of every burst into the congested replica's admission queue.
+    fn bursty_trace_with_long_decodes(seed: u64) -> Trace {
+        let mut reqs: Vec<Request> = sp_workload::bursty::BurstyConfig {
+            duration: sp_metrics::Dur::from_secs(300.0),
+            base_rate: 1.0,
+            bursts: 4,
+            burst_size: 12,
+            burst_window: sp_metrics::Dur::from_secs(10.0),
+            seed,
+            ..sp_workload::bursty::BurstyConfig::default()
+        }
+        .generate()
+        .requests()
+        .to_vec();
+        // The lognormal sampler occasionally emits a request larger than
+        // the tight KV cap used in these tests; such a request could never
+        // admit, so drop it to keep every request completable.
+        reqs.retain(|r| r.total_tokens() <= 15_000);
+        for (k, at) in [5.0, 9.0, 13.0, 17.0, 21.0].iter().enumerate() {
+            reqs.push(Request {
+                id: 10_000 + k as u64,
+                arrival: sp_metrics::SimTime::from_secs(*at),
+                input_tokens: 500,
+                output_tokens: 6_000,
+                class: sp_workload::RequestClass::Batch,
+                cached_prefix: 0,
+                prefix_group: None,
+            });
+        }
+        Trace::new(reqs)
+    }
+
+    fn p99_ttft(report: &mut EngineReport) -> f64 {
+        report.metrics_mut().ttft().quantile(0.99).expect("non-empty")
+    }
+
+    #[test]
+    fn online_jsq_beats_offline_static_split_on_bursty_p99_ttft() {
+        // The tentpole claim: with KV-constrained replicas, requests that
+        // cannot admit wait in queue — exactly the load signal
+        // join-shortest-outstanding reacts to. The offline split keeps
+        // feeding the replica whose cache the long decodes pinned, so its
+        // admission queue (and the TTFT tail) grows; online routing
+        // diverts bursts to the replica that is actually draining.
+        let trace = bursty_trace_with_long_decodes(0xB5_257);
+        let mut offline_report = make_tight_cluster(2, 20_000).run(&trace);
+        let mut online_report = make_tight_cluster(2, 20_000)
+            .run_online(&trace, crate::routing::RoutingKind::JoinShortestOutstanding.policy());
+
+        assert_eq!(online_report.records().len(), trace.len());
+        assert_eq!(offline_report.records().len(), trace.len());
+        let offline = p99_ttft(&mut offline_report);
+        let online = p99_ttft(&mut online_report);
+        assert!(
+            online < offline,
+            "online JSQ p99 TTFT {online:.3}s must beat offline split {offline:.3}s"
+        );
+        // The decision trail shows the diversion: not a 50/50 split.
+        let to_first = online_report.routing_decisions().iter().filter(|d| d.replica == 0).count();
+        let total = online_report.routing_decisions().len();
+        assert!(to_first != total / 2 || total % 2 == 1, "expected a load-skewed split");
+    }
+
+    #[test]
+    fn online_run_merges_exactly_the_per_replica_work() {
+        // Merge correctness: run the same decisions through ClusterSim and
+        // compare the merged report against independently-run replicas fed
+        // the per-decision shards.
+        let trace = synthetic::poisson(48, 30.0, 640, 12, 21);
+        let mut cluster = make_cluster(3);
+        let report = cluster
+            .run_online(&trace, crate::routing::RoutingKind::JoinShortestOutstanding.policy());
+
+        // Every request completed exactly once, with its original id.
+        let mut ids: Vec<u64> = report.records().iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = trace.requests().iter().map(|r| r.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected, "merged ids must match the trace without collisions");
+
+        // Rebuild the per-replica shards from the decision trail and run
+        // them on fresh engines: merged totals must equal the sums.
+        let decisions = report.routing_decisions().to_vec();
+        assert_eq!(decisions.len(), trace.len());
+        let mut shards: Vec<Vec<Request>> = vec![Vec::new(); 3];
+        for d in &decisions {
+            let req = trace.requests().iter().find(|r| r.id == d.request_id).unwrap();
+            shards[d.replica].push(*req);
+        }
+        let mut replica_token_sum = 0u64;
+        let mut replica_iter_sum = 0u64;
+        for shard in shards {
+            let fresh = make_cluster(1).replicas.pop().unwrap().run(&Trace::with_ids(shard));
+            replica_token_sum += fresh.metrics().total_tokens();
+            replica_iter_sum += fresh.iterations();
+        }
+        assert_eq!(report.metrics().total_tokens(), replica_token_sum);
+        assert_eq!(report.iterations(), replica_iter_sum);
+        assert_eq!(report.metrics().total_tokens(), trace.total_tokens());
+    }
+
+    #[test]
+    fn online_static_split_matches_offline_run() {
+        // StaticSplit replayed online must produce the same assignment as
+        // the offline router — and, since replicas are independent, the
+        // same per-request timings.
+        let trace = synthetic::poisson(32, 15.0, 1024, 16, 4);
+        let mut offline = make_cluster(2).run(&trace);
+        let mut online =
+            make_cluster(2).run_online(&trace, crate::routing::RoutingKind::StaticSplit.policy());
+        assert_eq!(online.records().len(), offline.records().len());
+        let key = |r: &mut EngineReport| {
+            let mut v: Vec<(u64, u64)> = r
+                .records()
+                .iter()
+                .map(|rec| (rec.request_id, (rec.finish.as_secs() * 1e9) as u64))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&mut online), key(&mut offline));
     }
 }

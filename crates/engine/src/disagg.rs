@@ -117,11 +117,8 @@ impl DisaggregatedServer {
         let mut total = Dur::ZERO;
         while done < input_tokens {
             let chunk = (input_tokens - done).min(8192);
-            let batch = BatchWork::new(vec![ChunkWork::prefill(
-                chunk,
-                done,
-                done + chunk == input_tokens,
-            )]);
+            let batch =
+                BatchWork::new(vec![ChunkWork::prefill(chunk, done, done + chunk == input_tokens)]);
             total += self.exec.iteration(&tp, &batch).total();
             done += chunk;
         }
@@ -163,8 +160,7 @@ impl DisaggregatedServer {
         let decode_tp = ParallelConfig::tensor(self.config.decode_tp);
         let capacity = self.config.decode_workers * self.config.max_decode_batch;
         let mut clock = SimTime::ZERO;
-        let mut pending: std::collections::VecDeque<(Request, SimTime)> =
-            handoffs.into();
+        let mut pending: std::collections::VecDeque<(Request, SimTime)> = handoffs.into();
         let mut active: Vec<DecodeSeq> = Vec::new();
 
         while !pending.is_empty() || !active.is_empty() {
@@ -198,11 +194,7 @@ impl DisaggregatedServer {
             let per_worker =
                 active.len().div_ceil(self.config.decode_workers).min(self.config.max_decode_batch);
             let batch = BatchWork::new(
-                active
-                    .iter()
-                    .take(per_worker)
-                    .map(|s| ChunkWork::decode(s.context))
-                    .collect(),
+                active.iter().take(per_worker).map(|s| ChunkWork::decode(s.context)).collect(),
             );
             let dur = self.exec.iteration(&decode_tp, &batch).total();
             clock += dur;
@@ -307,9 +299,8 @@ mod tests {
         let mut s = server();
         let solo = s.run(&synthetic::single(1024, 64));
         let mut s2 = server();
-        let mixed = s2.run(&synthetic::uniform_batch(2, 30_000, 64).merge(
-            synthetic::single(1024, 64),
-        ));
+        let mixed =
+            s2.run(&synthetic::uniform_batch(2, 30_000, 64).merge(synthetic::single(1024, 64)));
         let tpot = |mut r: EngineReport| r.metrics_mut().tpot().min().unwrap();
         let solo_tpot = tpot(solo);
         let mixed_tpot = tpot(mixed);

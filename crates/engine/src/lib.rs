@@ -14,6 +14,10 @@
 //!   latency/throughput metrics.
 //! * [`cluster::DataParallelCluster`] — N independent replicas behind a
 //!   least-loaded router: the paper's throughput-optimized DP baseline.
+//! * [`routing::ClusterSim`] — event-driven multi-replica co-simulation:
+//!   replicas advance in global time order and each request is dispatched
+//!   at its arrival instant via a pluggable [`routing::RoutingPolicy`]
+//!   acting on live load.
 //!
 //! # Examples
 //!
@@ -35,8 +39,13 @@ pub mod cluster;
 pub mod disagg;
 pub mod engine;
 pub mod report;
+pub mod routing;
 mod seq;
 
 pub use cluster::DataParallelCluster;
 pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
 pub use report::{EngineReport, IterationEvent};
+pub use routing::{
+    ClusterSim, JoinShortestOutstanding, RoundRobin, RoutingKind, RoutingPolicy, SimNode,
+    StaticSplit,
+};

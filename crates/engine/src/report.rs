@@ -1,6 +1,8 @@
 //! Run reports.
 
-use sp_metrics::{Dur, LatencyRecorder, RequestRecord, SimTime};
+use sp_metrics::{
+    Dur, LatencyRecorder, ReplicaLoadSeries, RequestRecord, RoutingDecision, SimTime,
+};
 use sp_parallel::ParallelConfig;
 use std::collections::HashMap;
 
@@ -34,6 +36,8 @@ pub struct EngineReport {
     makespan: SimTime,
     max_iteration: Dur,
     timeline: Option<Vec<IterationEvent>>,
+    routing: Vec<RoutingDecision>,
+    replica_loads: ReplicaLoadSeries,
 }
 
 impl EngineReport {
@@ -51,7 +55,16 @@ impl EngineReport {
             makespan: SimTime::ZERO,
             max_iteration: Dur::ZERO,
             timeline: None,
+            routing: Vec::new(),
+            replica_loads: ReplicaLoadSeries::new(),
         }
+    }
+
+    /// Attaches an online-routing decision trail and the replica load
+    /// series sampled at each dispatch (set by the cluster simulation).
+    pub fn set_routing(&mut self, decisions: Vec<RoutingDecision>, loads: ReplicaLoadSeries) {
+        self.routing = decisions;
+        self.replica_loads = loads;
     }
 
     pub(crate) fn enable_timeline(&mut self) {
@@ -154,6 +167,18 @@ impl EngineReport {
         self.makespan
     }
 
+    /// Online routing decisions, in dispatch order (empty for single-node
+    /// runs and offline splits). Replica indices are local to the routing
+    /// tier that made the decision.
+    pub fn routing_decisions(&self) -> &[RoutingDecision] {
+        &self.routing
+    }
+
+    /// Per-replica load time series sampled at every dispatch instant.
+    pub fn replica_loads(&self) -> &ReplicaLoadSeries {
+        &self.replica_loads
+    }
+
     /// Combined throughput over the whole run, tokens/second.
     pub fn combined_throughput(&self) -> f64 {
         if self.makespan.as_secs() == 0.0 {
@@ -185,11 +210,11 @@ impl EngineReport {
         self.peak_kv_utilization = self.peak_kv_utilization.max(other.peak_kv_utilization);
         self.max_iteration = self.max_iteration.max(other.max_iteration);
         self.makespan = self.makespan.max(other.makespan);
+        self.routing.extend(other.routing);
+        self.replica_loads.absorb(other.replica_loads);
         if let (Some(mine), Some(theirs)) = (&mut self.timeline, other.timeline) {
             mine.extend(theirs);
-            mine.sort_by(|a, b| {
-                a.end.as_secs().partial_cmp(&b.end.as_secs()).expect("finite")
-            });
+            mine.sort_by(|a, b| a.end.as_secs().partial_cmp(&b.end.as_secs()).expect("finite"));
         }
     }
 }
@@ -222,8 +247,18 @@ mod tests {
     #[test]
     fn note_iteration_accumulates() {
         let mut r = EngineReport::new(Dur::from_secs(1.0));
-        r.note_iteration(ParallelConfig::tensor(8), SimTime::from_secs(1.0), 100, Dur::from_millis(20.0));
-        r.note_iteration(ParallelConfig::sequence(8), SimTime::from_secs(2.0), 50, Dur::from_millis(30.0));
+        r.note_iteration(
+            ParallelConfig::tensor(8),
+            SimTime::from_secs(1.0),
+            100,
+            Dur::from_millis(20.0),
+        );
+        r.note_iteration(
+            ParallelConfig::sequence(8),
+            SimTime::from_secs(2.0),
+            50,
+            Dur::from_millis(30.0),
+        );
         assert_eq!(r.iterations(), 2);
         assert_eq!(r.config_usage().len(), 2);
         assert_eq!(r.max_iteration_time(), Dur::from_millis(30.0));
@@ -248,10 +283,20 @@ mod tests {
     fn merge_takes_max_of_peaks() {
         let mut a = EngineReport::new(Dur::from_secs(1.0));
         a.note_kv_utilization(0.3);
-        a.note_iteration(ParallelConfig::single(), SimTime::from_secs(1.0), 5, Dur::from_millis(5.0));
+        a.note_iteration(
+            ParallelConfig::single(),
+            SimTime::from_secs(1.0),
+            5,
+            Dur::from_millis(5.0),
+        );
         let mut b = EngineReport::new(Dur::from_secs(1.0));
         b.note_kv_utilization(0.9);
-        b.note_iteration(ParallelConfig::single(), SimTime::from_secs(3.0), 5, Dur::from_millis(50.0));
+        b.note_iteration(
+            ParallelConfig::single(),
+            SimTime::from_secs(3.0),
+            5,
+            Dur::from_millis(50.0),
+        );
         a.merge(b);
         assert_eq!(a.peak_kv_utilization(), 0.9);
         assert_eq!(a.makespan(), SimTime::from_secs(3.0));

@@ -1,0 +1,427 @@
+//! Online load-aware routing: the event-driven multi-replica co-simulation.
+//!
+//! The paper's production fleet (Fig. 16, Table 5) sits behind a router
+//! that reacts to live load. Splitting a trace offline and running the
+//! replicas one after another cannot reproduce that: routing decisions
+//! must be made *at each request's arrival instant*, against the load the
+//! replicas actually have at that moment. [`ClusterSim`] provides the
+//! event loop — it advances replicas in global simulated-time order and
+//! dispatches each request on arrival via a pluggable [`RoutingPolicy`] —
+//! and [`SimNode`] is the stepping interface replicas expose
+//! (implemented by [`Engine`] and by
+//! [`crate::cluster::DataParallelCluster`] so whole clusters nest as
+//! fleet nodes).
+
+use crate::engine::Engine;
+use crate::report::EngineReport;
+use sp_metrics::{Dur, ReplicaLoadSeries, RoutingDecision, SimTime};
+use sp_workload::{Request, Trace};
+
+/// Picks a replica for each request as it arrives.
+///
+/// `loads` holds each replica's live `outstanding_tokens` (queued +
+/// admitted but unfinished work) at the dispatch instant. Policies may
+/// keep state (round-robin cursors, cumulative assignment ledgers), hence
+/// `&mut self`.
+pub trait RoutingPolicy: std::fmt::Debug {
+    /// The policy's display name.
+    fn name(&self) -> &str;
+
+    /// Chooses a replica index in `0..loads.len()` for `req`.
+    fn pick(&mut self, req: &Request, loads: &[u64]) -> usize;
+}
+
+/// Join-shortest-outstanding-tokens: send each request to the replica
+/// with the least live outstanding work (ties to the lowest index). The
+/// online analogue of join-shortest-queue, using the same load signal the
+/// engines already expose.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestOutstanding;
+
+impl RoutingPolicy for JoinShortestOutstanding {
+    fn name(&self) -> &str {
+        "join-shortest-outstanding"
+    }
+
+    fn pick(&mut self, _req: &Request, loads: &[u64]) -> usize {
+        loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(i, _)| i)
+            .expect("at least one replica")
+    }
+}
+
+/// Round-robin: replica `k mod n` for the `k`-th request, load-blind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, _req: &Request, loads: &[u64]) -> usize {
+        let i = self.next % loads.len();
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+}
+
+/// The offline static split, replayed online: each request goes to the
+/// replica with the least *cumulative assigned* tokens so far, ignoring
+/// live load. Produces exactly the same assignment as
+/// [`crate::cluster::DataParallelCluster::route`], so it serves as the
+/// pre-event-driven baseline in comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSplit {
+    assigned: Vec<u64>,
+}
+
+impl RoutingPolicy for StaticSplit {
+    fn name(&self) -> &str {
+        "static-split"
+    }
+
+    fn pick(&mut self, req: &Request, loads: &[u64]) -> usize {
+        self.assigned.resize(loads.len().max(self.assigned.len()), 0);
+        let i = (0..loads.len()).min_by_key(|&i| self.assigned[i]).expect("at least one replica");
+        self.assigned[i] += req.total_tokens();
+        i
+    }
+}
+
+/// Routing policy selector — the builder-friendly, copyable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingKind {
+    /// [`JoinShortestOutstanding`] (the online default).
+    #[default]
+    JoinShortestOutstanding,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`StaticSplit`] — the offline greedy baseline.
+    StaticSplit,
+}
+
+impl RoutingKind {
+    /// Instantiates the policy.
+    pub fn policy(self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RoutingKind::JoinShortestOutstanding => Box::new(JoinShortestOutstanding),
+            RoutingKind::RoundRobin => Box::new(RoundRobin::default()),
+            RoutingKind::StaticSplit => Box::new(StaticSplit::default()),
+        }
+    }
+}
+
+/// The incremental stepping interface a cluster node exposes so
+/// [`ClusterSim`] can co-simulate many of them in global time order.
+pub trait SimNode {
+    /// Enqueues a request (dispatch) — requests arrive in nondecreasing
+    /// arrival order.
+    fn push_request(&mut self, req: Request);
+
+    /// Advances this node by one scheduling event. No-op when idle.
+    fn step_once(&mut self);
+
+    /// Instant of this node's next event, or `None` when idle.
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Live outstanding work in tokens — the routing load signal.
+    fn outstanding_tokens(&self) -> u64;
+
+    /// Finalizes and returns the node's accumulated report.
+    fn take_report(&mut self) -> EngineReport;
+}
+
+impl SimNode for Engine {
+    fn push_request(&mut self, req: Request) {
+        Engine::push_request(self, req);
+    }
+
+    fn step_once(&mut self) {
+        Engine::step_once(self);
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        Engine::next_event_time(self)
+    }
+
+    fn outstanding_tokens(&self) -> u64 {
+        Engine::outstanding_tokens(self)
+    }
+
+    fn take_report(&mut self) -> EngineReport {
+        Engine::take_report(self)
+    }
+}
+
+/// Event-driven multi-replica co-simulation.
+///
+/// Replicas advance in global simulated-time order; each request is
+/// dispatched *at its arrival instant* to the replica the
+/// [`RoutingPolicy`] picks from live `outstanding_tokens`. The merged
+/// report carries the routing decision trail and a per-replica load time
+/// series sampled at every dispatch.
+///
+/// # Examples
+///
+/// ```
+/// use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+/// use sp_engine::routing::{ClusterSim, RoutingKind};
+/// use sp_engine::{Engine, EngineConfig};
+/// use sp_model::presets;
+/// use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+/// use sp_workload::synthetic;
+///
+/// let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+/// let replicas = (0..2)
+///     .map(|_| {
+///         Engine::new(
+///             ExecutionModel::new(node, presets::qwen_32b()),
+///             Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+///             EngineConfig::default(),
+///         )
+///     })
+///     .collect();
+/// let mut sim = ClusterSim::new(replicas, RoutingKind::default().policy());
+/// let report = sim.run(&synthetic::poisson(8, 4.0, 512, 8, 1));
+/// assert_eq!(report.records().len(), 8);
+/// assert_eq!(report.routing_decisions().len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim<N: SimNode> {
+    nodes: Vec<N>,
+    policy: Box<dyn RoutingPolicy>,
+    throughput_bin: Dur,
+}
+
+impl<N: SimNode> ClusterSim<N> {
+    /// Creates a co-simulation over `nodes` with the given router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ClusterSim<N> {
+        assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
+        ClusterSim { nodes, policy, throughput_bin: Dur::from_secs(1.0) }
+    }
+
+    /// Sets the merged report's throughput bin width (default 1 s).
+    pub fn throughput_bin(mut self, bin: Dur) -> ClusterSim<N> {
+        self.throughput_bin = bin;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The routing policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Consumes the simulation, returning its nodes.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    /// Index of the node with the earliest pending event, if any.
+    fn earliest(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
+            .min_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).expect("finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// Steps nodes in global time order until every pending event is at
+    /// or after `horizon`.
+    fn advance_to(&mut self, horizon: SimTime) {
+        while let Some(i) = self.earliest() {
+            let t = self.nodes[i].next_event_time().expect("earliest implies event");
+            if t.as_secs() >= horizon.as_secs() {
+                break;
+            }
+            self.nodes[i].step_once();
+        }
+    }
+
+    /// Runs `trace` to completion: dispatch at arrival instants, then
+    /// drain, then merge per-node reports (plus the decision trail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the co-simulation fails to make progress (internal bug
+    /// guard).
+    pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        let mut decisions: Vec<RoutingDecision> = Vec::with_capacity(trace.len());
+        let mut load_series = ReplicaLoadSeries::new();
+
+        for &req in trace.requests() {
+            // Bring every node's local clock up to this arrival so the
+            // load signal reflects work actually still outstanding now.
+            self.advance_to(req.arrival);
+            let loads: Vec<u64> = self.nodes.iter().map(SimNode::outstanding_tokens).collect();
+            for (i, &l) in loads.iter().enumerate() {
+                load_series.record(i, req.arrival, l);
+            }
+            let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
+            decisions.push(RoutingDecision {
+                request_id: req.id,
+                replica: pick,
+                at: req.arrival,
+                load_tokens: loads[pick],
+            });
+            self.nodes[pick].push_request(req);
+        }
+
+        // Drain: keep stepping the globally earliest event until all idle.
+        let mut guard: u64 = 0;
+        while let Some(i) = self.earliest() {
+            guard += 1;
+            assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+            self.nodes[i].step_once();
+        }
+
+        let mut merged = EngineReport::new(self.throughput_bin);
+        for node in &mut self.nodes {
+            merged.merge(node.take_report());
+        }
+        merged.set_routing(decisions, load_series);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+    use sp_model::presets;
+    use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+    use sp_workload::RequestClass;
+
+    fn req(id: u64, at: f64, input: u32, output: u32) -> Request {
+        Request {
+            id,
+            arrival: SimTime::from_secs(at),
+            input_tokens: input,
+            output_tokens: output,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None,
+        }
+    }
+
+    fn engines(n: usize) -> Vec<Engine> {
+        let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+        (0..n)
+            .map(|_| {
+                Engine::new(
+                    ExecutionModel::new(node, presets::qwen_32b()),
+                    Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+                    EngineConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_ties_to_lowest_index() {
+        let mut p = JoinShortestOutstanding;
+        let r = req(0, 0.0, 100, 10);
+        assert_eq!(p.pick(&r, &[500, 200, 900]), 1);
+        assert_eq!(p.pick(&r, &[300, 300, 300]), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::default();
+        let r = req(0, 0.0, 100, 10);
+        let picks: Vec<usize> = (0..5).map(|_| p.pick(&r, &[0, 0, 0])).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn static_split_reproduces_offline_route() {
+        // The online StaticSplit policy must assign each request to the
+        // same replica the offline greedy router would.
+        let cluster = crate::cluster::DataParallelCluster::new(3, |_| engines(1).pop().unwrap());
+        let trace: Trace =
+            (0..30).map(|i| req(i, i as f64 * 0.1, 200 + (i as u32 % 7) * 800, 20)).collect();
+        let shards = cluster.route(&trace);
+
+        let mut policy = StaticSplit::default();
+        for r in trace.requests() {
+            let online = policy.pick(r, &[0, 0, 0]);
+            let offline = shards
+                .iter()
+                .position(|s| s.requests().iter().any(|q| q.id == r.id))
+                .expect("every request lands in a shard");
+            assert_eq!(online, offline, "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn busy_replica_receives_no_new_work() {
+        // Acceptance: a replica buried under a long prefill must receive
+        // nothing while an idle replica takes every arrival.
+        let mut sim = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy());
+        let mut trace: Vec<Request> = vec![req(0, 0.0, 120_000, 512)];
+        trace.extend((1..9).map(|i| req(i, 0.05 * i as f64, 256, 16)));
+        let report = sim.run(&Trace::with_ids(trace));
+
+        let d = report.routing_decisions();
+        assert_eq!(d.len(), 9);
+        assert_eq!(d[0].replica, 0, "first request ties to replica 0");
+        for dec in &d[1..] {
+            assert_eq!(
+                dec.replica, 1,
+                "request {} routed to the busy replica at load {}",
+                dec.request_id, dec.load_tokens
+            );
+        }
+        assert_eq!(report.records().len(), 9);
+        assert_eq!(report.replica_loads().replica_count(), 2);
+        assert!(report.replica_loads().peak(0) > 100_000);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let trace = sp_workload::bursty::BurstyConfig {
+            duration: sp_metrics::Dur::from_secs(60.0),
+            base_rate: 1.0,
+            bursts: 2,
+            burst_size: 30,
+            ..sp_workload::bursty::BurstyConfig::default()
+        }
+        .generate();
+        let decide = || {
+            let mut sim =
+                ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy());
+            sim.run(&trace).routing_decisions().to_vec()
+        };
+        let a = decide();
+        let b = decide();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same trace must yield the same routing decisions");
+    }
+
+    #[test]
+    fn every_arrival_is_dispatched_and_sampled() {
+        let trace = sp_workload::synthetic::poisson(40, 20.0, 512, 8, 3);
+        let mut sim = ClusterSim::new(engines(4), RoutingKind::RoundRobin.policy());
+        let report = sim.run(&trace);
+        assert_eq!(report.routing_decisions().len(), 40);
+        // One load sample per replica per dispatch.
+        assert_eq!(report.replica_loads().samples().len(), 40 * 4);
+        assert_eq!(report.records().len(), 40);
+    }
+}

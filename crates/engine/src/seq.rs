@@ -60,7 +60,7 @@ mod tests {
             output_tokens: output,
             class: RequestClass::Interactive,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         })
     }
 

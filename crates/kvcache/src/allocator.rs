@@ -1,9 +1,7 @@
 //! Fixed-pool block allocator.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of one KV-cache block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 /// A pool of equally-sized KV blocks, allocated and freed in O(1).
@@ -23,7 +21,7 @@ pub struct BlockId(pub u32);
 /// pool.free(a);
 /// assert_eq!(pool.free_blocks(), 3);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockAllocator {
     total: u32,
     free_list: Vec<BlockId>,

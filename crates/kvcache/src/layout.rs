@@ -11,7 +11,6 @@
 //! that e.g. Qwen-30B-A3B (4 KV heads) scales to 8 GPUs with each head
 //! stored on 2 GPUs.
 
-use serde::{Deserialize, Serialize};
 use sp_model::ModelConfig;
 use std::fmt;
 
@@ -37,10 +36,9 @@ impl fmt::Display for LayoutError {
         match self {
             LayoutError::ZeroDegree => write!(f, "attention-parallel degree must be positive"),
             LayoutError::ZeroKvHeads => write!(f, "model must have at least one KV head"),
-            LayoutError::UnevenDistribution { kv_heads, degree } => write!(
-                f,
-                "cannot distribute {kv_heads} KV heads evenly across {degree} GPUs"
-            ),
+            LayoutError::UnevenDistribution { kv_heads, degree } => {
+                write!(f, "cannot distribute {kv_heads} KV heads evenly across {degree} GPUs")
+            }
         }
     }
 }
@@ -60,7 +58,7 @@ impl std::error::Error for LayoutError {}
 /// assert_eq!(l.heads_per_gpu(), 1);
 /// assert_eq!(l.memory_overhead_factor(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvShardLayout {
     kv_heads: u32,
     degree: u32,
@@ -151,8 +149,7 @@ impl KvShardLayout {
 
     /// Per-GPU KV bytes per cached token for `model` under this layout.
     pub fn per_gpu_kv_bytes_per_token(&self, model: &ModelConfig) -> u64 {
-        model.kv_bytes_per_token() * u64::from(self.heads_per_gpu)
-            / u64::from(model.kv_heads)
+        model.kv_bytes_per_token() * u64::from(self.heads_per_gpu) / u64::from(model.kv_heads)
     }
 }
 
@@ -215,10 +212,7 @@ mod tests {
         let m = presets::qwen_30b_a3b();
         let four = KvShardLayout::for_model(&m, 4).unwrap();
         let eight = KvShardLayout::for_model(&m, 8).unwrap();
-        assert_eq!(
-            four.per_gpu_kv_bytes_per_token(&m),
-            eight.per_gpu_kv_bytes_per_token(&m)
-        );
+        assert_eq!(four.per_gpu_kv_bytes_per_token(&m), eight.per_gpu_kv_bytes_per_token(&m));
     }
 
     proptest! {

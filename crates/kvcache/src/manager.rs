@@ -1,7 +1,6 @@
 //! Per-sequence KV accounting with admission control.
 
 use crate::allocator::{BlockAllocator, BlockId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tracks which KV blocks each live sequence holds and admits new work only
@@ -23,7 +22,7 @@ use std::collections::HashMap;
 /// assert!(!kv.try_reserve(8, 40));      // only 1 block left
 /// assert!(kv.try_reserve(8, 10));       // fits in the last block
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KvCacheManager {
     block_tokens: u32,
     pool: BlockAllocator,
@@ -36,7 +35,7 @@ pub struct KvCacheManager {
     peak_used_tokens: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct SeqAlloc {
     tokens: u64,
     blocks: Vec<BlockId>,
@@ -85,6 +84,34 @@ impl KvCacheManager {
     /// Tokens held by the shared prefix of `group` (0 if absent).
     pub fn group_tokens(&self, group: u64) -> u64 {
         self.groups.get(&group).copied().unwrap_or(0)
+    }
+
+    /// Shrinks the shared prefix of `group` back to `watermark` tokens,
+    /// freeing whole blocks past it — the admission-failure undo for
+    /// [`KvCacheManager::try_extend_group`]. A watermark of zero drops the
+    /// group entirely. No-op if the group is absent or already at or
+    /// below the watermark.
+    pub fn shrink_group(&mut self, group: u64, watermark: u64) {
+        let Some(&current) = self.groups.get(&group) else { return };
+        if watermark >= current {
+            return;
+        }
+        if watermark == 0 {
+            self.release_group(group);
+            return;
+        }
+        let alloc = self
+            .seqs
+            .get_mut(&Self::group_key(group))
+            .expect("group watermark implies a live allocation");
+        let keep_blocks = watermark.div_ceil(u64::from(self.block_tokens)) as usize;
+        while alloc.blocks.len() > keep_blocks {
+            let block = alloc.blocks.pop().expect("length checked");
+            self.pool.free(block);
+        }
+        self.used_tokens -= alloc.tokens - watermark;
+        alloc.tokens = watermark;
+        self.groups.insert(group, watermark);
     }
 
     /// Frees a session's shared prefix. No-op if absent.
@@ -152,9 +179,9 @@ impl KvCacheManager {
         if !self.can_reserve(seq, tokens) {
             return false;
         }
-        let entry = self.seqs.entry(seq).or_insert_with(|| SeqAlloc { tokens: 0, blocks: Vec::new() });
-        let needed_blocks =
-            (entry.tokens + tokens).div_ceil(u64::from(self.block_tokens)) as usize;
+        let entry =
+            self.seqs.entry(seq).or_insert_with(|| SeqAlloc { tokens: 0, blocks: Vec::new() });
+        let needed_blocks = (entry.tokens + tokens).div_ceil(u64::from(self.block_tokens)) as usize;
         while entry.blocks.len() < needed_blocks {
             let block = self.pool.alloc().expect("can_reserve guaranteed capacity");
             entry.blocks.push(block);
@@ -274,6 +301,33 @@ mod tests {
         assert_eq!(kv.group_tokens(1), 32);
         kv.release(1);
         assert_eq!(kv.group_tokens(1), 32, "request release must not free the group");
+    }
+
+    #[test]
+    fn shrink_group_rolls_back_an_extension() {
+        let mut kv = KvCacheManager::new(160, 16);
+        assert!(kv.try_extend_group(3, 48));
+        let used = kv.used_tokens();
+        assert!(kv.try_extend_group(3, 100));
+        kv.shrink_group(3, 48);
+        assert_eq!(kv.group_tokens(3), 48);
+        assert_eq!(kv.used_tokens(), used);
+        // Shrinking to zero drops the group entirely.
+        kv.shrink_group(3, 0);
+        assert_eq!(kv.group_tokens(3), 0);
+        assert_eq!(kv.used_tokens(), 0);
+        assert_eq!(kv.free_tokens(), 160);
+    }
+
+    #[test]
+    fn shrink_group_is_noop_when_at_or_below_watermark() {
+        let mut kv = KvCacheManager::new(160, 16);
+        kv.shrink_group(9, 10); // absent group
+        assert_eq!(kv.used_tokens(), 0);
+        assert!(kv.try_extend_group(9, 32));
+        kv.shrink_group(9, 64); // larger watermark: no-op
+        assert_eq!(kv.group_tokens(9), 32);
+        assert_eq!(kv.free_tokens(), 128);
     }
 
     #[test]

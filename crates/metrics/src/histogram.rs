@@ -1,7 +1,5 @@
 //! Logarithmically-bucketed histogram for latency spectra.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with logarithmically-spaced buckets.
 ///
 /// Latencies in LLM serving span five orders of magnitude (sub-millisecond
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.total(), 3);
 /// assert!(h.bucket_for(0.005) < h.bucket_for(4.0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogHistogram {
     lo: f64,
     growth: f64,
@@ -92,10 +90,7 @@ impl LogHistogram {
 
     /// Iterates over `(bucket_lower_bound, count)` pairs.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo * self.growth.powi(i as i32), c))
+        self.counts.iter().enumerate().map(move |(i, &c)| (self.lo * self.growth.powi(i as i32), c))
     }
 
     /// Number of buckets.

@@ -4,13 +4,12 @@ use crate::percentile::Quantiles;
 use crate::summary::StreamingSummary;
 use crate::timeseries::BinnedSeries;
 use crate::units::{Dur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The lifecycle timestamps and outcome of one completed request.
 ///
 /// Produced by the serving engine for every finished request; consumed by
 /// [`LatencyRecorder`] and the figure-regeneration harnesses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestRecord {
     /// Client-visible request id.
     pub request_id: u64,

@@ -11,6 +11,8 @@
 //! * [`histogram`] — log-bucketed [`LogHistogram`] for latency spectra.
 //! * [`timeseries`] — [`BinnedSeries`] for throughput-over-time plots.
 //! * [`latency`] — [`LatencyRecorder`], the per-request metric sink.
+//! * [`routing`] — [`RoutingDecision`] and [`ReplicaLoadSeries`], the
+//!   cluster router's decision trail and per-replica load time series.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 pub mod histogram;
 pub mod latency;
 pub mod percentile;
+pub mod routing;
 pub mod slo;
 pub mod summary;
 pub mod timeseries;
@@ -38,6 +41,7 @@ pub mod units;
 pub use histogram::LogHistogram;
 pub use latency::{LatencyRecorder, RequestRecord};
 pub use percentile::Quantiles;
+pub use routing::{ReplicaLoadSample, ReplicaLoadSeries, RoutingDecision};
 pub use slo::{SloReport, SloTarget};
 pub use summary::StreamingSummary;
 pub use timeseries::BinnedSeries;

@@ -1,7 +1,5 @@
 //! Exact quantile computation over recorded samples.
 
-use serde::{Deserialize, Serialize};
-
 /// Exact quantile estimator that stores every sample.
 ///
 /// The simulator records at most a few hundred thousand requests per run, so
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(q.quantile(1.0), Some(40.0));
 /// assert_eq!(q.quantile(0.5), Some(25.0));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Quantiles {
     samples: Vec<f64>,
     sorted: bool,

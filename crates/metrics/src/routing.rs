@@ -1,0 +1,160 @@
+//! Cluster-routing records: which replica served each request, and how
+//! loaded every replica was when the router decided.
+//!
+//! The event-driven cluster simulation (`sp-engine`'s `ClusterSim`)
+//! dispatches each request at its arrival instant using live load
+//! signals. These types preserve that decision trail in reports so the
+//! Figure 16 production analyses can correlate tail latencies with
+//! routing behaviour.
+
+use crate::units::SimTime;
+
+/// One routing decision: `request_id` went to `replica` at instant `at`,
+/// when that replica had `load_tokens` outstanding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingDecision {
+    /// The dispatched request.
+    pub request_id: u64,
+    /// Index of the chosen replica (local to the routing tier that made
+    /// the decision).
+    pub replica: usize,
+    /// Dispatch instant (the request's arrival time).
+    pub at: SimTime,
+    /// The chosen replica's outstanding tokens at dispatch.
+    pub load_tokens: u64,
+}
+
+/// One load observation of one replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaLoadSample {
+    /// Replica index.
+    pub replica: usize,
+    /// Observation instant.
+    pub at: SimTime,
+    /// Outstanding work in tokens (queued + admitted but unfinished).
+    pub outstanding_tokens: u64,
+}
+
+/// A per-replica load time series, sampled at routing instants.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::{ReplicaLoadSeries, SimTime};
+///
+/// let mut s = ReplicaLoadSeries::new();
+/// s.record(0, SimTime::from_secs(1.0), 500);
+/// s.record(1, SimTime::from_secs(1.0), 0);
+/// assert_eq!(s.replica_count(), 2);
+/// assert_eq!(s.peak(0), 500);
+/// assert_eq!(s.peak(1), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicaLoadSeries {
+    samples: Vec<ReplicaLoadSample>,
+    replica_count: usize,
+}
+
+impl ReplicaLoadSeries {
+    /// Creates an empty series.
+    pub fn new() -> ReplicaLoadSeries {
+        ReplicaLoadSeries::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, replica: usize, at: SimTime, outstanding_tokens: u64) {
+        self.replica_count = self.replica_count.max(replica + 1);
+        self.samples.push(ReplicaLoadSample { replica, at, outstanding_tokens });
+    }
+
+    /// All samples in recording order.
+    pub fn samples(&self) -> &[ReplicaLoadSample] {
+        &self.samples
+    }
+
+    /// Number of distinct replicas observed (max index + 1).
+    pub fn replica_count(&self) -> usize {
+        self.replica_count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak outstanding tokens observed for `replica` (0 if never seen).
+    pub fn peak(&self, replica: usize) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.replica == replica)
+            .map(|s| s.outstanding_tokens)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean outstanding tokens over `replica`'s samples (0.0 if never
+    /// seen).
+    pub fn mean(&self, replica: usize) -> f64 {
+        let xs: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|s| s.replica == replica)
+            .map(|s| s.outstanding_tokens)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<u64>() as f64 / xs.len() as f64
+        }
+    }
+
+    /// Absorbs `other`, shifting its replica indices past this series' —
+    /// merged reports keep per-tier replica identities distinct.
+    pub fn absorb(&mut self, other: ReplicaLoadSeries) {
+        let offset = self.replica_count;
+        for mut s in other.samples {
+            s.replica += offset;
+            self.replica_count = self.replica_count.max(s.replica + 1);
+            self.samples.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_reports_zero() {
+        let s = ReplicaLoadSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.replica_count(), 0);
+        assert_eq!(s.peak(3), 0);
+        assert_eq!(s.mean(3), 0.0);
+    }
+
+    #[test]
+    fn peak_and_mean_are_per_replica() {
+        let mut s = ReplicaLoadSeries::new();
+        s.record(0, SimTime::from_secs(0.0), 100);
+        s.record(0, SimTime::from_secs(1.0), 300);
+        s.record(1, SimTime::from_secs(1.0), 50);
+        assert_eq!(s.replica_count(), 2);
+        assert_eq!(s.peak(0), 300);
+        assert_eq!(s.mean(0), 200.0);
+        assert_eq!(s.peak(1), 50);
+    }
+
+    #[test]
+    fn absorb_offsets_replica_indices() {
+        let mut a = ReplicaLoadSeries::new();
+        a.record(0, SimTime::from_secs(0.0), 10);
+        a.record(1, SimTime::from_secs(0.0), 20);
+        let mut b = ReplicaLoadSeries::new();
+        b.record(0, SimTime::from_secs(1.0), 30);
+        a.absorb(b);
+        assert_eq!(a.replica_count(), 3);
+        assert_eq!(a.peak(2), 30);
+        assert_eq!(a.samples().len(), 3);
+    }
+}

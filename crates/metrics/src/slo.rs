@@ -8,10 +8,9 @@
 
 use crate::latency::RequestRecord;
 use crate::units::Dur;
-use serde::{Deserialize, Serialize};
 
 /// A per-request latency target.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloTarget {
     /// Maximum acceptable time-to-first-token.
     pub ttft: Dur,
@@ -39,7 +38,7 @@ impl SloTarget {
 }
 
 /// Aggregate SLO attainment over a set of completed requests.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SloReport {
     /// Requests meeting the target.
     pub attained: u64,

@@ -1,7 +1,5 @@
 //! Welford streaming summary statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// Numerically stable for long simulations: the running mean is updated
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamingSummary {
     count: u64,
     mean: f64,
@@ -129,8 +127,8 @@ impl StreamingSummary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);

@@ -1,7 +1,6 @@
 //! Time-binned series for throughput-over-time plots.
 
 use crate::units::{Dur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Accumulates `(time, weight)` events into fixed-width time bins.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(rates[0].1, 150.0); // 150 units in the first 1 s bin
 /// assert_eq!(rates[1].1, 10.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BinnedSeries {
     bin_width: Dur,
     bins: Vec<f64>,
@@ -66,10 +65,7 @@ impl BinnedSeries {
     /// Iterates over `(bin_start_time, total_weight_in_bin)`.
     pub fn totals(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         let w = self.bin_width.as_secs();
-        self.bins
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (SimTime::from_secs(i as f64 * w), v))
+        self.bins.iter().enumerate().map(move |(i, &v)| (SimTime::from_secs(i as f64 * w), v))
     }
 
     /// Iterates over `(bin_start_time, weight_per_second)`.

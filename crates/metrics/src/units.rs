@@ -5,7 +5,6 @@
 //! classic bug of adding two instants or confusing milliseconds with
 //! seconds: all constructors and accessors name their unit.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -20,7 +19,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// let t = SimTime::ZERO + Dur::from_millis(250.0);
 /// assert_eq!(t.as_secs(), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(f64);
 
 /// A span of simulated time, in seconds.
@@ -33,7 +32,7 @@ pub struct SimTime(f64);
 /// let d = Dur::from_millis(3.0) + Dur::from_micros(500.0);
 /// assert!((d.as_millis() - 3.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dur(f64);
 
 impl SimTime {

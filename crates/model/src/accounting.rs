@@ -19,7 +19,6 @@
 //! execution model.
 
 use crate::config::ModelConfig;
-use serde::{Deserialize, Serialize};
 use std::iter::Sum;
 use std::ops::Add;
 
@@ -40,7 +39,7 @@ pub const QUERY_TILE: u64 = 128;
 /// assert!(prefill.total_flops() > 1000.0 * decode.total_flops());
 /// assert!(decode.kv_read_bytes > 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StepCost {
     /// GEMM FLOPs in QKV, O, and MLP projections.
     pub linear_flops: f64,
@@ -102,10 +101,7 @@ impl ModelConfig {
     ///
     /// Panics if `logit_tokens > new_tokens`.
     pub fn chunk_cost(&self, new_tokens: u64, past: u64, logit_tokens: u64) -> StepCost {
-        assert!(
-            logit_tokens <= new_tokens,
-            "cannot emit logits for more tokens than processed"
-        );
+        assert!(logit_tokens <= new_tokens, "cannot emit logits for more tokens than processed");
         if new_tokens == 0 {
             return StepCost::default();
         }
@@ -121,10 +117,8 @@ impl ModelConfig {
             * attended
             * f64::from(self.num_layers);
 
-        let logit_flops = 2.0
-            * f64::from(self.hidden_size)
-            * f64::from(self.vocab_size)
-            * logit_tokens as f64;
+        let logit_flops =
+            2.0 * f64::from(self.hidden_size) * f64::from(self.vocab_size) * logit_tokens as f64;
 
         // Flash-attention streams the KV cache once per query *tile*, not
         // per query: a decode step (1 query) re-reads its whole context,
@@ -163,10 +157,9 @@ impl ModelConfig {
                     * u64::from(moe.expert_intermediate);
                 let routed_total = u64::from(self.num_layers) * routed_per_layer;
                 let non_routed = self.total_params() - routed_total;
-                let touched = (batch_tokens * u64::from(moe.active_experts))
-                    .min(u64::from(moe.num_experts));
-                let streamed_routed =
-                    routed_total * touched / u64::from(moe.num_experts);
+                let touched =
+                    (batch_tokens * u64::from(moe.active_experts)).min(u64::from(moe.num_experts));
+                let streamed_routed = routed_total * touched / u64::from(moe.num_experts);
                 (non_routed + streamed_routed) * prec
             }
         }
@@ -231,16 +224,15 @@ mod tests {
         let cost = m.chunk_cost(1, 0, 0);
         assert!((cost.linear_flops - dense_equivalent).abs() < 1.0);
         // Sanity: far below what total params would give.
-        let total_linear = u64::from(m.num_layers)
-            * (m.attn_params_per_layer() + m.mlp_params_per_layer_total());
+        let total_linear =
+            u64::from(m.num_layers) * (m.attn_params_per_layer() + m.mlp_params_per_layer_total());
         assert!(cost.linear_flops < 0.2 * 2.0 * total_linear as f64);
     }
 
     #[test]
     fn step_cost_sums() {
         let m = presets::qwen_32b();
-        let parts: StepCost =
-            (0..4).map(|i| m.chunk_cost(10, i * 10, 0)).sum();
+        let parts: StepCost = (0..4).map(|i| m.chunk_cost(10, i * 10, 0)).sum();
         let whole = m.chunk_cost(40, 0, 0);
         assert!((parts.linear_flops - whole.linear_flops).abs() < 1.0);
     }

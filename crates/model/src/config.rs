@@ -1,9 +1,7 @@
 //! Model hyper-parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Weight / activation / KV-cache element precision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// 8-bit floating point (the paper serves all models in FP8).
     Fp8,
@@ -26,7 +24,7 @@ impl Precision {
 /// Dense models have `None` for [`ModelConfig::moe`]; MoE models route each
 /// token to `active_experts` of `num_experts` feed-forward experts, plus an
 /// optional always-on shared expert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MoeConfig {
     /// Total routed experts per layer.
     pub num_experts: u32,
@@ -52,7 +50,7 @@ pub struct MoeConfig {
 /// let qwen = presets::qwen_32b();
 /// assert_eq!(qwen.gqa_group_size(), 8); // 64 Q heads / 8 KV heads
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     /// Human-readable model name.
     pub name: String,
@@ -120,8 +118,7 @@ impl ModelConfig {
                     * 3
                     * u64::from(self.hidden_size)
                     * u64::from(moe.expert_intermediate);
-                let shared =
-                    3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
+                let shared = 3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
                 routed + shared
             }
         }
@@ -137,8 +134,7 @@ impl ModelConfig {
                     * 3
                     * u64::from(self.hidden_size)
                     * u64::from(moe.expert_intermediate);
-                let shared =
-                    3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
+                let shared = 3 * u64::from(self.hidden_size) * u64::from(moe.shared_intermediate);
                 routed + shared
             }
         }

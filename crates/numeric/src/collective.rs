@@ -70,13 +70,13 @@ pub struct RankKv {
 impl RankKv {
     /// Creates the empty shard for a rank owning `q_heads` of `model`.
     pub fn new(model: &ToyTransformer, q_heads: Vec<usize>) -> RankKv {
-        let mut kv_heads: Vec<usize> =
-            q_heads.iter().map(|&h| model.kv_head_of(h)).collect();
+        let mut kv_heads: Vec<usize> = q_heads.iter().map(|&h| model.kv_head_of(h)).collect();
         kv_heads.sort_unstable();
         kv_heads.dedup();
         let width = kv_heads.len() * model.head_dim;
-        let layers =
-            (0..model.num_layers).map(|_| (Matrix::zeros(0, width), Matrix::zeros(0, width))).collect();
+        let layers = (0..model.num_layers)
+            .map(|_| (Matrix::zeros(0, width), Matrix::zeros(0, width)))
+            .collect();
         RankKv { q_heads, kv_heads, layers }
     }
 
@@ -127,10 +127,8 @@ mod tests {
 
     #[test]
     fn all_reduce_sums_everywhere() {
-        let parts = vec![
-            Matrix::from_fn(2, 2, |r, c| (r + c) as f32),
-            Matrix::from_fn(2, 2, |_, _| 1.0),
-        ];
+        let parts =
+            vec![Matrix::from_fn(2, 2, |r, c| (r + c) as f32), Matrix::from_fn(2, 2, |_, _| 1.0)];
         let out = all_reduce_sum(&parts);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0][(1, 1)], 3.0);

@@ -22,12 +22,7 @@ use sp_parallel::ProcessMapping;
 ///
 /// Panics if the sequence, heads, or `d_ff` do not divide across the
 /// configuration.
-pub fn forward(
-    model: &ToyTransformer,
-    x: &Matrix,
-    sp: usize,
-    tp: usize,
-) -> (Matrix, Vec<RankKv>) {
+pub fn forward(model: &ToyTransformer, x: &Matrix, sp: usize, tp: usize) -> (Matrix, Vec<RankKv>) {
     let p = sp * tp;
     let n = x.rows();
     assert!(n.is_multiple_of(sp), "sequence length {n} must divide across SP={sp}");
@@ -99,13 +94,7 @@ pub fn forward(
         // Line 5: attention on owned (interleaved) heads.
         let attn: Vec<Matrix> = (0..p)
             .map(|r| {
-                rank_attention(
-                    model,
-                    q_owned[r].as_ref().expect("assembled"),
-                    &shards[r],
-                    l,
-                    past,
-                )
+                rank_attention(model, q_owned[r].as_ref().expect("assembled"), &shards[r], l, past)
             })
             .collect();
 
@@ -114,10 +103,7 @@ pub fn forward(
         let mut wire_orders: Vec<Vec<usize>> = vec![Vec::new(); tp];
         for (t, wire_order) in wire_orders.iter_mut().enumerate() {
             let members: Vec<usize> = (0..sp).map(|s| s * tp + t).collect();
-            *wire_order = members
-                .iter()
-                .flat_map(|&r| shards[r].q_heads.iter().copied())
-                .collect();
+            *wire_order = members.iter().flat_map(|&r| shards[r].q_heads.iter().copied()).collect();
             let sends: Vec<Vec<Matrix>> = members
                 .iter()
                 .map(|&src| {

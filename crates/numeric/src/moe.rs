@@ -129,8 +129,7 @@ impl MoeLayer {
             let routes = self.route(&x_local);
             let mut blocks = Vec::with_capacity(p);
             for (dst, slot) in row_map.iter_mut().enumerate() {
-                let picked: Vec<usize> =
-                    (0..rows).filter(|&r| routes[r] / per == dst).collect();
+                let picked: Vec<usize> = (0..rows).filter(|&r| routes[r] / per == dst).collect();
                 let block = if picked.is_empty() {
                     Matrix::zeros(0, x.cols())
                 } else {
@@ -230,11 +229,7 @@ mod tests {
         let serial = l.forward_serial(&x);
         for p in [1, 2, 4] {
             let spep = l.forward_sp_ep(&x, p);
-            assert!(
-                spep.approx_eq(&serial, 1e-5),
-                "SPxEP={p} diff {}",
-                spep.max_abs_diff(&serial)
-            );
+            assert!(spep.approx_eq(&serial, 1e-5), "SPxEP={p} diff {}", spep.max_abs_diff(&serial));
         }
     }
 

@@ -31,10 +31,7 @@ pub fn prefill_base_decode_shift(
     decode_tokens: &[Matrix],
 ) -> (Matrix, Vec<Matrix>, Vec<RankKv>) {
     let (prefill_out, mut shards) = combined::forward(model, x, sp, tp);
-    let decode_out = decode_tokens
-        .iter()
-        .map(|tok| tp::advance(model, tok, &mut shards))
-        .collect();
+    let decode_out = decode_tokens.iter().map(|tok| tp::advance(model, tok, &mut shards)).collect();
     (prefill_out, decode_out, shards)
 }
 
@@ -45,8 +42,7 @@ pub fn serial_run(
     decode_tokens: &[Matrix],
 ) -> (Matrix, Vec<Matrix>, KvCache) {
     let (prefill_out, mut cache) = model.forward(x);
-    let decode_out =
-        decode_tokens.iter().map(|tok| model.advance(tok, &mut cache)).collect();
+    let decode_out = decode_tokens.iter().map(|tok| model.advance(tok, &mut cache)).collect();
     (prefill_out, decode_out, cache)
 }
 
@@ -143,10 +139,7 @@ mod tests {
 
         let wrong = tp::advance(&m, &toks[0], &mut shards);
         let diff = wrong.max_abs_diff(&serial_decode[0]);
-        assert!(
-            diff > 1e-3,
-            "naive sharding should corrupt the output (diff only {diff})"
-        );
+        assert!(diff > 1e-3, "naive sharding should corrupt the output (diff only {diff})");
     }
 
     #[test]
@@ -161,9 +154,7 @@ mod tests {
                 let (_, serial_decode, _) = serial_run(&m, &x, &toks);
                 for (sp, tp) in [(2, 2), (4, 1)] {
                     let (_, decode, _) = prefill_base_decode_shift(&m, &x, sp, tp, &toks);
-                    for (step, (got, want)) in
-                        decode.iter().zip(&serial_decode).enumerate()
-                    {
+                    for (step, (got, want)) in decode.iter().zip(&serial_decode).enumerate() {
                         assert!(
                             got.approx_eq(want, 2e-4),
                             "seed {seed} q{q_heads}/kv{kv_heads} (SP={sp},TP={tp}) \

@@ -21,11 +21,8 @@ pub(crate) fn fused_qkv_block(
     dst: &RankKv,
 ) -> Matrix {
     let hd = model.head_dim;
-    let mut parts: Vec<Matrix> = dst
-        .q_heads
-        .iter()
-        .map(|&h| q_full.slice_cols(h * hd, (h + 1) * hd))
-        .collect();
+    let mut parts: Vec<Matrix> =
+        dst.q_heads.iter().map(|&h| q_full.slice_cols(h * hd, (h + 1) * hd)).collect();
     for &g in &dst.kv_heads {
         parts.push(k_full.slice_cols(g * hd, (g + 1) * hd));
     }
@@ -44,11 +41,7 @@ pub(crate) fn split_fused(
     let hd = model.head_dim;
     let qw = dst.q_heads.len() * hd;
     let kw = dst.kv_heads.len() * hd;
-    (
-        fused.slice_cols(0, qw),
-        fused.slice_cols(qw, qw + kw),
-        fused.slice_cols(qw + kw, qw + 2 * kw),
-    )
+    (fused.slice_cols(0, qw), fused.slice_cols(qw, qw + kw), fused.slice_cols(qw + kw, qw + 2 * kw))
 }
 
 /// Sequence-parallel prefill of `x` across `p` ranks with the standard
@@ -69,11 +62,9 @@ pub fn forward(model: &ToyTransformer, x: &Matrix, p: usize) -> (Matrix, Vec<Ran
         .collect();
     // Head order across the wire: rank-major (identical to global order
     // for the contiguous layout).
-    let wire_order: Vec<usize> =
-        shards.iter().flat_map(|s| s.q_heads.iter().copied()).collect();
+    let wire_order: Vec<usize> = shards.iter().flat_map(|s| s.q_heads.iter().copied()).collect();
 
-    let mut h: Vec<Matrix> =
-        (0..p).map(|r| x.slice_rows(r * rows, (r + 1) * rows)).collect();
+    let mut h: Vec<Matrix> = (0..p).map(|r| x.slice_rows(r * rows, (r + 1) * rows)).collect();
 
     for (l, w) in model.layers.iter().enumerate() {
         let past = shards[0].len_at(l);
@@ -88,7 +79,13 @@ pub fn forward(model: &ToyTransformer, x: &Matrix, p: usize) -> (Matrix, Vec<Ran
             .map(|src| {
                 (0..p)
                     .map(|dst| {
-                        fused_qkv_block(model, &q_full[src], &k_full[src], &v_full[src], &shards[dst])
+                        fused_qkv_block(
+                            model,
+                            &q_full[src],
+                            &k_full[src],
+                            &v_full[src],
+                            &shards[dst],
+                        )
                     })
                     .collect()
             })
@@ -100,7 +97,8 @@ pub fn forward(model: &ToyTransformer, x: &Matrix, p: usize) -> (Matrix, Vec<Ran
         for (r, shard) in shards.iter_mut().enumerate() {
             let parts: Vec<(Matrix, Matrix, Matrix)> =
                 received[r].iter().map(|f| split_fused(model, f, shard)).collect();
-            let q = Matrix::concat_rows(&parts.iter().map(|(q, _, _)| q.clone()).collect::<Vec<_>>());
+            let q =
+                Matrix::concat_rows(&parts.iter().map(|(q, _, _)| q.clone()).collect::<Vec<_>>());
             let k_new =
                 Matrix::concat_rows(&parts.iter().map(|(_, k, _)| k.clone()).collect::<Vec<_>>());
             let v_new =

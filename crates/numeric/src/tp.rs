@@ -11,8 +11,7 @@ use crate::tensor::Matrix;
 /// Gathers the `wo` rows for a rank's q heads, in the rank's head order.
 pub(crate) fn wo_rows_for(model: &ToyTransformer, wo: &Matrix, q_heads: &[usize]) -> Matrix {
     let hd = model.head_dim;
-    let parts: Vec<Matrix> =
-        q_heads.iter().map(|&h| wo.slice_rows(h * hd, (h + 1) * hd)).collect();
+    let parts: Vec<Matrix> = q_heads.iter().map(|&h| wo.slice_rows(h * hd, (h + 1) * hd)).collect();
     Matrix::concat_rows(&parts)
 }
 
@@ -58,16 +57,10 @@ pub(crate) fn append_kv(
     wv: &Matrix,
 ) {
     let hd = model.head_dim;
-    let k_cols: Vec<Matrix> = shard
-        .kv_heads
-        .iter()
-        .map(|&g| h_in.matmul(&wk.slice_cols(g * hd, (g + 1) * hd)))
-        .collect();
-    let v_cols: Vec<Matrix> = shard
-        .kv_heads
-        .iter()
-        .map(|&g| h_in.matmul(&wv.slice_cols(g * hd, (g + 1) * hd)))
-        .collect();
+    let k_cols: Vec<Matrix> =
+        shard.kv_heads.iter().map(|&g| h_in.matmul(&wk.slice_cols(g * hd, (g + 1) * hd))).collect();
+    let v_cols: Vec<Matrix> =
+        shard.kv_heads.iter().map(|&g| h_in.matmul(&wv.slice_cols(g * hd, (g + 1) * hd))).collect();
     let (k, v) = &mut shard.layers[layer];
     *k = Matrix::concat_rows(&[k.clone(), Matrix::concat_cols(&k_cols)]);
     *v = Matrix::concat_rows(&[v.clone(), Matrix::concat_cols(&v_cols)]);
@@ -223,8 +216,7 @@ mod tests {
             assert_eq!(shard.kv_heads.len(), 1);
         }
         // Each kv head stored on exactly 2 ranks.
-        let copies =
-            shards.iter().filter(|s| s.kv_heads[0] == 0).count();
+        let copies = shards.iter().filter(|s| s.kv_heads[0] == 0).count();
         assert_eq!(copies, 2);
     }
 }

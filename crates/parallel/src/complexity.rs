@@ -9,11 +9,10 @@
 //! forms explain *why* SP scales: its communication shrinks with the
 //! parallel degree while TP's does not.
 
-use serde::{Deserialize, Serialize};
 use sp_model::ModelConfig;
 
 /// Per-GPU asymptotic resource usage of one forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerGpuComplexity {
     /// Weight memory resident on each GPU, bytes.
     pub memory_bytes: f64,

@@ -1,6 +1,5 @@
 //! Parallelism configurations and per-iteration workload description.
 
-use serde::{Deserialize, Serialize};
 use sp_model::{ModelConfig, StepCost};
 use std::fmt;
 
@@ -20,9 +19,7 @@ use std::fmt;
 /// assert_eq!(base.degree(), 8);
 /// assert_eq!(base.shift_config(), ParallelConfig::tensor(8));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ParallelConfig {
     sp: usize,
     tp: usize,
@@ -93,7 +90,7 @@ impl fmt::Display for ParallelConfig {
 }
 
 /// Whether a chunk is prompt processing or output generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkKind {
     /// Prompt tokens entering the KV cache.
     Prefill,
@@ -103,7 +100,7 @@ pub enum ChunkKind {
 
 /// The work one request contributes to one iteration: a chunk of
 /// `new_tokens` processed at KV offset `past`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkWork {
     /// Prefill or decode.
     pub kind: ChunkKind,
@@ -154,7 +151,7 @@ impl ChunkWork {
 /// assert_eq!(batch.total_new_tokens(), 2050);
 /// assert_eq!(batch.num_seqs(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BatchWork {
     chunks: Vec<ChunkWork>,
 }
@@ -239,10 +236,7 @@ mod tests {
 
     #[test]
     fn batch_totals() {
-        let b = BatchWork::new(vec![
-            ChunkWork::prefill(100, 0, true),
-            ChunkWork::decode(50),
-        ]);
+        let b = BatchWork::new(vec![ChunkWork::prefill(100, 0, true), ChunkWork::decode(50)]);
         assert_eq!(b.total_new_tokens(), 101);
         assert_eq!(b.num_seqs(), 2);
         assert!(!b.is_empty());
@@ -258,10 +252,7 @@ mod tests {
     #[test]
     fn step_cost_matches_manual_sum() {
         let m = presets::qwen_32b();
-        let b = BatchWork::new(vec![
-            ChunkWork::prefill(128, 0, false),
-            ChunkWork::decode(256),
-        ]);
+        let b = BatchWork::new(vec![ChunkWork::prefill(128, 0, false), ChunkWork::decode(256)]);
         let expected = m.chunk_cost(128, 0, 0) + m.chunk_cost(1, 256, 1);
         assert_eq!(b.step_cost(&m), expected);
     }

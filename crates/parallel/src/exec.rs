@@ -23,7 +23,6 @@
 
 use crate::complexity::ACTIVATION_BYTES;
 use crate::config::{BatchWork, ParallelConfig};
-use serde::{Deserialize, Serialize};
 use sp_cluster::{CollectiveModel, NodeSpec, Roofline};
 use sp_kvcache::layout::LayoutError;
 use sp_kvcache::KvShardLayout;
@@ -38,7 +37,7 @@ use sp_model::ModelConfig;
 /// "vLLM parallelization cost" §4.4 identifies as a large part of the
 /// DP-vs-SP throughput gap (and why small MoE models lose so much
 /// throughput when parallelized, Figure 17).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineOverhead {
     /// Cost paid by every iteration.
     pub base: Dur,
@@ -73,7 +72,7 @@ impl Default for EngineOverhead {
 }
 
 /// Where one iteration's time went — the Figure 15 cost breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct IterationBreakdown {
     /// Linear-layer time (GEMM compute vs weight streaming roofline).
     pub gemm: Dur,
@@ -178,9 +177,8 @@ impl ExecutionModel {
     /// Panics if the configuration's degree exceeds the node or the KV
     /// heads cannot be distributed (see [`ExecutionModel::try_iteration`]).
     pub fn iteration(&self, config: &ParallelConfig, batch: &BatchWork) -> IterationBreakdown {
-        self.try_iteration(config, batch).unwrap_or_else(|e| {
-            panic!("cannot run {} on {}: {e}", config, self.model.name)
-        })
+        self.try_iteration(config, batch)
+            .unwrap_or_else(|e| panic!("cannot run {} on {}: {e}", config, self.model.name))
     }
 
     /// Times one iteration of `batch` under `config`.
@@ -214,11 +212,7 @@ impl ExecutionModel {
             .chunks()
             .iter()
             .map(|c| {
-                let mut cc = self.model.chunk_cost(
-                    c.new_tokens,
-                    c.past,
-                    u64::from(c.emits_logit),
-                );
+                let mut cc = self.model.chunk_cost(c.new_tokens, c.past, u64::from(c.emits_logit));
                 if c.kind == crate::config::ChunkKind::Prefill {
                     cc.linear_flops *= self.prefill_linear_scale;
                 }
@@ -230,8 +224,7 @@ impl ExecutionModel {
         let linear_flops_pg = cost.linear_flops * pad_ratio / (sp * tp) as f64;
         let logit_flops_pg = cost.logit_flops / (sp * tp) as f64;
         let weight_bytes_pg = self.model.streamed_weight_bytes(n_pad) / tp;
-        let gemm =
-            self.roofline.kernel(linear_flops_pg + logit_flops_pg, weight_bytes_pg);
+        let gemm = self.roofline.kernel(linear_flops_pg + logit_flops_pg, weight_bytes_pg);
 
         // --- Attention: head-parallel across the whole group ---
         let attn_flops_pg = cost.attn_flops / p as f64;
@@ -268,8 +261,7 @@ impl ExecutionModel {
         let ag_time = self.collectives.all_gather(n_pad * d * act, sp as usize);
 
         let communication = Dur::from_secs(
-            layers as f64 * (2.0 * ar_time.as_secs() + a2a_time.as_secs())
-                + ag_time.as_secs(),
+            layers as f64 * (2.0 * ar_time.as_secs() + a2a_time.as_secs()) + ag_time.as_secs(),
         );
 
         let overhead = self.overhead.for_batch(batch.num_seqs(), p);
@@ -290,11 +282,7 @@ mod tests {
     }
 
     fn exec_no_overhead(model: ModelConfig) -> ExecutionModel {
-        ExecutionModel::with_overhead(
-            NodeSpec::p5en_48xlarge(),
-            model,
-            EngineOverhead::none(),
-        )
+        ExecutionModel::with_overhead(NodeSpec::p5en_48xlarge(), model, EngineOverhead::none())
     }
 
     #[test]
@@ -359,8 +347,7 @@ mod tests {
         let batch = BatchWork::new(vec![ChunkWork::prefill(2048, 0, false); 4]);
         let tokens = batch.total_new_tokens() as f64;
         let tp_tput = tokens / e.iteration(&ParallelConfig::tensor(8), &batch).total().as_secs();
-        let sp_tput =
-            tokens / e.iteration(&ParallelConfig::sequence(8), &batch).total().as_secs();
+        let sp_tput = tokens / e.iteration(&ParallelConfig::sequence(8), &batch).total().as_secs();
         let ratio = sp_tput / tp_tput;
         assert!((1.25..1.9).contains(&ratio), "SP/TP throughput ratio {ratio:.2}");
     }

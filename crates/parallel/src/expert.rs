@@ -16,7 +16,6 @@
 use crate::complexity::ACTIVATION_BYTES;
 use crate::config::BatchWork;
 use crate::exec::{EngineOverhead, IterationBreakdown};
-use serde::{Deserialize, Serialize};
 use sp_cluster::{CollectiveModel, NodeSpec, Roofline};
 use sp_kvcache::layout::LayoutError;
 use sp_kvcache::KvShardLayout;
@@ -27,7 +26,7 @@ use sp_model::{ModelConfig, MoeConfig};
 /// Ulysses SP across all `SP × EP` GPUs (head-parallel, as usual), while
 /// the routed experts are sharded `EP` ways (each expert group replicated
 /// across the `SP` dimension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExpertParallelConfig {
     sp: usize,
     ep: usize,
@@ -65,14 +64,9 @@ impl ExpertParallelConfig {
     ///
     /// Returns a message if the model is dense or experts do not divide.
     pub fn validate_for(&self, model: &ModelConfig) -> Result<MoeConfig, String> {
-        let moe = model
-            .moe
-            .ok_or_else(|| format!("{} is dense; EP needs experts", model.name))?;
+        let moe = model.moe.ok_or_else(|| format!("{} is dense; EP needs experts", model.name))?;
         if !(moe.num_experts as usize).is_multiple_of(self.ep) {
-            return Err(format!(
-                "{} experts do not divide across EP={}",
-                moe.num_experts, self.ep
-            ));
+            return Err(format!("{} experts do not divide across EP={}", moe.num_experts, self.ep));
         }
         Ok(moe)
     }
@@ -159,8 +153,8 @@ impl ExpertExecutionModel {
     ) -> Result<IterationBreakdown, String> {
         let moe = config.validate_for(&self.model)?;
         let p = config.degree();
-        let layout = KvShardLayout::for_model(&self.model, p)
-            .map_err(|e: LayoutError| e.to_string())?;
+        let layout =
+            KvShardLayout::for_model(&self.model, p).map_err(|e: LayoutError| e.to_string())?;
         if batch.is_empty() {
             return Ok(IterationBreakdown::default());
         }
@@ -190,9 +184,7 @@ impl ExpertExecutionModel {
         let routed_total = u64::from(self.model.num_layers) * routed_per_layer * prec;
         let non_routed = self.model.weight_bytes() - routed_total;
         let experts_per_shard = u64::from(moe.num_experts) / ep;
-        let touched = (n_pad * u64::from(moe.active_experts) / ep)
-            .min(experts_per_shard)
-            .max(1);
+        let touched = (n_pad * u64::from(moe.active_experts) / ep).min(experts_per_shard).max(1);
         let routed_pg = routed_total / ep * touched / experts_per_shard.max(1);
         let weight_bytes_pg = non_routed + routed_pg;
         let gemm = self.roofline.kernel(linear_pg + logit_pg, weight_bytes_pg);
@@ -212,23 +204,19 @@ impl ExpertExecutionModel {
         // Ulysses all-to-alls (attention), within the full P-GPU group.
         let qkv_width = u64::from(self.model.q_heads)
             + 2 * u64::from(self.model.kv_heads) * u64::from(layout.replication());
-        let a2a1 = self
-            .collectives
-            .all_to_all((n_pad / (sp * ep)) * qkv_width * head_dim * act, p);
+        let a2a1 = self.collectives.all_to_all((n_pad / (sp * ep)) * qkv_width * head_dim * act, p);
         let a2a2 = self
             .collectives
             .all_to_all(n_pad * u64::from(self.model.q_heads) * head_dim * act / (sp * ep), p);
 
         // EP dispatch + combine: each GPU sends its n/P tokens' activations
         // (×top-k copies) to expert owners within its EP group.
-        let dispatch_bytes =
-            (n_pad / (sp * ep)) * u64::from(moe.active_experts) * d * act;
+        let dispatch_bytes = (n_pad / (sp * ep)) * u64::from(moe.active_experts) * d * act;
         let ep_a2a = self.collectives.all_to_all(dispatch_bytes, config.ep) * 2.0;
 
         let ag = self.collectives.all_gather(n_pad * d * act, p);
         let communication = Dur::from_secs(
-            layers as f64 * (a2a1.as_secs() + a2a2.as_secs() + ep_a2a.as_secs())
-                + ag.as_secs(),
+            layers as f64 * (a2a1.as_secs() + a2a2.as_secs() + ep_a2a.as_secs()) + ag.as_secs(),
         );
 
         let overhead = self.overhead.for_batch(batch.num_seqs(), p);
@@ -270,10 +258,7 @@ mod tests {
         let e = exec();
         // 128 experts across EP=3 does not divide.
         let err = e
-            .try_iteration(
-                &ExpertParallelConfig::new(1, 3),
-                &BatchWork::single_prefill(128),
-            )
+            .try_iteration(&ExpertParallelConfig::new(1, 3), &BatchWork::single_prefill(128))
             .unwrap_err();
         assert!(err.contains("divide"), "{err}");
     }

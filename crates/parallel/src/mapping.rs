@@ -13,8 +13,6 @@
 //! their equality ([`ProcessMapping::is_invariant`]) is the generalized
 //! KV-cache-invariance property, proptested over all factorizations.
 
-use serde::{Deserialize, Serialize};
-
 /// Process groups and head assignments for one `(SP, TP)` factorization.
 ///
 /// # Examples
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.sp_tp_group(), vec![0, 2, 4, 1, 3, 5]);
 /// assert!(m.is_invariant(6));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessMapping {
     sp: usize,
     tp: usize,
@@ -61,24 +59,18 @@ impl ProcessMapping {
 
     /// TP groups: `SP` groups of `TP` consecutive ranks.
     pub fn tp_groups(&self) -> Vec<Vec<usize>> {
-        (0..self.sp)
-            .map(|s| (0..self.tp).map(|t| s * self.tp + t).collect())
-            .collect()
+        (0..self.sp).map(|s| (0..self.tp).map(|t| s * self.tp + t).collect()).collect()
     }
 
     /// SP groups: `TP` groups of `SP` ranks strided by `TP`.
     pub fn sp_groups(&self) -> Vec<Vec<usize>> {
-        (0..self.tp)
-            .map(|t| (0..self.sp).map(|s| s * self.tp + t).collect())
-            .collect()
+        (0..self.tp).map(|t| (0..self.sp).map(|s| s * self.tp + t).collect()).collect()
     }
 
     /// The SP_TP group: all ranks in SP-major order within each TP slot —
     /// the shard order the shift model must load weights in (§3.3.2).
     pub fn sp_tp_group(&self) -> Vec<usize> {
-        (0..self.tp)
-            .flat_map(|t| (0..self.sp).map(move |s| s * self.tp + t))
-            .collect()
+        (0..self.tp).flat_map(|t| (0..self.sp).map(move |s| s * self.tp + t)).collect()
     }
 
     /// Heads owned by global rank `r` in the *base* configuration after the
@@ -95,11 +87,7 @@ impl ProcessMapping {
     pub fn base_heads_of_rank(&self, r: usize, heads: u32) -> Vec<u32> {
         let p = self.world_size();
         assert!(r < p, "rank {r} out of range for world size {p}");
-        assert_eq!(
-            heads as usize % p,
-            0,
-            "heads ({heads}) must divide evenly across {p} ranks"
-        );
+        assert_eq!(heads as usize % p, 0, "heads ({heads}) must divide evenly across {p} ranks");
         let per_tp = heads as usize / self.tp;
         let per_rank = per_tp / self.sp;
         let t = self.tp_rank(r);
@@ -118,11 +106,7 @@ impl ProcessMapping {
     pub fn shift_heads_of_rank(&self, r: usize, heads: u32) -> Vec<u32> {
         let p = self.world_size();
         assert!(r < p, "rank {r} out of range for world size {p}");
-        assert_eq!(
-            heads as usize % p,
-            0,
-            "heads ({heads}) must divide evenly across {p} ranks"
-        );
+        assert_eq!(heads as usize % p, 0, "heads ({heads}) must divide evenly across {p} ranks");
         let per_rank = heads as usize / p;
         let order = self.sp_tp_group();
         let position = order.iter().position(|&x| x == r).expect("rank in group");

@@ -6,7 +6,6 @@
 //! the numbers behind that rule.
 
 use crate::config::ParallelConfig;
-use serde::{Deserialize, Serialize};
 use sp_cluster::NodeSpec;
 use sp_kvcache::layout::LayoutError;
 use sp_kvcache::KvShardLayout;
@@ -34,7 +33,7 @@ pub const DEFAULT_MEM_FRACTION: f64 = 0.9;
 /// let mixed = MemoryPlan::plan(&node, &scout, &ParallelConfig::new(4, 2)).unwrap();
 /// assert!(mixed.kv_capacity_tokens > 2 * sp8.kv_capacity_tokens);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryPlan {
     /// Weight bytes resident on each GPU (`w/TP`, SP replicates).
     pub weight_bytes_per_gpu: u64,
@@ -79,10 +78,7 @@ impl MemoryPlan {
         extra_weight_bytes_per_gpu: u64,
         mem_fraction: f64,
     ) -> Result<MemoryPlan, LayoutError> {
-        assert!(
-            mem_fraction > 0.0 && mem_fraction <= 1.0,
-            "memory fraction must be in (0, 1]"
-        );
+        assert!(mem_fraction > 0.0 && mem_fraction <= 1.0, "memory fraction must be in (0, 1]");
         let layout = KvShardLayout::for_model(model, config.degree())?;
         let usable = (node.gpu.mem_bytes as f64 * mem_fraction) as u64;
         let weight_bytes_per_gpu =

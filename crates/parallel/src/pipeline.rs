@@ -20,13 +20,12 @@
 //! memory — is out of the paper's scope (all Table 4 models fit).
 
 use crate::complexity::ACTIVATION_BYTES;
-use serde::{Deserialize, Serialize};
 use sp_cluster::{NodeSpec, Roofline};
 use sp_metrics::Dur;
 use sp_model::ModelConfig;
 
 /// A pipeline-parallel deployment: `stages` sequential layer groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Number of pipeline stages (GPUs).
     pub stages: usize,
@@ -106,9 +105,8 @@ impl PipelineModel {
         let s = config.stages as f64;
         let per_stage_bytes = (self.model.streamed_weight_bytes(1) as f64 / s) as u64
             + (cost.total_kv_bytes() as f64 / s) as u64;
-        let per_stage = self
-            .roofline
-            .kernel((cost.linear_flops + cost.attn_flops) / s, per_stage_bytes);
+        let per_stage =
+            self.roofline.kernel((cost.linear_flops + cost.attn_flops) / s, per_stage_bytes);
         per_stage * s + self.hop(1) * (s - 1.0)
     }
 

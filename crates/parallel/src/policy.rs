@@ -7,11 +7,10 @@
 //! switches between its base and shift configurations.
 
 use crate::config::{BatchWork, ParallelConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What a policy sees about the upcoming iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchStats {
     /// Total new tokens batched this iteration.
     pub total_new_tokens: u64,
@@ -54,7 +53,7 @@ pub trait ParallelismPolicy: fmt::Debug + Send + Sync {
 /// let stats = BatchStats { total_new_tokens: 1, num_seqs: 1 };
 /// assert_eq!(tp.choose(&stats), ParallelConfig::tensor(8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticPolicy {
     name: String,
     config: ParallelConfig,
@@ -93,10 +92,7 @@ mod tests {
 
     #[test]
     fn batch_stats_extraction() {
-        let batch = BatchWork::new(vec![
-            ChunkWork::prefill(100, 0, true),
-            ChunkWork::decode(10),
-        ]);
+        let batch = BatchWork::new(vec![ChunkWork::prefill(100, 0, true), ChunkWork::decode(10)]);
         let stats = BatchStats::of(&batch);
         assert_eq!(stats.total_new_tokens, 101);
         assert_eq!(stats.num_seqs, 2);

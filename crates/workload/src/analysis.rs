@@ -6,11 +6,10 @@
 //! `shift-core`) uses to pick a deployment.
 
 use crate::request::{RequestClass, Trace};
-use serde::{Deserialize, Serialize};
 use sp_metrics::{Dur, Quantiles};
 
 /// Coarse traffic regimes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadClass {
     /// Low, steady rate of latency-sensitive requests.
     Interactive,
@@ -23,7 +22,7 @@ pub enum WorkloadClass {
 }
 
 /// Measured shape of one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Requests per second over the span.
     pub arrival_rate: f64,
@@ -66,18 +65,35 @@ impl WorkloadProfile {
             if mean == 0.0 {
                 0.0
             } else {
-                let var =
-                    gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
                 var.sqrt() / mean
             }
         };
 
-        let hist = trace.arrival_histogram(window);
-        let counts: Vec<f64> = hist.iter().map(|&(_, c)| c as f64).collect();
-        let mean_count = counts.iter().sum::<f64>() / counts.len().max(1) as f64;
-        let peak_count = counts.iter().copied().fold(0.0, f64::max);
-        let burstiness_ratio =
-            if mean_count > 0.0 { peak_count / mean_count } else { 0.0 };
+        // Peak window population via a sliding window at half-window
+        // stride: an aligned histogram splits a burst that straddles a bin
+        // edge across two bins and underreports the peak.
+        let w = window.as_secs();
+        let arrivals: Vec<f64> = trace.requests().iter().map(|r| r.arrival.as_secs()).collect();
+        let span_secs = trace.span().as_secs();
+        let mut peak_count = 0usize;
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        let mut start = arrivals.first().copied().unwrap_or(0.0);
+        let last = arrivals.last().copied().unwrap_or(0.0);
+        while start <= last {
+            while lo < arrivals.len() && arrivals[lo] < start {
+                lo += 1;
+            }
+            hi = hi.max(lo);
+            while hi < arrivals.len() && arrivals[hi] < start + w {
+                hi += 1;
+            }
+            peak_count = peak_count.max(hi - lo);
+            start += w / 2.0;
+        }
+        let mean_count = if span_secs > w { n as f64 * w / span_secs } else { n as f64 };
+        let burstiness_ratio = if mean_count > 0.0 { peak_count as f64 / mean_count } else { 0.0 };
 
         let mut input_q: Quantiles =
             trace.requests().iter().map(|r| f64::from(r.input_tokens)).collect();

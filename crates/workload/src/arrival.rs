@@ -107,9 +107,7 @@ pub fn all_at_once(count: usize, start: SimTime) -> Vec<SimTime> {
 pub fn grouped(count: usize, group_size: usize, period: Dur, start: SimTime) -> Vec<SimTime> {
     assert!(group_size > 0, "group size must be positive");
     assert!(!period.is_zero(), "period must be positive");
-    (0..count)
-        .map(|i| start + period * (i / group_size) as f64)
-        .collect()
+    (0..count).map(|i| start + period * (i / group_size) as f64).collect()
 }
 
 #[cfg(test)]
@@ -141,10 +139,8 @@ mod tests {
     fn low_burstiness_increases_gap_variance() {
         let mut rng = StdRng::seed_from_u64(3);
         let var = |arrivals: &[SimTime]| {
-            let gaps: Vec<f64> = arrivals
-                .windows(2)
-                .map(|w| w[1].as_secs() - w[0].as_secs())
-                .collect();
+            let gaps: Vec<f64> =
+                arrivals.windows(2).map(|w| w[1].as_secs() - w[0].as_secs()).collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
             gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64
         };

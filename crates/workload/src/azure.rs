@@ -78,13 +78,12 @@ impl AzureCodeConfig {
             output_tokens: self.output.sample(rng),
             class: RequestClass::Interactive,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         };
 
         // Silent-region traffic across the whole duration.
         let silent_count = (self.silent_rate * dur).round() as usize;
-        for arrival in arrival::poisson(&mut rng, silent_count, self.silent_rate, SimTime::ZERO)
-        {
+        for arrival in arrival::poisson(&mut rng, silent_count, self.silent_rate, SimTime::ZERO) {
             if arrival.as_secs() <= dur {
                 let r = sample_req(arrival, &mut rng, &self.input);
                 requests.push(r);
@@ -94,12 +93,9 @@ impl AzureCodeConfig {
         // Burst traffic.
         for &start in &burst_starts {
             let count = (self.burst_rate * self.burst_len.as_secs()).round() as usize;
-            for arrival in arrival::poisson(
-                &mut rng,
-                count,
-                self.burst_rate,
-                SimTime::from_secs(start),
-            ) {
+            for arrival in
+                arrival::poisson(&mut rng, count, self.burst_rate, SimTime::from_secs(start))
+            {
                 if arrival.as_secs() <= dur {
                     let r = sample_req(arrival, &mut rng, &self.input);
                     requests.push(r);
@@ -156,9 +152,6 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            AzureCodeConfig::default().generate(),
-            AzureCodeConfig::default().generate()
-        );
+        assert_eq!(AzureCodeConfig::default().generate(), AzureCodeConfig::default().generate());
     }
 }

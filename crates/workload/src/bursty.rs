@@ -79,17 +79,14 @@ impl BurstyConfig {
                     output_tokens: self.base_output.sample(&mut rng),
                     class: RequestClass::Interactive,
                     cached_prefix: 0,
-                    prefix_group: None
+                    prefix_group: None,
                 })
                 .collect();
 
         // Bursts at evenly-spaced instants (avoiding the very start/end).
         for b in 0..self.bursts {
-            let center =
-                self.duration.as_secs() * (b as f64 + 1.0) / (self.bursts as f64 + 1.0);
-            let start = SimTime::from_secs(
-                (center - self.burst_window.as_secs() / 2.0).max(0.0),
-            );
+            let center = self.duration.as_secs() * (b as f64 + 1.0) / (self.bursts as f64 + 1.0);
+            let start = SimTime::from_secs((center - self.burst_window.as_secs() / 2.0).max(0.0));
             let burst_rate = self.burst_size as f64 / self.burst_window.as_secs().max(1e-9);
             for arrival in arrival::poisson(&mut rng, self.burst_size, burst_rate, start) {
                 requests.push(Request {
@@ -99,7 +96,7 @@ impl BurstyConfig {
                     output_tokens: self.burst_output.sample(&mut rng),
                     class: RequestClass::Batch,
                     cached_prefix: 0,
-                    prefix_group: None
+                    prefix_group: None,
                 });
             }
         }
@@ -133,10 +130,7 @@ mod tests {
             counts.sort_unstable();
             counts[counts.len() / 2]
         };
-        assert!(
-            peak > 5 * median.max(1),
-            "peak bin {peak} should dwarf median bin {median}"
-        );
+        assert!(peak > 5 * median.max(1), "peak bin {peak} should dwarf median bin {median}");
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub mod request;
 pub mod sizes;
 pub mod synthetic;
 
-pub use request::{Request, RequestClass, Trace};
+pub use request::{Request, RequestClass, Trace, TraceParseError};

@@ -113,7 +113,7 @@ impl ProductionMixConfig {
                     output_tokens: archetype.output.sample(&mut rng),
                     class: archetype.class,
                     cached_prefix: 0,
-                    prefix_group: None
+                    prefix_group: None,
                 }
             })
             .collect()

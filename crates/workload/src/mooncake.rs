@@ -59,7 +59,7 @@ impl MooncakeConfig {
                 output_tokens: self.output.sample(&mut rng),
                 class: RequestClass::Interactive,
                 cached_prefix: 0,
-                prefix_group: None
+                prefix_group: None,
             })
             .collect()
     }

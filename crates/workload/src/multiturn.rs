@@ -129,9 +129,6 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(
-            MultiTurnConfig::default().generate(),
-            MultiTurnConfig::default().generate()
-        );
+        assert_eq!(MultiTurnConfig::default().generate(), MultiTurnConfig::default().generate());
     }
 }

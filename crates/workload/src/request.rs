@@ -1,10 +1,9 @@
 //! Requests and traces.
 
-use serde::{Deserialize, Serialize};
 use sp_metrics::{Dur, SimTime};
 
 /// Quality-of-service class of a request (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestClass {
     /// Latency-sensitive: chatbot/agentic traffic; TTFT and TPOT matter.
     Interactive,
@@ -14,7 +13,7 @@ pub enum RequestClass {
 
 /// One inference request: a prompt of `input_tokens` arriving at `arrival`,
 /// generating `output_tokens`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Unique id within a trace.
     pub id: u64,
@@ -30,12 +29,10 @@ pub struct Request {
     /// Prompt tokens already present in a shared prefix cache (multi-turn
     /// conversations re-submitting their context). Engines with prefix
     /// caching enabled skip prefilling them.
-    #[serde(default)]
     pub cached_prefix: u32,
     /// Identity of the shared prefix (e.g. a session id). Engines with
     /// prefix caching share the cached tokens' KV *memory* across
     /// requests of the same group instead of duplicating it.
-    #[serde(default)]
     pub prefix_group: Option<u64>,
 }
 
@@ -43,6 +40,156 @@ impl Request {
     /// Prompt + output tokens.
     pub fn total_tokens(&self) -> u64 {
         u64::from(self.input_tokens) + u64::from(self.output_tokens)
+    }
+
+    /// Serializes the request as one JSON object (the cleaned-trace
+    /// format of the paper's artifact).
+    pub fn to_json(&self) -> String {
+        let class = match self.class {
+            RequestClass::Interactive => "Interactive",
+            RequestClass::Batch => "Batch",
+        };
+        let group = match self.prefix_group {
+            Some(g) => g.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"id\":{},\"arrival\":{},\"input_tokens\":{},\"output_tokens\":{},\
+             \"class\":\"{class}\",\"cached_prefix\":{},\"prefix_group\":{group}}}",
+            self.id,
+            self.arrival.as_secs(),
+            self.input_tokens,
+            self.output_tokens,
+            self.cached_prefix,
+        )
+    }
+
+    /// Parses a request from one JSON object produced by
+    /// [`Request::to_json`] (unknown keys are ignored; `cached_prefix`
+    /// and `prefix_group` default when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] for malformed input.
+    pub fn from_json(s: &str) -> Result<Request, TraceParseError> {
+        let fields = json::parse_object(s)?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        let req_num = |key: &str| -> Result<f64, TraceParseError> {
+            let v = get(key).ok_or_else(|| TraceParseError::missing(key))?;
+            v.parse::<f64>().map_err(|_| TraceParseError::bad_value(key, v))
+        };
+        let class = match get("class") {
+            Some("\"Interactive\"") | None => RequestClass::Interactive,
+            Some("\"Batch\"") => RequestClass::Batch,
+            Some(v) => return Err(TraceParseError::bad_value("class", v)),
+        };
+        let prefix_group = match get("prefix_group") {
+            None | Some("null") => None,
+            Some(v) => {
+                Some(v.parse::<u64>().map_err(|_| TraceParseError::bad_value("prefix_group", v))?)
+            }
+        };
+        let cached_prefix = match get("cached_prefix") {
+            None => 0,
+            Some(v) => {
+                v.parse::<u32>().map_err(|_| TraceParseError::bad_value("cached_prefix", v))?
+            }
+        };
+        Ok(Request {
+            id: req_num("id")? as u64,
+            arrival: SimTime::from_secs(req_num("arrival")?),
+            input_tokens: req_num("input_tokens")? as u32,
+            output_tokens: req_num("output_tokens")? as u32,
+            class,
+            cached_prefix,
+            prefix_group,
+        })
+    }
+}
+
+/// Why a JSON-lines trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    message: String,
+}
+
+impl TraceParseError {
+    fn new(message: impl Into<String>) -> TraceParseError {
+        TraceParseError { message: message.into() }
+    }
+
+    fn missing(key: &str) -> TraceParseError {
+        TraceParseError::new(format!("missing field `{key}`"))
+    }
+
+    fn bad_value(key: &str, value: &str) -> TraceParseError {
+        TraceParseError::new(format!("invalid value for `{key}`: {value}"))
+    }
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed trace line: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// A deliberately small flat-JSON reader: enough for the trace format
+/// (one object per line, scalar values only), with no external
+/// dependencies. Nested objects/arrays are rejected.
+mod json {
+    use super::TraceParseError;
+
+    /// Splits `{"k":v,...}` into `(key, raw_value)` pairs. String values
+    /// keep their surrounding quotes.
+    pub fn parse_object(s: &str) -> Result<Vec<(String, String)>, TraceParseError> {
+        let s = s.trim();
+        let inner = s
+            .strip_prefix('{')
+            .and_then(|rest| rest.strip_suffix('}'))
+            .ok_or_else(|| TraceParseError::new("expected a JSON object"))?;
+        let mut fields = Vec::new();
+        for part in split_top_level(inner)? {
+            if part.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| TraceParseError::new("expected `key: value`"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| TraceParseError::new("expected a quoted key"))?;
+            fields.push((key.to_string(), value.trim().to_string()));
+        }
+        Ok(fields)
+    }
+
+    /// Splits on commas that are not inside quotes.
+    fn split_top_level(s: &str) -> Result<Vec<&str>, TraceParseError> {
+        let mut parts = Vec::new();
+        let mut start = 0;
+        let mut in_string = false;
+        for (i, c) in s.char_indices() {
+            match c {
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => {
+                    return Err(TraceParseError::new("nested values are not supported"));
+                }
+                ',' if !in_string => {
+                    parts.push(&s[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        if in_string {
+            return Err(TraceParseError::new("unterminated string"));
+        }
+        parts.push(&s[start..]);
+        Ok(parts)
     }
 }
 
@@ -65,7 +212,7 @@ impl Request {
 /// }]);
 /// assert_eq!(trace.total_tokens(), 144);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     requests: Vec<Request>,
 }
@@ -161,11 +308,7 @@ impl Trace {
     /// Serializes to JSON lines (one request per line), the cleaned-trace
     /// format of the paper's artifact.
     pub fn to_jsonl(&self) -> String {
-        self.requests
-            .iter()
-            .map(|r| serde_json::to_string(r).expect("request serializes"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.requests.iter().map(Request::to_json).collect::<Vec<_>>().join("\n")
     }
 
     /// Writes the trace to `path` as JSON lines.
@@ -193,13 +336,12 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for the first malformed
-    /// line.
-    pub fn from_jsonl(s: &str) -> Result<Trace, serde_json::Error> {
+    /// Returns a [`TraceParseError`] for the first malformed line.
+    pub fn from_jsonl(s: &str) -> Result<Trace, TraceParseError> {
         let requests = s
             .lines()
             .filter(|l| !l.trim().is_empty())
-            .map(serde_json::from_str)
+            .map(Request::from_json)
             .collect::<Result<Vec<Request>, _>>()?;
         Ok(Trace::new(requests))
     }
@@ -223,7 +365,7 @@ mod tests {
             output_tokens: out,
             class: RequestClass::Interactive,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         }
     }
 

@@ -1,7 +1,6 @@
 //! Token-length distributions.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A distribution over request token lengths.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let v = d.sample(&mut rng);
 /// assert!(v >= 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LengthDist {
     /// Always the same length.
     Fixed(u32),

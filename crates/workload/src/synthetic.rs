@@ -19,7 +19,7 @@ pub fn uniform_batch(count: usize, input_tokens: u32, output_tokens: u32) -> Tra
             output_tokens,
             class: RequestClass::Batch,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         })
         .collect()
 }
@@ -44,7 +44,7 @@ pub fn poisson(count: usize, rate: f64, input_tokens: u32, output_tokens: u32, s
             output_tokens,
             class: RequestClass::Interactive,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         })
         .collect()
 }
@@ -68,7 +68,7 @@ pub fn poisson_sized(
             output_tokens: output.sample(&mut rng),
             class: RequestClass::Interactive,
             cached_prefix: 0,
-            prefix_group: None
+            prefix_group: None,
         })
         .collect()
 }
@@ -81,10 +81,7 @@ mod tests {
     fn uniform_batch_is_simultaneous_and_identical() {
         let t = uniform_batch(10, 4096, 250);
         assert_eq!(t.len(), 10);
-        assert!(t
-            .requests()
-            .iter()
-            .all(|r| r.arrival == SimTime::ZERO && r.input_tokens == 4096));
+        assert!(t.requests().iter().all(|r| r.arrival == SimTime::ZERO && r.input_tokens == 4096));
         assert_eq!(t.total_tokens(), 10 * (4096 + 250));
     }
 

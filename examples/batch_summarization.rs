@@ -31,10 +31,8 @@ fn main() {
         ("SP", DeploymentKind::SequenceParallel),
         ("Shift", DeploymentKind::Shift),
     ] {
-        let mut deployment = Deployment::builder(node, presets::llama_70b())
-            .kind(kind)
-            .build()
-            .expect("deployable");
+        let mut deployment =
+            Deployment::builder(node, presets::llama_70b()).kind(kind).build().expect("deployable");
         let report = deployment.run(&trace);
         let makespan = report.makespan().as_secs();
         let tput = report.combined_throughput();

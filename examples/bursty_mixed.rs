@@ -35,19 +35,14 @@ fn main() {
 
         let mut by_class: HashMap<RequestClass, Quantiles> = HashMap::new();
         for rec in report.records() {
-            by_class
-                .entry(class_of[&rec.request_id])
-                .or_default()
-                .record(rec.ttft().as_secs());
+            by_class.entry(class_of[&rec.request_id]).or_default().record(rec.ttft().as_secs());
         }
         let inter = by_class
             .get_mut(&RequestClass::Interactive)
             .and_then(|q| q.median())
             .unwrap_or(f64::NAN);
-        let batch = by_class
-            .get_mut(&RequestClass::Batch)
-            .and_then(|q| q.median())
-            .unwrap_or(f64::NAN);
+        let batch =
+            by_class.get_mut(&RequestClass::Batch).and_then(|q| q.median()).unwrap_or(f64::NAN);
         println!(
             "{name:6} median TTFT — interactive {:8.0} ms | batch {:8.0} ms | \
              throughput {:6.0} tok/s",

@@ -16,10 +16,8 @@ use shift_parallelism::prelude::*;
 /// finished).
 fn run_session(kind: DeploymentKind, turns: usize) -> f64 {
     let node = NodeSpec::p5en_48xlarge();
-    let mut deployment = Deployment::builder(node, presets::llama_70b())
-        .kind(kind)
-        .build()
-        .expect("deployable");
+    let mut deployment =
+        Deployment::builder(node, presets::llama_70b()).kind(kind).build().expect("deployable");
 
     let mut session_time = 0.0;
     let mut context: u32 = 8_000; // initial repo context

@@ -31,7 +31,10 @@ fn main() {
         .thresholds(vec![64, 256, 1024, 4096])
         .prefill_caps(vec![None, Some(2048), Some(1024)]);
 
-    println!("Grid-searching {} base configs x 4 thresholds x 3 caps...", tuner.base_candidates().len());
+    println!(
+        "Grid-searching {} base configs x 4 thresholds x 3 caps...",
+        tuner.base_candidates().len()
+    );
     let sweep = tuner
         .sweep(&sample, Objective::Goodput(SloTarget::interactive()))
         .expect("viable configurations exist");

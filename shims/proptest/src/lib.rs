@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! deterministic mini property-testing harness with the subset of
+//! proptest's API its tests use: `proptest!`, strategies over ranges,
+//! tuples, `Just`, `prop_oneof!`, `prop::collection::vec`, `any::<T>()`,
+//! `.prop_map`, and `prop_assert*!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case panics with the sampled inputs instead
+//!   of a minimized counterexample;
+//! * sampling is plain uniform draws from a per-test seeded generator, so
+//!   every run of a test explores the same cases (fully reproducible);
+//! * `ProptestConfig` only honors `cases`.
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Runtime support used by the macros; not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use super::strategy::Strategy;
+    pub use super::ProptestConfig;
+    pub type TestRng = super::StdRng;
+
+    /// Stable per-test seed from the test's name.
+    pub fn seed_rng(name: &str) -> TestRng {
+        use rand::SeedableRng as _;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Everything a property test needs, one `use` away.
+pub mod prelude {
+    pub use super::strategy::{any, Arbitrary, Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// samples its arguments `config.cases` times from a deterministic,
+/// name-seeded generator.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::__rt::ProptestConfig = $cfg;
+            let mut __rng = $crate::__rt::seed_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::__rt::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// A strategy drawing uniformly from several alternative strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Skips the current sampled case when its precondition fails (the shim
+/// moves on to the next case rather than resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts inside a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(pair in (0u32..10, 5u64..6), flag in any::<bool>()) {
+            let (a, b) = pair;
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_limits_cases(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+
+        #[test]
+        fn oneof_and_map_work(
+            v in prop::collection::vec(prop_oneof![Just(1u32), (10u32..20).prop_map(|x| x * 2)], 1..8)
+        ) {
+            prop_assert!(!v.is_empty());
+            for x in v {
+                prop_assert!(x == 1 || (20..40).contains(&x));
+            }
+        }
+    }
+}

@@ -56,8 +56,7 @@ fn kind_by_name(name: &str) -> Option<DeploymentKind> {
 
 fn build_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
     let get = |k: &str, d: &str| flags.get(k).cloned().unwrap_or_else(|| d.to_string());
-    let requests: usize =
-        get("requests", "100").parse().map_err(|e| format!("--requests: {e}"))?;
+    let requests: usize = get("requests", "100").parse().map_err(|e| format!("--requests: {e}"))?;
     let rate: f64 = get("rate", "2.0").parse().map_err(|e| format!("--rate: {e}"))?;
     let input: u32 = get("input", "4096").parse().map_err(|e| format!("--input: {e}"))?;
     let output: u32 = get("output", "250").parse().map_err(|e| format!("--output: {e}"))?;
@@ -67,12 +66,17 @@ fn build_trace(flags: &HashMap<String, String>) -> Result<Trace, String> {
         return Trace::load(path).map_err(|e| format!("cannot load {path}: {e}"));
     }
     match get("trace", "poisson").as_str() {
-        "bursty" => Ok(BurstyConfig { seed: seed.wrapping_add(0xB5), ..BurstyConfig::default() }
-            .generate()),
-        "azure" => Ok(AzureCodeConfig { seed: seed.wrapping_add(0xA2), ..AzureCodeConfig::default() }
-            .generate()),
-        "mooncake" => Ok(MooncakeConfig { seed: seed.wrapping_add(0x30), ..MooncakeConfig::default() }
-            .generate()),
+        "bursty" => {
+            Ok(BurstyConfig { seed: seed.wrapping_add(0xB5), ..BurstyConfig::default() }.generate())
+        }
+        "azure" => {
+            Ok(AzureCodeConfig { seed: seed.wrapping_add(0xA2), ..AzureCodeConfig::default() }
+                .generate())
+        }
+        "mooncake" => {
+            Ok(MooncakeConfig { seed: seed.wrapping_add(0x30), ..MooncakeConfig::default() }
+                .generate())
+        }
         "poisson" => Ok(synthetic::poisson(requests, rate, input, output, seed)),
         "batch" => Ok(synthetic::uniform_batch(requests, input, output)),
         other => Err(format!("unknown trace '{other}'")),
@@ -116,8 +120,7 @@ fn cmd_plan() -> ExitCode {
 }
 
 fn cmd_run(flags: &HashMap<String, String>, kinds: &[(&str, DeploymentKind)]) -> ExitCode {
-    let model_name =
-        flags.get("model").cloned().unwrap_or_else(|| "llama-70b".to_string());
+    let model_name = flags.get("model").cloned().unwrap_or_else(|| "llama-70b".to_string());
     let Some(model) = model_by_name(&model_name) else {
         eprintln!("unknown model '{model_name}'");
         return ExitCode::FAILURE;
@@ -137,16 +140,15 @@ fn cmd_run(flags: &HashMap<String, String>, kinds: &[(&str, DeploymentKind)]) ->
         model.name
     );
     for (name, kind) in kinds {
-        let mut dep = match Deployment::builder(NodeSpec::p5en_48xlarge(), model.clone())
-            .kind(*kind)
-            .build()
-        {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("{name}: cannot deploy: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let mut dep =
+            match Deployment::builder(NodeSpec::p5en_48xlarge(), model.clone()).kind(*kind).build()
+            {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{name}: cannot deploy: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         let mut report = dep.run(&trace);
         summarize(name, &mut report);
         if let Some((base, shift, switches)) = dep.shift_stats() {
@@ -194,8 +196,7 @@ fn main() -> ExitCode {
         Some("plan") => cmd_plan(),
         Some("run") => {
             let flags = parse_flags(&args[1..]);
-            let kind_name =
-                flags.get("kind").cloned().unwrap_or_else(|| "shift".to_string());
+            let kind_name = flags.get("kind").cloned().unwrap_or_else(|| "shift".to_string());
             let Some(kind) = kind_by_name(&kind_name) else {
                 eprintln!("unknown kind '{kind_name}'");
                 return ExitCode::FAILURE;

@@ -60,7 +60,9 @@ pub mod prelude {
         AdmissionMode, DataParallelCluster, Engine, EngineConfig, EngineReport, QueuePolicy,
         SpecDecode,
     };
-    pub use sp_metrics::{Dur, LatencyRecorder, Quantiles, RequestRecord, SimTime, SloReport, SloTarget};
+    pub use sp_metrics::{
+        Dur, LatencyRecorder, Quantiles, RequestRecord, SimTime, SloReport, SloTarget,
+    };
     pub use sp_model::{presets, ModelConfig, MoeConfig, Precision};
     pub use sp_parallel::{
         BatchWork, ChunkWork, EngineOverhead, ExecutionModel, MemoryPlan, ParallelConfig,

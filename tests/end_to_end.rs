@@ -76,10 +76,7 @@ fn bursty_trace_shift_dominates_tp() {
         shift.metrics_mut().ttft().median().unwrap()
             <= 1.2 * tp.metrics_mut().ttft().median().unwrap()
     );
-    assert!(
-        shift.metrics_mut().ttft().p99().unwrap()
-            < tp.metrics_mut().ttft().p99().unwrap()
-    );
+    assert!(shift.metrics_mut().ttft().p99().unwrap() < tp.metrics_mut().ttft().p99().unwrap());
     assert!(
         shift.metrics_mut().completion().p99().unwrap()
             <= tp.metrics_mut().completion().p99().unwrap()
@@ -92,11 +89,8 @@ fn mooncake_like_load_overflows_tp_but_not_shift() {
     // FP8 KV; TP falls behind (growing TTFT), Shift stays bounded.
     let mut model = presets::qwen_32b();
     model.kv_precision = Precision::Fp8;
-    let trace = MooncakeConfig {
-        duration: Dur::from_secs(180.0),
-        ..MooncakeConfig::default()
-    }
-    .generate();
+    let trace =
+        MooncakeConfig { duration: Dur::from_secs(180.0), ..MooncakeConfig::default() }.generate();
 
     let late_over_early = |report: &mut EngineReport| {
         let mut records = report.records().to_vec();

@@ -13,18 +13,13 @@ fn arb_kind() -> impl Strategy<Value = DeploymentKind> {
         Just(DeploymentKind::Shift),
         (1usize..4, 0u64..2048).prop_map(|(sp_pow, threshold)| {
             let sp = 1 << sp_pow;
-            DeploymentKind::ShiftWithBase {
-                base: ParallelConfig::new(sp, 8 / sp),
-                threshold,
-            }
+            DeploymentKind::ShiftWithBase { base: ParallelConfig::new(sp, 8 / sp), threshold }
         }),
     ]
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    (
-        prop::collection::vec((1u32..16_000, 1u32..200, 0.0f64..120.0, any::<bool>()), 1..40),
-    )
+    (prop::collection::vec((1u32..16_000, 1u32..200, 0.0f64..120.0, any::<bool>()), 1..40),)
         .prop_map(|(reqs,)| {
             reqs.into_iter()
                 .enumerate()
@@ -39,7 +34,7 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                         RequestClass::Batch
                     },
                     cached_prefix: 0,
-                    prefix_group: None
+                    prefix_group: None,
                 })
                 .collect()
         })
