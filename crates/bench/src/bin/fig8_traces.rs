@@ -7,7 +7,7 @@
 
 use shift_core::{Deployment, DeploymentKind, Fleet, RoutingKind};
 use sp_bench::harness::{node, print_table};
-use sp_metrics::{Dur, Quantiles};
+use sp_metrics::{ClassSlo, Dur, Quantiles};
 use sp_model::presets;
 use sp_workload::azure::AzureCodeConfig;
 use sp_workload::bursty::BurstyConfig;
@@ -40,43 +40,62 @@ fn describe(name: &str, trace: &Trace) {
     print_table(&format!("Figure 8 — {name}: arrivals per 30s"), &["t(s)", "req", ""], &rows);
 }
 
-/// How much routing policy matters on a bursty trace: p99 TTFT across a
-/// 2-node fleet for each online policy, plus the offline static split
-/// the online router replaced.
+/// How much routing policy matters on a bursty trace: p99 TTFT and
+/// per-class SLO attainment across a 2-node fleet for each online policy
+/// (the deadline-aware one also enables class-SLO scheduling inside each
+/// node), plus the offline static split the online router replaced.
 fn routing_comparison(trace: &Trace) {
-    let make_fleet = || {
-        Fleet::new(2, || {
-            Deployment::builder(node(), presets::qwen_32b()).kind(DeploymentKind::Shift)
+    let slo = ClassSlo::default();
+    let make_fleet = |class_aware: bool| {
+        Fleet::new(2, move || {
+            let builder =
+                Deployment::builder(node(), presets::qwen_32b()).kind(DeploymentKind::Shift);
+            if class_aware {
+                builder.class_slo(slo)
+            } else {
+                builder
+            }
         })
         .expect("known-good fleet")
     };
 
     let mut rows = Vec::new();
+    let mut push_row = |label: String, mut report: sp_engine::EngineReport, online: bool| {
+        let to_node0 = report.routing_decisions().iter().filter(|d| d.replica == 0).count();
+        let total = report.routing_decisions().len().max(1);
+        let class = report.class_slo_report(&slo);
+        let m = report.metrics_mut();
+        rows.push(vec![
+            label,
+            format!("{:.0}", m.ttft().median().unwrap_or(0.0) * 1e3),
+            format!("{:.0}", m.ttft().p99().unwrap_or(0.0) * 1e3),
+            format!("{:.0}%", class.interactive.attainment() * 100.0),
+            format!("{:.0}%", class.batch.attainment() * 100.0),
+            if online {
+                format!("{:.1}%", 100.0 * to_node0 as f64 / total as f64)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    };
     for kind in
         [RoutingKind::JoinShortestOutstanding, RoutingKind::RoundRobin, RoutingKind::StaticSplit]
     {
-        let mut report = make_fleet().routing(kind).run(trace);
-        let to_node0 = report.routing_decisions().iter().filter(|d| d.replica == 0).count();
-        let total = report.routing_decisions().len().max(1);
-        let m = report.metrics_mut();
-        rows.push(vec![
-            kind.policy().name().to_string(),
-            format!("{:.0}", m.ttft().median().unwrap_or(0.0) * 1e3),
-            format!("{:.0}", m.ttft().p99().unwrap_or(0.0) * 1e3),
-            format!("{:.1}%", 100.0 * to_node0 as f64 / total as f64),
-        ]);
+        let report = make_fleet(false).routing(kind).run(trace);
+        push_row(kind.policy().name().to_string(), report, true);
     }
-    let mut offline = make_fleet().run_offline(trace);
-    let m = offline.metrics_mut();
-    rows.push(vec![
-        "offline-static (baseline)".to_string(),
-        format!("{:.0}", m.ttft().median().unwrap_or(0.0) * 1e3),
-        format!("{:.0}", m.ttft().p99().unwrap_or(0.0) * 1e3),
-        "-".to_string(),
-    ]);
+    let aware = make_fleet(true).routing(RoutingKind::EarliestDeadlineFeasible(slo)).run(trace);
+    let activity = format!(
+        "earliest-deadline-feasible (+class-SLO engines: {} sheds, {} deferrals)",
+        aware.batch_sheds(),
+        aware.batch_deferrals()
+    );
+    push_row(activity, aware, true);
+    let offline = make_fleet(false).run_offline(trace);
+    push_row("offline-static (baseline)".to_string(), offline, false);
     print_table(
         "Online routing policies, 2-node Shift fleet on the bursty trace",
-        &["router", "TTFT p50(ms)", "TTFT p99(ms)", "to node 0"],
+        &["router", "TTFT p50(ms)", "TTFT p99(ms)", "Int SLO", "Batch SLO", "to node 0"],
         &rows,
     );
 }

@@ -121,6 +121,7 @@ pub struct DeploymentBuilder {
     record_timeline: bool,
     prefix_caching: bool,
     routing: RoutingKind,
+    class_slo: Option<sp_metrics::ClassSlo>,
 }
 
 impl DeploymentBuilder {
@@ -144,7 +145,18 @@ impl DeploymentBuilder {
             record_timeline: false,
             prefix_caching: false,
             routing: RoutingKind::default(),
+            class_slo: None,
         }
+    }
+
+    /// Enables SLO-aware scheduling: per-class TTFT deadlines drive
+    /// admission order, batch-prefill deferral, and shedding (see
+    /// [`sp_engine::EngineConfig::class_slo`]). Pair with
+    /// [`RoutingKind::EarliestDeadlineFeasible`] for deadline-aware
+    /// dispatch across replicas.
+    pub fn class_slo(mut self, slo: sp_metrics::ClassSlo) -> DeploymentBuilder {
+        self.class_slo = Some(slo);
+        self
     }
 
     /// Selects the online routing policy for multi-replica deployments
@@ -283,6 +295,7 @@ impl DeploymentBuilder {
             prefix_caching: self.prefix_caching,
             max_prefill_tokens: self.max_prefill_tokens,
             queue_policy: self.queue_policy,
+            class_slo: self.class_slo,
         };
 
         let make_exec = |node: NodeSpec| -> ExecutionModel {
@@ -537,6 +550,13 @@ impl SimNode for Deployment {
         match &self.inner {
             Inner::Single(engine) => engine.outstanding_tokens(),
             Inner::Cluster(cluster) => SimNode::outstanding_tokens(cluster),
+        }
+    }
+
+    fn load(&self) -> sp_metrics::NodeLoad {
+        match &self.inner {
+            Inner::Single(engine) => engine.load(),
+            Inner::Cluster(cluster) => SimNode::load(cluster),
         }
     }
 

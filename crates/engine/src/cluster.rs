@@ -8,7 +8,7 @@
 use crate::engine::Engine;
 use crate::report::EngineReport;
 use crate::routing::{ClusterSim, RoutingPolicy, SimNode};
-use sp_metrics::{Dur, SimTime};
+use sp_metrics::{Dur, NodeLoad, SimTime};
 use sp_workload::{Request, Trace};
 
 /// N independent engines behind a balance-by-expected-work router.
@@ -145,6 +145,17 @@ impl SimNode for DataParallelCluster {
 
     fn outstanding_tokens(&self) -> u64 {
         self.replicas.iter().map(Engine::outstanding_tokens).sum()
+    }
+
+    fn load(&self) -> NodeLoad {
+        // Capacity-style signals add across replicas; the prefill rate
+        // adds because replicas prefill concurrently.
+        self.replicas.iter().map(Engine::load).fold(NodeLoad::default(), |acc, l| NodeLoad {
+            outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
+            queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
+            kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
+            prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
+        })
     }
 
     fn take_report(&mut self) -> EngineReport {

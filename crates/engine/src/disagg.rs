@@ -212,6 +212,7 @@ impl DisaggregatedServer {
                 if seq.generated >= seq.request.output_tokens {
                     report.note_completion(RequestRecord {
                         request_id: seq.request.id,
+                        class: seq.request.class,
                         arrival: seq.request.arrival,
                         first_token: seq.first_token,
                         finish: clock_now,

@@ -3,7 +3,7 @@
 use crate::report::EngineReport;
 use crate::seq::RunningSeq;
 use sp_kvcache::KvCacheManager;
-use sp_metrics::{Dur, RequestRecord, SimTime};
+use sp_metrics::{ClassSlo, Dur, NodeLoad, RequestClass, RequestRecord, SimTime};
 use sp_parallel::{BatchStats, BatchWork, ChunkWork, ExecutionModel, ParallelismPolicy};
 use sp_workload::{Request, Trace};
 use std::collections::VecDeque;
@@ -85,6 +85,15 @@ pub struct EngineConfig {
     pub max_prefill_tokens: Option<u64>,
     /// Which waiting request is admitted next.
     pub queue_policy: QueuePolicy,
+    /// Per-class SLO targets. When set, admission becomes deadline-aware:
+    /// the earliest salvageable TTFT deadline is admitted first (requests
+    /// already past their deadline queue FCFS behind salvageable ones),
+    /// batch-class prefills are deferred while a queued interactive
+    /// request is at TTFT risk, and KV pressure may shed batch-class
+    /// sequences still in prefill to make room for an at-risk interactive
+    /// admission. Takes precedence over `queue_policy` for candidate
+    /// selection.
+    pub class_slo: Option<ClassSlo>,
 }
 
 /// Admission order among waiting requests.
@@ -112,6 +121,7 @@ impl Default for EngineConfig {
             prefix_caching: false,
             max_prefill_tokens: None,
             queue_policy: QueuePolicy::Fcfs,
+            class_slo: None,
         }
     }
 }
@@ -152,6 +162,10 @@ pub struct Engine {
     /// Rotating start index of the decode scan in
     /// [`Engine::build_batch`] — fairness under budget pressure.
     decode_cursor: usize,
+    /// Sustained prefill throughput (tokens/s) at the full iteration
+    /// budget, priced once at construction — the TTFT-estimate ingredient
+    /// of [`Engine::load`] and the deadline-risk tests.
+    prefill_rate: f64,
     /// Accumulates measurements across incremental [`Engine::step_once`]
     /// calls; taken (and reset) by [`Engine::take_report`].
     report: Option<EngineReport>,
@@ -175,6 +189,28 @@ impl Engine {
             "recompute preemption does not compose with speculative decoding"
         );
         let kv = KvCacheManager::new(config.kv_capacity_tokens, config.block_tokens);
+        // Price one budget-sized prefill chunk under every registered
+        // configuration and keep the fastest: the policy's own `choose` is
+        // deliberately not consulted (adaptive policies count iterations,
+        // and this reference pricing is not an iteration).
+        let prefill_rate = {
+            let tokens = config
+                .max_prefill_tokens
+                .unwrap_or(config.max_batched_tokens)
+                .min(config.max_batched_tokens)
+                .max(1);
+            let work = BatchWork::new(vec![ChunkWork::prefill(tokens, 0, false)]);
+            let best = policy
+                .configurations()
+                .iter()
+                .map(|cfg| exec.iteration(cfg, &work).total().as_secs())
+                .fold(f64::INFINITY, f64::min);
+            if best.is_finite() && best > 0.0 {
+                tokens as f64 / best
+            } else {
+                0.0
+            }
+        };
         Engine {
             exec,
             policy,
@@ -186,6 +222,7 @@ impl Engine {
             running: Vec::new(),
             live_groups: std::collections::HashSet::new(),
             decode_cursor: 0,
+            prefill_rate,
             report: None,
         }
     }
@@ -220,6 +257,25 @@ impl Engine {
             })
             .sum();
         queued + admitted
+    }
+
+    /// Live load snapshot for deadline-aware routing: outstanding tokens
+    /// (the classic JSQ signal) plus the ingredients of a TTFT estimate —
+    /// queued prefill work, KV headroom, and this engine's prefill rate.
+    pub fn load(&self) -> NodeLoad {
+        let queued_prefill: u64 = self
+            .arrivals
+            .iter()
+            .chain(self.waiting.iter())
+            .map(|r| u64::from(r.input_tokens))
+            .chain(self.running.iter().map(RunningSeq::prefill_remaining))
+            .sum();
+        NodeLoad {
+            outstanding_tokens: self.outstanding_tokens(),
+            queued_prefill_tokens: queued_prefill,
+            kv_free_tokens: self.kv.free_tokens(),
+            prefill_tokens_per_sec: self.prefill_rate,
+        }
     }
 
     /// Runs a whole trace to completion and reports.
@@ -315,7 +371,7 @@ impl Engine {
         }
         report.note_kv_utilization(self.kv.utilization());
 
-        let Some((work, assignments)) = self.build_batch() else {
+        let Some((work, assignments, deferred)) = self.build_batch() else {
             // Nothing runnable now: jump to the next arrival.
             if let Some(next) = self.arrivals.front() {
                 self.clock = self.clock.max(next.arrival);
@@ -328,6 +384,7 @@ impl Engine {
             );
             return;
         };
+        report.note_deferrals(deferred);
         let stats = BatchStats::of(&work);
         let config = self.policy.choose(&stats);
         let duration = self.exec.iteration(&config, &work).total();
@@ -389,6 +446,7 @@ impl Engine {
                 kv.release(seq.request.id);
                 report.note_completion(RequestRecord {
                     request_id: seq.request.id,
+                    class: seq.request.class,
                     arrival: seq.request.arrival,
                     first_token: seq.first_token.expect("finished implies first token"),
                     finish: clock,
@@ -451,7 +509,22 @@ impl Engine {
                 AdmissionMode::ReserveFull => head.total_tokens(),
                 AdmissionMode::PreemptRestart => u64::from(head.input_tokens),
             };
-            if !self.kv.try_reserve(head.id, footprint) {
+            let mut reserved = self.kv.try_reserve(head.id, footprint);
+            // SLO-aware shedding: an at-risk interactive admission may
+            // evict batch-class sequences that have not yet emitted a
+            // first token (their prefill restarts later; their SLO budget
+            // is 30x looser). Each shed frees one reservation, so the
+            // retry loop terminates.
+            if !reserved {
+                if let Some(slo) = self.config.class_slo {
+                    if head.class == RequestClass::Interactive && self.ttft_at_risk(&head, &slo) {
+                        while !reserved && self.shed_one_batch_prefill(report) {
+                            reserved = self.kv.try_reserve(head.id, footprint);
+                        }
+                    }
+                }
+            }
+            if !reserved {
                 // The request was not admitted: undo its group extension,
                 // or the orphaned watermark occupies blocks (re-extended
                 // on every admit pass) until the cache wedges.
@@ -478,9 +551,27 @@ impl Engine {
 
     /// Index into `waiting` of the next request to admit under the queue
     /// policy.
+    ///
+    /// With [`EngineConfig::class_slo`] set, admission is goodput-first
+    /// EDF: earliest TTFT deadline first among requests whose deadline has
+    /// not yet passed; requests that can no longer attain their SLO queue
+    /// FCFS behind the salvageable ones (serving them first would burn
+    /// capacity a salvageable deadline still needs). Ties break on queue
+    /// position — `min_by` keeps the first minimum, so the order is stable.
     fn next_admission_candidate(&self) -> Option<usize> {
         if self.waiting.is_empty() {
             return None;
+        }
+        if let Some(slo) = self.config.class_slo {
+            let key = |r: &Request| {
+                let deadline = slo.ttft_deadline(r.arrival, r.class);
+                (deadline < self.clock, deadline.as_secs())
+            };
+            return (0..self.waiting.len()).min_by(|&a, &b| {
+                key(&self.waiting[a])
+                    .partial_cmp(&key(&self.waiting[b]))
+                    .expect("deadlines are finite")
+            });
         }
         match self.config.queue_policy {
             QueuePolicy::Fcfs => Some(0),
@@ -491,6 +582,43 @@ impl Engine {
                     .unwrap_or(0),
             ),
         }
+    }
+
+    /// True when `req`'s first token is in jeopardy: its TTFT deadline is
+    /// still attainable, but the remaining slack after its own prefill
+    /// would be under half the class budget. The margin makes the engine
+    /// act *before* the deadline is blown, while leaving freshly arrived
+    /// requests to queue politely.
+    fn ttft_at_risk(&self, req: &Request, slo: &ClassSlo) -> bool {
+        if self.prefill_rate <= 0.0 {
+            return false;
+        }
+        let budget = slo.target_for(req.class).ttft;
+        let deadline = req.arrival + budget;
+        if deadline < self.clock {
+            return false; // Already lost; don't harm others for it.
+        }
+        let own_prefill = Dur::from_secs(f64::from(req.input_tokens) / self.prefill_rate);
+        self.clock + own_prefill + budget * 0.5 > deadline
+    }
+
+    /// Sheds the youngest running batch-class sequence still in prefill:
+    /// releases its KV reservation and requeues the request (prefill
+    /// restarts from scratch on readmission). Returns false when no
+    /// sheddable sequence exists.
+    fn shed_one_batch_prefill(&mut self, report: &mut EngineReport) -> bool {
+        let Some(victim_idx) = self
+            .running
+            .iter()
+            .rposition(|s| s.request.class == RequestClass::Batch && s.first_token.is_none())
+        else {
+            return false;
+        };
+        let victim = self.running.remove(victim_idx);
+        self.kv.release(victim.request.id);
+        report.note_shed(victim.request.id);
+        self.waiting.push_back(victim.request);
+        true
     }
 
     /// PreemptRestart mode: reserve one KV token for every decode step the
@@ -535,7 +663,7 @@ impl Engine {
     /// sequences are first in line next iteration rather than starved
     /// behind the same earlier-admitted ones forever.
     #[allow(clippy::type_complexity)]
-    fn build_batch(&self) -> Option<(BatchWork, Vec<(usize, ChunkWork)>)> {
+    fn build_batch(&self) -> Option<(BatchWork, Vec<(usize, ChunkWork)>, u64)> {
         let mut budget = self.config.max_batched_tokens;
         let mut assignments: Vec<(usize, ChunkWork)> = Vec::new();
 
@@ -559,15 +687,63 @@ impl Engine {
             }
         }
         let mut prefill_budget = budget.min(self.config.max_prefill_tokens.unwrap_or(u64::MAX));
-        for (i, seq) in self.running.iter().enumerate() {
-            if prefill_budget == 0 {
-                break;
+        let mut deferred = 0u64;
+        match self.config.class_slo {
+            None => {
+                for (i, seq) in self.running.iter().enumerate() {
+                    if prefill_budget == 0 {
+                        break;
+                    }
+                    if !seq.in_decode() {
+                        let take = seq.prefill_remaining().min(prefill_budget);
+                        let is_last = take == seq.prefill_remaining();
+                        assignments.push((i, ChunkWork::prefill(take, seq.prefill_done, is_last)));
+                        prefill_budget -= take;
+                    }
+                }
             }
-            if !seq.in_decode() {
-                let take = seq.prefill_remaining().min(prefill_budget);
-                let is_last = take == seq.prefill_remaining();
-                assignments.push((i, ChunkWork::prefill(take, seq.prefill_done, is_last)));
-                prefill_budget -= take;
+            Some(slo) => {
+                // Class-aware prefill: interactive prefills take the budget
+                // first. While a queued interactive request is at TTFT risk,
+                // batch prefills are skipped outright — iterations stay
+                // short, so decode drains KV (and the at-risk request is
+                // admitted) sooner in simulated wall-clock. A skipped batch
+                // prefill is *deferred*, not dropped: it runs once the risk
+                // clears. To guarantee progress, a batch prefill is never
+                // skipped when it would be the only work in the batch.
+                let urgent = self
+                    .waiting
+                    .iter()
+                    .any(|r| r.class == RequestClass::Interactive && self.ttft_at_risk(r, &slo));
+                let prefill_order = self.running.iter().enumerate().filter(|(_, s)| !s.in_decode());
+                let ordered: Vec<usize> = prefill_order
+                    .clone()
+                    .filter(|(_, s)| s.request.class == RequestClass::Interactive)
+                    .chain(prefill_order.filter(|(_, s)| s.request.class == RequestClass::Batch))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut scheduled_interactive = false;
+                for i in ordered {
+                    let seq = &self.running[i];
+                    let is_batch = seq.request.class == RequestClass::Batch;
+                    if is_batch && urgent && !assignments.is_empty() {
+                        deferred += 1;
+                        continue;
+                    }
+                    if prefill_budget == 0 {
+                        if is_batch && scheduled_interactive {
+                            deferred += 1;
+                        }
+                        continue;
+                    }
+                    let take = seq.prefill_remaining().min(prefill_budget);
+                    let is_last = take == seq.prefill_remaining();
+                    assignments.push((i, ChunkWork::prefill(take, seq.prefill_done, is_last)));
+                    prefill_budget -= take;
+                    if !is_batch {
+                        scheduled_interactive = true;
+                    }
+                }
             }
         }
 
@@ -575,7 +751,7 @@ impl Engine {
             return None;
         }
         let work = BatchWork::new(assignments.iter().map(|&(_, c)| c).collect());
-        Some((work, assignments))
+        Some((work, assignments, deferred))
     }
 }
 

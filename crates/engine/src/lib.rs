@@ -46,6 +46,6 @@ pub use cluster::DataParallelCluster;
 pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
 pub use report::{EngineReport, IterationEvent};
 pub use routing::{
-    ClusterSim, JoinShortestOutstanding, RoundRobin, RoutingKind, RoutingPolicy, SimNode,
-    StaticSplit,
+    ClusterSim, EarliestDeadlineFeasible, JoinShortestOutstanding, RoundRobin, RoutingKind,
+    RoutingPolicy, SimNode, StaticSplit,
 };

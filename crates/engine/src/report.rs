@@ -1,7 +1,8 @@
 //! Run reports.
 
 use sp_metrics::{
-    Dur, LatencyRecorder, ReplicaLoadSeries, RequestRecord, RoutingDecision, SimTime,
+    ClassSlo, ClassSloReport, Dur, LatencyRecorder, ReplicaLoadSeries, RequestRecord,
+    RoutingDecision, SimTime,
 };
 use sp_parallel::ParallelConfig;
 use std::collections::HashMap;
@@ -32,6 +33,8 @@ pub struct EngineReport {
     config_usage: HashMap<ParallelConfig, u64>,
     rejected: Vec<u64>,
     preemptions: u64,
+    sheds: u64,
+    deferrals: u64,
     peak_kv_utilization: f64,
     makespan: SimTime,
     max_iteration: Dur,
@@ -51,6 +54,8 @@ impl EngineReport {
             config_usage: HashMap::new(),
             rejected: Vec::new(),
             preemptions: 0,
+            sheds: 0,
+            deferrals: 0,
             peak_kv_utilization: 0.0,
             makespan: SimTime::ZERO,
             max_iteration: Dur::ZERO,
@@ -104,6 +109,14 @@ impl EngineReport {
         self.preemptions += 1;
     }
 
+    pub(crate) fn note_shed(&mut self, _request_id: u64) {
+        self.sheds += 1;
+    }
+
+    pub(crate) fn note_deferrals(&mut self, n: u64) {
+        self.deferrals += n;
+    }
+
     pub(crate) fn note_kv_utilization(&mut self, utilization: f64) {
         self.peak_kv_utilization = self.peak_kv_utilization.max(utilization);
     }
@@ -142,6 +155,24 @@ impl EngineReport {
     /// Recompute preemptions (PreemptRestart admission mode only).
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// Batch-class sequences evicted mid-prefill to admit an at-risk
+    /// interactive request (SLO-aware admission only). Shed requests
+    /// requeue and complete later; they are not dropped.
+    pub fn batch_sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Batch-class prefill chunks skipped in favor of interactive work
+    /// (SLO-aware scheduling only), summed over iterations.
+    pub fn batch_deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Scores the completed requests against per-class SLO targets.
+    pub fn class_slo_report(&self, targets: &ClassSlo) -> ClassSloReport {
+        ClassSloReport::evaluate(&self.records, targets)
     }
 
     /// The longest single iteration — the worst stall any co-batched
@@ -207,6 +238,8 @@ impl EngineReport {
         }
         self.rejected.extend(other.rejected);
         self.preemptions += other.preemptions;
+        self.sheds += other.sheds;
+        self.deferrals += other.deferrals;
         self.peak_kv_utilization = self.peak_kv_utilization.max(other.peak_kv_utilization);
         self.max_iteration = self.max_iteration.max(other.max_iteration);
         self.makespan = self.makespan.max(other.makespan);

@@ -14,21 +14,35 @@
 
 use crate::engine::Engine;
 use crate::report::EngineReport;
-use sp_metrics::{Dur, ReplicaLoadSeries, RoutingDecision, SimTime};
+use sp_metrics::{
+    ClassSlo, Dur, NodeLoad, ReplicaLoadSeries, RequestClass, RoutingDecision, SimTime,
+};
 use sp_workload::{Request, Trace};
 
 /// Picks a replica for each request as it arrives.
 ///
-/// `loads` holds each replica's live `outstanding_tokens` (queued +
-/// admitted but unfinished work) at the dispatch instant. Policies may
-/// keep state (round-robin cursors, cumulative assignment ledgers), hence
-/// `&mut self`.
+/// `loads` holds each replica's live [`NodeLoad`] snapshot at the
+/// dispatch instant — outstanding tokens (the classic JSQ signal) plus
+/// the ingredients of a TTFT estimate for deadline-aware policies.
+/// Policies may keep state (round-robin cursors, cumulative assignment
+/// ledgers), hence `&mut self`.
 pub trait RoutingPolicy: std::fmt::Debug {
     /// The policy's display name.
     fn name(&self) -> &str;
 
     /// Chooses a replica index in `0..loads.len()` for `req`.
-    fn pick(&mut self, req: &Request, loads: &[u64]) -> usize;
+    fn pick(&mut self, req: &Request, loads: &[NodeLoad]) -> usize;
+}
+
+/// Index of the replica with the least outstanding work (ties to the
+/// lowest index — `min_by_key` keeps the first minimum).
+fn least_outstanding(loads: &[NodeLoad]) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, l)| l.outstanding_tokens)
+        .map(|(i, _)| i)
+        .expect("at least one replica")
 }
 
 /// Join-shortest-outstanding-tokens: send each request to the replica
@@ -43,13 +57,8 @@ impl RoutingPolicy for JoinShortestOutstanding {
         "join-shortest-outstanding"
     }
 
-    fn pick(&mut self, _req: &Request, loads: &[u64]) -> usize {
-        loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &l)| l)
-            .map(|(i, _)| i)
-            .expect("at least one replica")
+    fn pick(&mut self, _req: &Request, loads: &[NodeLoad]) -> usize {
+        least_outstanding(loads)
     }
 }
 
@@ -64,7 +73,7 @@ impl RoutingPolicy for RoundRobin {
         "round-robin"
     }
 
-    fn pick(&mut self, _req: &Request, loads: &[u64]) -> usize {
+    fn pick(&mut self, _req: &Request, loads: &[NodeLoad]) -> usize {
         let i = self.next % loads.len();
         self.next = self.next.wrapping_add(1);
         i
@@ -86,7 +95,7 @@ impl RoutingPolicy for StaticSplit {
         "static-split"
     }
 
-    fn pick(&mut self, req: &Request, loads: &[u64]) -> usize {
+    fn pick(&mut self, req: &Request, loads: &[NodeLoad]) -> usize {
         self.assigned.resize(loads.len().max(self.assigned.len()), 0);
         let i = (0..loads.len()).min_by_key(|&i| self.assigned[i]).expect("at least one replica");
         self.assigned[i] += req.total_tokens();
@@ -94,8 +103,69 @@ impl RoutingPolicy for StaticSplit {
     }
 }
 
+/// Deadline-aware routing (ROADMAP "SLO-aware admission and routing"):
+/// each replica's [`NodeLoad`] yields a time-to-first-token estimate, and
+/// interactive requests go to a replica that can still meet their TTFT
+/// SLO.
+///
+/// * Interactive: among replicas whose estimated TTFT fits the
+///   interactive budget (*feasible* replicas), pick the least-outstanding
+///   one — load-balance inside the feasible set rather than herding onto
+///   the single fastest replica. When no replica is feasible, pick the
+///   minimum-ETA replica (least-bad). Ties to the lowest index.
+/// * Batch: join-shortest-outstanding. Batch deadlines are ~30x looser,
+///   so raw load balance maximizes their throughput without displacing
+///   interactive traffic (the per-replica engines handle intra-node
+///   priority).
+#[derive(Debug, Clone, Copy)]
+pub struct EarliestDeadlineFeasible {
+    slo: ClassSlo,
+}
+
+impl EarliestDeadlineFeasible {
+    /// Creates the policy with the given per-class targets.
+    pub fn new(slo: ClassSlo) -> EarliestDeadlineFeasible {
+        EarliestDeadlineFeasible { slo }
+    }
+}
+
+impl Default for EarliestDeadlineFeasible {
+    fn default() -> EarliestDeadlineFeasible {
+        EarliestDeadlineFeasible::new(ClassSlo::default())
+    }
+}
+
+impl RoutingPolicy for EarliestDeadlineFeasible {
+    fn name(&self) -> &str {
+        "earliest-deadline-feasible"
+    }
+
+    fn pick(&mut self, req: &Request, loads: &[NodeLoad]) -> usize {
+        if req.class == RequestClass::Batch {
+            return least_outstanding(loads);
+        }
+        let input = u64::from(req.input_tokens);
+        let footprint = req.total_tokens();
+        let budget = self.slo.target_for(req.class).ttft;
+        let etas: Vec<Dur> = loads.iter().map(|l| l.estimated_ttft(input, footprint)).collect();
+        let feasible = loads
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| etas[i] <= budget)
+            .min_by_key(|&(_, l)| l.outstanding_tokens)
+            .map(|(i, _)| i);
+        feasible.unwrap_or_else(|| {
+            etas.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("at least one replica")
+        })
+    }
+}
+
 /// Routing policy selector — the builder-friendly, copyable handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RoutingKind {
     /// [`JoinShortestOutstanding`] (the online default).
     #[default]
@@ -104,6 +174,8 @@ pub enum RoutingKind {
     RoundRobin,
     /// [`StaticSplit`] — the offline greedy baseline.
     StaticSplit,
+    /// [`EarliestDeadlineFeasible`] with the given per-class targets.
+    EarliestDeadlineFeasible(ClassSlo),
 }
 
 impl RoutingKind {
@@ -113,6 +185,9 @@ impl RoutingKind {
             RoutingKind::JoinShortestOutstanding => Box::new(JoinShortestOutstanding),
             RoutingKind::RoundRobin => Box::new(RoundRobin::default()),
             RoutingKind::StaticSplit => Box::new(StaticSplit::default()),
+            RoutingKind::EarliestDeadlineFeasible(slo) => {
+                Box::new(EarliestDeadlineFeasible::new(slo))
+            }
         }
     }
 }
@@ -133,6 +208,14 @@ pub trait SimNode {
     /// Live outstanding work in tokens — the routing load signal.
     fn outstanding_tokens(&self) -> u64;
 
+    /// Full load snapshot for deadline-aware routing. The default carries
+    /// only `outstanding_tokens` (TTFT-estimate fields zeroed), under
+    /// which [`NodeLoad::estimated_ttft`] degrades to zero and
+    /// deadline-aware policies fall back to join-shortest-outstanding.
+    fn load(&self) -> NodeLoad {
+        NodeLoad { outstanding_tokens: self.outstanding_tokens(), ..NodeLoad::default() }
+    }
+
     /// Finalizes and returns the node's accumulated report.
     fn take_report(&mut self) -> EngineReport;
 }
@@ -152,6 +235,10 @@ impl SimNode for Engine {
 
     fn outstanding_tokens(&self) -> u64 {
         Engine::outstanding_tokens(self)
+    }
+
+    fn load(&self) -> NodeLoad {
+        Engine::load(self)
     }
 
     fn take_report(&mut self) -> EngineReport {
@@ -197,6 +284,12 @@ pub struct ClusterSim<N: SimNode> {
     nodes: Vec<N>,
     policy: Box<dyn RoutingPolicy>,
     throughput_bin: Dur,
+    /// Decision trail accumulated across incremental
+    /// [`ClusterSim::push_request`] calls; taken by
+    /// [`ClusterSim::take_report`].
+    decisions: Vec<RoutingDecision>,
+    /// Per-replica loads sampled at each dispatch; taken with the report.
+    load_series: ReplicaLoadSeries,
 }
 
 impl<N: SimNode> ClusterSim<N> {
@@ -207,7 +300,13 @@ impl<N: SimNode> ClusterSim<N> {
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ClusterSim<N> {
         assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
-        ClusterSim { nodes, policy, throughput_bin: Dur::from_secs(1.0) }
+        ClusterSim {
+            nodes,
+            policy,
+            throughput_bin: Dur::from_secs(1.0),
+            decisions: Vec::new(),
+            load_series: ReplicaLoadSeries::new(),
+        }
     }
 
     /// Sets the merged report's throughput bin width (default 1 s).
@@ -231,7 +330,10 @@ impl<N: SimNode> ClusterSim<N> {
         self.nodes
     }
 
-    /// Index of the node with the earliest pending event, if any.
+    /// Index of the node with the earliest pending event, if any. Ties
+    /// break to the lowest node index (`min_by` keeps the first minimum),
+    /// so stepping order — and therefore every downstream report — is
+    /// deterministic.
     fn earliest(&self) -> Option<usize> {
         self.nodes
             .iter()
@@ -253,6 +355,73 @@ impl<N: SimNode> ClusterSim<N> {
         }
     }
 
+    /// Dispatches one request at its arrival instant: advances every node
+    /// up to the arrival, samples live loads, routes, and enqueues.
+    /// Requests must be pushed in nondecreasing arrival order (as
+    /// [`ClusterSim::run`] does for a trace). The routing decision and
+    /// load samples accumulate until [`ClusterSim::take_report`].
+    pub fn push_request(&mut self, req: Request) {
+        // Bring every node's local clock up to this arrival so the load
+        // signal reflects work actually still outstanding now.
+        self.advance_to(req.arrival);
+        let loads: Vec<NodeLoad> = self.nodes.iter().map(SimNode::load).collect();
+        for (i, l) in loads.iter().enumerate() {
+            self.load_series.record(i, req.arrival, l.outstanding_tokens);
+        }
+        let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
+        self.decisions.push(RoutingDecision {
+            request_id: req.id,
+            replica: pick,
+            at: req.arrival,
+            load_tokens: loads[pick].outstanding_tokens,
+        });
+        self.nodes[pick].push_request(req);
+    }
+
+    /// Advances the globally earliest node by one scheduling event. No-op
+    /// when every node is idle.
+    pub fn step_once(&mut self) {
+        if let Some(i) = self.earliest() {
+            self.nodes[i].step_once();
+        }
+    }
+
+    /// Instant of the cluster's next event (the earliest across nodes),
+    /// or `None` when all idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.earliest().and_then(|i| self.nodes[i].next_event_time())
+    }
+
+    /// Total outstanding work across nodes, in tokens.
+    pub fn outstanding_tokens(&self) -> u64 {
+        self.nodes.iter().map(SimNode::outstanding_tokens).sum()
+    }
+
+    /// Aggregate load: sums across nodes (capacity-style signals add;
+    /// the prefill rate adds because replicas prefill concurrently).
+    pub fn load(&self) -> NodeLoad {
+        self.nodes.iter().map(SimNode::load).fold(NodeLoad::default(), |acc, l| NodeLoad {
+            outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
+            queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
+            kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
+            prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
+        })
+    }
+
+    /// Finalizes an incremental run: merges per-node reports and attaches
+    /// the accumulated decision trail and load samples (both reset).
+    pub fn take_report(&mut self) -> EngineReport {
+        let mut merged = EngineReport::new(self.throughput_bin);
+        for node in &mut self.nodes {
+            merged.merge(node.take_report());
+        }
+        merged.set_routing(
+            std::mem::take(&mut self.decisions),
+            std::mem::take(&mut self.load_series),
+        );
+        merged
+    }
+
     /// Runs `trace` to completion: dispatch at arrival instants, then
     /// drain, then merge per-node reports (plus the decision trail).
     ///
@@ -261,25 +430,9 @@ impl<N: SimNode> ClusterSim<N> {
     /// Panics if the co-simulation fails to make progress (internal bug
     /// guard).
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
-        let mut decisions: Vec<RoutingDecision> = Vec::with_capacity(trace.len());
-        let mut load_series = ReplicaLoadSeries::new();
-
+        self.decisions.reserve(trace.len());
         for &req in trace.requests() {
-            // Bring every node's local clock up to this arrival so the
-            // load signal reflects work actually still outstanding now.
-            self.advance_to(req.arrival);
-            let loads: Vec<u64> = self.nodes.iter().map(SimNode::outstanding_tokens).collect();
-            for (i, &l) in loads.iter().enumerate() {
-                load_series.record(i, req.arrival, l);
-            }
-            let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
-            decisions.push(RoutingDecision {
-                request_id: req.id,
-                replica: pick,
-                at: req.arrival,
-                load_tokens: loads[pick],
-            });
-            self.nodes[pick].push_request(req);
+            self.push_request(req);
         }
 
         // Drain: keep stepping the globally earliest event until all idle.
@@ -290,12 +443,33 @@ impl<N: SimNode> ClusterSim<N> {
             self.nodes[i].step_once();
         }
 
-        let mut merged = EngineReport::new(self.throughput_bin);
-        for node in &mut self.nodes {
-            merged.merge(node.take_report());
-        }
-        merged.set_routing(decisions, load_series);
-        merged
+        self.take_report()
+    }
+}
+
+impl<N: SimNode> SimNode for ClusterSim<N> {
+    fn push_request(&mut self, req: Request) {
+        ClusterSim::push_request(self, req);
+    }
+
+    fn step_once(&mut self) {
+        ClusterSim::step_once(self);
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        ClusterSim::next_event_time(self)
+    }
+
+    fn outstanding_tokens(&self) -> u64 {
+        ClusterSim::outstanding_tokens(self)
+    }
+
+    fn load(&self) -> NodeLoad {
+        ClusterSim::load(self)
+    }
+
+    fn take_report(&mut self) -> EngineReport {
+        ClusterSim::take_report(self)
     }
 }
 
@@ -320,6 +494,13 @@ mod tests {
         }
     }
 
+    fn loads(outstanding: &[u64]) -> Vec<NodeLoad> {
+        outstanding
+            .iter()
+            .map(|&l| NodeLoad { outstanding_tokens: l, ..NodeLoad::default() })
+            .collect()
+    }
+
     fn engines(n: usize) -> Vec<Engine> {
         let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
         (0..n)
@@ -337,15 +518,15 @@ mod tests {
     fn jsq_picks_least_loaded_with_ties_to_lowest_index() {
         let mut p = JoinShortestOutstanding;
         let r = req(0, 0.0, 100, 10);
-        assert_eq!(p.pick(&r, &[500, 200, 900]), 1);
-        assert_eq!(p.pick(&r, &[300, 300, 300]), 0);
+        assert_eq!(p.pick(&r, &loads(&[500, 200, 900])), 1);
+        assert_eq!(p.pick(&r, &loads(&[300, 300, 300])), 0);
     }
 
     #[test]
     fn round_robin_cycles() {
         let mut p = RoundRobin::default();
         let r = req(0, 0.0, 100, 10);
-        let picks: Vec<usize> = (0..5).map(|_| p.pick(&r, &[0, 0, 0])).collect();
+        let picks: Vec<usize> = (0..5).map(|_| p.pick(&r, &loads(&[0, 0, 0]))).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1]);
     }
 
@@ -360,13 +541,49 @@ mod tests {
 
         let mut policy = StaticSplit::default();
         for r in trace.requests() {
-            let online = policy.pick(r, &[0, 0, 0]);
+            let online = policy.pick(r, &loads(&[0, 0, 0]));
             let offline = shards
                 .iter()
                 .position(|s| s.requests().iter().any(|q| q.id == r.id))
                 .expect("every request lands in a shard");
             assert_eq!(online, offline, "request {}", r.id);
         }
+    }
+
+    #[test]
+    fn edf_routes_interactive_to_feasible_replica() {
+        // Replica 0: lighter raw load, but a prefill queue too deep to
+        // make the 1 s interactive TTFT. Replica 1: heavier outstanding
+        // but feasible. JSQ prefers 0; EDF must send interactive traffic
+        // to 1 and keep batch traffic on JSQ.
+        let snapshot = vec![
+            NodeLoad {
+                outstanding_tokens: 10_000,
+                queued_prefill_tokens: 40_000,
+                kv_free_tokens: 1_000_000,
+                prefill_tokens_per_sec: 20_000.0,
+            },
+            NodeLoad {
+                outstanding_tokens: 15_000,
+                queued_prefill_tokens: 2_000,
+                kv_free_tokens: 1_000_000,
+                prefill_tokens_per_sec: 20_000.0,
+            },
+        ];
+        let mut edf = EarliestDeadlineFeasible::default();
+        let mut jsq = JoinShortestOutstanding;
+        let interactive = req(0, 0.0, 500, 10);
+        assert_eq!(jsq.pick(&interactive, &snapshot), 0);
+        assert_eq!(edf.pick(&interactive, &snapshot), 1);
+        let batch = Request { class: RequestClass::Batch, ..interactive };
+        assert_eq!(edf.pick(&batch, &snapshot), 0, "batch follows JSQ");
+
+        // No feasible replica: least-bad ETA wins.
+        let swamped: Vec<NodeLoad> = snapshot
+            .iter()
+            .map(|l| NodeLoad { queued_prefill_tokens: l.queued_prefill_tokens + 100_000, ..*l })
+            .collect();
+        assert_eq!(edf.pick(&interactive, &swamped), 1);
     }
 
     #[test]

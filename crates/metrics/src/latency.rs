@@ -1,6 +1,7 @@
 //! Per-request latency recording (TTFT, TPOT, completion time).
 
 use crate::percentile::Quantiles;
+use crate::slo::RequestClass;
 use crate::summary::StreamingSummary;
 use crate::timeseries::BinnedSeries;
 use crate::units::{Dur, SimTime};
@@ -13,6 +14,9 @@ use crate::units::{Dur, SimTime};
 pub struct RequestRecord {
     /// Client-visible request id.
     pub request_id: u64,
+    /// QoS class the request was served under — per-class SLO scoring
+    /// ([`crate::slo::ClassSloReport`]) partitions records on it.
+    pub class: RequestClass,
     /// Instant the request arrived at the server.
     pub arrival: SimTime,
     /// Instant prefill finished and the first output token was emitted.
@@ -76,6 +80,7 @@ impl RequestRecord {
 /// let mut rec = LatencyRecorder::new(Dur::from_secs(1.0));
 /// rec.observe(&RequestRecord {
 ///     request_id: 0,
+///     class: sp_metrics::RequestClass::Interactive,
 ///     arrival: SimTime::from_secs(0.0),
 ///     first_token: SimTime::from_secs(0.2),
 ///     finish: SimTime::from_secs(1.2),
@@ -222,6 +227,7 @@ mod tests {
     fn rec(arrival: f64, first: f64, finish: f64, inp: u32, out: u32) -> RequestRecord {
         RequestRecord {
             request_id: 0,
+            class: RequestClass::Interactive,
             arrival: SimTime::from_secs(arrival),
             first_token: SimTime::from_secs(first),
             finish: SimTime::from_secs(finish),

@@ -41,8 +41,8 @@ pub mod units;
 pub use histogram::LogHistogram;
 pub use latency::{LatencyRecorder, RequestRecord};
 pub use percentile::Quantiles;
-pub use routing::{ReplicaLoadSample, ReplicaLoadSeries, RoutingDecision};
-pub use slo::{SloReport, SloTarget};
+pub use routing::{NodeLoad, ReplicaLoadSample, ReplicaLoadSeries, RoutingDecision};
+pub use slo::{ClassSlo, ClassSloReport, RequestClass, SloReport, SloTarget};
 pub use summary::StreamingSummary;
 pub use timeseries::BinnedSeries;
 pub use units::{Dur, SimTime};

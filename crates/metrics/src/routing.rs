@@ -7,7 +7,51 @@
 //! Figure 16 production analyses can correlate tail latencies with
 //! routing behaviour.
 
-use crate::units::SimTime;
+use crate::units::{Dur, SimTime};
+
+/// A replica's live load, snapshotted at a routing instant.
+///
+/// Raw outstanding-token counts over-divert when TTFT is not
+/// queue-dominated (ROADMAP "smarter load signals"), so the snapshot also
+/// carries the ingredients of a *time-to-first-token* estimate: how much
+/// prefill work is queued ahead, how fast this replica retires prefill
+/// tokens, and how much KV headroom is left for admission.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeLoad {
+    /// Queued + admitted-but-unfinished work in tokens (the classic JSQ
+    /// signal).
+    pub outstanding_tokens: u64,
+    /// Prompt tokens that must be prefilled before a new arrival's own
+    /// prefill can finish: waiting prompts plus admitted-but-incomplete
+    /// prefill remainders.
+    pub queued_prefill_tokens: u64,
+    /// Unreserved KV-cache tokens — admission headroom.
+    pub kv_free_tokens: u64,
+    /// Sustained prefill throughput estimate, tokens/second (from the
+    /// replica's execution model at its full iteration budget).
+    pub prefill_tokens_per_sec: f64,
+}
+
+impl NodeLoad {
+    /// Estimated time until a request with `input_tokens` of prompt and a
+    /// KV footprint of `footprint_tokens` would emit its first token on
+    /// this replica: drain the prefill queue ahead of it, prefill its own
+    /// prompt, plus a KV-blocked penalty when the cache lacks headroom
+    /// (the deficit must be freed by decode drain before admission, which
+    /// the prefill-rate proxy undercounts — so it is weighted up).
+    pub fn estimated_ttft(&self, input_tokens: u64, footprint_tokens: u64) -> Dur {
+        if self.prefill_tokens_per_sec <= 0.0 {
+            return Dur::ZERO;
+        }
+        let prefill = (self.queued_prefill_tokens + input_tokens) as f64;
+        let mut secs = prefill / self.prefill_tokens_per_sec;
+        if footprint_tokens > self.kv_free_tokens {
+            let deficit = (footprint_tokens - self.kv_free_tokens) as f64;
+            secs += 4.0 * deficit / self.prefill_tokens_per_sec;
+        }
+        Dur::from_secs(secs)
+    }
+}
 
 /// One routing decision: `request_id` went to `replica` at instant `at`,
 /// when that replica had `load_tokens` outstanding.
@@ -143,6 +187,43 @@ mod tests {
         assert_eq!(s.peak(0), 300);
         assert_eq!(s.mean(0), 200.0);
         assert_eq!(s.peak(1), 50);
+    }
+
+    #[test]
+    fn estimated_ttft_orders_by_prefill_queue_not_raw_tokens() {
+        // Replica A: small prefill queue but many outstanding (decode)
+        // tokens. Replica B: fewer outstanding tokens but a huge prompt
+        // queued ahead. A JSQ router prefers B; the TTFT estimate must
+        // prefer A.
+        let a = NodeLoad {
+            outstanding_tokens: 50_000,
+            queued_prefill_tokens: 1_000,
+            kv_free_tokens: 100_000,
+            prefill_tokens_per_sec: 10_000.0,
+        };
+        let b = NodeLoad {
+            outstanding_tokens: 30_000,
+            queued_prefill_tokens: 25_000,
+            kv_free_tokens: 100_000,
+            prefill_tokens_per_sec: 10_000.0,
+        };
+        assert!(a.estimated_ttft(500, 600) < b.estimated_ttft(500, 600));
+    }
+
+    #[test]
+    fn estimated_ttft_penalizes_kv_deficit() {
+        let free = NodeLoad {
+            outstanding_tokens: 0,
+            queued_prefill_tokens: 0,
+            kv_free_tokens: 10_000,
+            prefill_tokens_per_sec: 10_000.0,
+        };
+        let full = NodeLoad { kv_free_tokens: 100, ..free };
+        assert!(full.estimated_ttft(500, 1_000) > free.estimated_ttft(500, 1_000));
+        // Zero-rate snapshots (no execution model) degrade to zero rather
+        // than dividing by zero.
+        let dead = NodeLoad::default();
+        assert_eq!(dead.estimated_ttft(500, 1_000), Dur::ZERO);
     }
 
     #[test]

@@ -7,7 +7,20 @@
 //! Shift Parallelism's QoS claim.
 
 use crate::latency::RequestRecord;
-use crate::units::Dur;
+use crate::units::{Dur, SimTime};
+
+/// Quality-of-service class of a request (§2.1).
+///
+/// Defined here (rather than in the workload crate, which re-exports it)
+/// so completed-request records and SLO scoring can carry the class
+/// without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Latency-sensitive: chatbot/agentic traffic; TTFT and TPOT matter.
+    Interactive,
+    /// Throughput-sensitive: bulk summarization/translation jobs.
+    Batch,
+}
 
 /// A per-request latency target.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +47,88 @@ impl SloTarget {
     /// True if `record` meets both components of the target.
     pub fn met_by(&self, record: &RequestRecord) -> bool {
         record.ttft() <= self.ttft && record.tpot() <= self.tpot
+    }
+}
+
+/// Per-class SLO targets — the deadline source for SLO-aware admission
+/// and deadline-aware routing.
+///
+/// A request's *TTFT deadline* is `arrival + target_for(class).ttft`: the
+/// instant by which its first token must be emitted for the request to
+/// attain its SLO. Schedulers and routers act on that deadline; scoring
+/// ([`ClassSloReport`]) checks it after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSlo {
+    /// Target for [`RequestClass::Interactive`] traffic.
+    pub interactive: SloTarget,
+    /// Target for [`RequestClass::Batch`] traffic.
+    pub batch: SloTarget,
+}
+
+impl Default for ClassSlo {
+    /// Chatbot-grade interactive target, relaxed batch target.
+    fn default() -> ClassSlo {
+        ClassSlo { interactive: SloTarget::interactive(), batch: SloTarget::relaxed() }
+    }
+}
+
+impl ClassSlo {
+    /// The target governing `class`.
+    pub fn target_for(&self, class: RequestClass) -> SloTarget {
+        match class {
+            RequestClass::Interactive => self.interactive,
+            RequestClass::Batch => self.batch,
+        }
+    }
+
+    /// The instant by which a request of `class` arriving at `arrival`
+    /// must see its first token.
+    pub fn ttft_deadline(&self, arrival: SimTime, class: RequestClass) -> SimTime {
+        arrival + self.target_for(class).ttft
+    }
+}
+
+/// SLO attainment split by QoS class — the quality-of-service view of a
+/// mixed-traffic run (§2.1): did Interactive requests keep their tight
+/// TTFT while Batch work rode along?
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassSloReport {
+    /// Attainment of interactive-class requests against the interactive
+    /// target.
+    pub interactive: SloReport,
+    /// Attainment of batch-class requests against the batch target.
+    pub batch: SloReport,
+}
+
+impl ClassSloReport {
+    /// Scores `records` against the per-class targets, partitioning on
+    /// each record's class.
+    pub fn evaluate<'a>(
+        records: impl IntoIterator<Item = &'a RequestRecord>,
+        targets: &ClassSlo,
+    ) -> ClassSloReport {
+        let mut report = ClassSloReport::default();
+        for r in records {
+            let (bucket, target) = match r.class {
+                RequestClass::Interactive => (&mut report.interactive, targets.interactive),
+                RequestClass::Batch => (&mut report.batch, targets.batch),
+            };
+            bucket.total += 1;
+            if target.met_by(r) {
+                bucket.attained += 1;
+                bucket.attained_tokens += r.total_tokens();
+            }
+        }
+        report
+    }
+
+    /// Combined view (both classes pooled).
+    pub fn overall(&self) -> SloReport {
+        SloReport {
+            attained: self.interactive.attained + self.batch.attained,
+            total: self.interactive.total + self.batch.total,
+            attained_tokens: self.interactive.attained_tokens + self.batch.attained_tokens,
+        }
     }
 }
 
@@ -94,6 +189,7 @@ mod tests {
         let first = SimTime::from_secs(ttft_ms * 1e-3);
         RequestRecord {
             request_id: 0,
+            class: RequestClass::Interactive,
             arrival: SimTime::ZERO,
             first_token: first,
             finish: first + Dur::from_millis(tpot_ms) * f64::from(out - 1),
@@ -145,5 +241,40 @@ mod tests {
         let marginal = rec(10_000.0, 100.0, 100, 10);
         assert!(!SloTarget::interactive().met_by(&marginal));
         assert!(SloTarget::relaxed().met_by(&marginal));
+    }
+
+    #[test]
+    fn ttft_deadline_depends_on_class() {
+        let slo = ClassSlo::default();
+        let arrival = SimTime::from_secs(10.0);
+        let interactive = slo.ttft_deadline(arrival, RequestClass::Interactive);
+        let batch = slo.ttft_deadline(arrival, RequestClass::Batch);
+        assert_eq!(interactive.as_secs(), 11.0);
+        assert_eq!(batch.as_secs(), 40.0);
+        assert!(interactive < batch, "interactive deadlines are tighter");
+    }
+
+    #[test]
+    fn class_report_partitions_by_record_class() {
+        // Same marginal latency: misses the interactive target, meets the
+        // batch target — so the class decides the outcome.
+        let mut fast = rec(100.0, 10.0, 1000, 100);
+        let mut marginal = rec(10_000.0, 100.0, 500, 50);
+        fast.class = RequestClass::Interactive;
+        marginal.class = RequestClass::Batch;
+        let report = ClassSloReport::evaluate([&fast, &marginal], &ClassSlo::default());
+        assert_eq!(report.interactive.attained, 1);
+        assert_eq!(report.interactive.total, 1);
+        assert_eq!(report.batch.attained, 1);
+        assert_eq!(report.batch.total, 1);
+
+        // Flip the marginal record to interactive: it now misses.
+        marginal.class = RequestClass::Interactive;
+        let report = ClassSloReport::evaluate([&fast, &marginal], &ClassSlo::default());
+        assert_eq!(report.interactive.attained, 1);
+        assert_eq!(report.interactive.total, 2);
+        assert_eq!(report.batch.total, 0);
+        assert_eq!(report.overall().attained, 1);
+        assert_eq!(report.overall().total, 2);
     }
 }

@@ -2,14 +2,10 @@
 
 use sp_metrics::{Dur, SimTime};
 
-/// Quality-of-service class of a request (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RequestClass {
-    /// Latency-sensitive: chatbot/agentic traffic; TTFT and TPOT matter.
-    Interactive,
-    /// Throughput-sensitive: bulk summarization/translation jobs.
-    Batch,
-}
+/// Quality-of-service class of a request (§2.1). Defined in `sp-metrics`
+/// (so completed-request records carry it); re-exported here because the
+/// workload crate is where requests are born.
+pub use sp_metrics::RequestClass;
 
 /// One inference request: a prompt of `input_tokens` arriving at `arrival`,
 /// generating `output_tokens`.
@@ -40,6 +36,13 @@ impl Request {
     /// Prompt + output tokens.
     pub fn total_tokens(&self) -> u64 {
         u64::from(self.input_tokens) + u64::from(self.output_tokens)
+    }
+
+    /// The instant by which this request's first token must be emitted to
+    /// attain its class's TTFT target — the deadline SLO-aware admission
+    /// and deadline-aware routing act on.
+    pub fn ttft_deadline(&self, slo: &sp_metrics::ClassSlo) -> SimTime {
+        slo.ttft_deadline(self.arrival, self.class)
     }
 
     /// Serializes the request as one JSON object (the cleaned-trace

@@ -13,6 +13,16 @@
 //! * sampling is plain uniform draws from a per-test seeded generator, so
 //!   every run of a test explores the same cases (fully reproducible);
 //! * `ProptestConfig` only honors `cases`.
+//!
+//! Environment knobs (CI hooks):
+//!
+//! * `SP_PROPTEST_SEED=<u64>` — mixes the given seed into every test's
+//!   name-derived seed, letting CI pin (or rotate) the explored cases;
+//! * `PROPTEST_CASES=<u32>` — overrides every test's case count;
+//! * on a failing case, the harness writes
+//!   `target/proptest-failures/<test>.txt` recording the test name, the
+//!   resolved seed, and the 0-based failing case index — re-export the
+//!   recorded `SP_PROPTEST_SEED` to replay the exact same cases locally.
 
 use rand::rngs::StdRng;
 
@@ -40,17 +50,92 @@ impl Default for ProptestConfig {
 pub mod __rt {
     pub use super::strategy::Strategy;
     pub use super::ProptestConfig;
+    use std::cell::RefCell;
+    use std::io::Write as _;
     pub type TestRng = super::StdRng;
 
-    /// Stable per-test seed from the test's name.
-    pub fn seed_rng(name: &str) -> TestRng {
-        use rand::SeedableRng as _;
+    thread_local! {
+        /// The (test name, resolved seed, case index) currently running on
+        /// this thread, consulted by the panic hook to write the failure
+        /// artifact.
+        static CURRENT_CASE: RefCell<Option<(String, u64, u32)>> = const { RefCell::new(None) };
+    }
+
+    /// Stable per-test seed: an FNV-1a hash of the test's name, mixed
+    /// with `SP_PROPTEST_SEED` when the environment sets one.
+    pub fn resolve_seed(name: &str) -> u64 {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng::seed_from_u64(hash)
+        match std::env::var("SP_PROPTEST_SEED").ok().and_then(|s| s.trim().parse::<u64>().ok()) {
+            Some(env_seed) => hash ^ env_seed,
+            None => hash,
+        }
+    }
+
+    /// Seeds the per-test generator.
+    pub fn seed_rng(seed: u64) -> TestRng {
+        use rand::SeedableRng as _;
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// The case count: `PROPTEST_CASES` when set, else the config's.
+    pub fn cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .unwrap_or(configured)
+            .max(1)
+    }
+
+    /// Marks a case as running (for the failure artifact).
+    pub fn enter_case(name: &str, seed: u64, case: u32) {
+        CURRENT_CASE.with(|c| *c.borrow_mut() = Some((name.to_string(), seed, case)));
+    }
+
+    /// Marks the test body as finished without a failure.
+    pub fn exit_case() {
+        CURRENT_CASE.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Installs (once, process-wide) a panic hook that records the failing
+    /// property case to `target/proptest-failures/<test>.txt` before
+    /// delegating to the previous hook. No-op for panics outside a
+    /// property test body.
+    pub fn install_failure_hook() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                CURRENT_CASE.with(|c| {
+                    if let Some((name, seed, case)) = c.borrow().as_ref() {
+                        write_artifact(name, *seed, *case, info);
+                    }
+                });
+                prev(info);
+            }));
+        });
+    }
+
+    fn write_artifact(name: &str, seed: u64, case: u32, info: &std::panic::PanicHookInfo<'_>) {
+        let dir = std::path::Path::new("target").join("proptest-failures");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
+            let _ = writeln!(f, "test: {name}");
+            let _ = writeln!(f, "seed: {seed}");
+            let _ = writeln!(f, "failing_case_index: {case}");
+            let _ = writeln!(
+                f,
+                "replay: SP_PROPTEST_SEED is mixed (xor) into the name hash; rerun the \
+                 test with the same SP_PROPTEST_SEED (or none, if none was set) to \
+                 replay this exact case sequence."
+            );
+            let _ = writeln!(f, "panic: {info}");
+        }
     }
 }
 
@@ -93,11 +178,16 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::__rt::ProptestConfig = $cfg;
-            let mut __rng = $crate::__rt::seed_rng(stringify!($name));
-            for __case in 0..__config.cases {
+            let __cases = $crate::__rt::cases(__config.cases);
+            let __seed = $crate::__rt::resolve_seed(stringify!($name));
+            let mut __rng = $crate::__rt::seed_rng(__seed);
+            $crate::__rt::install_failure_hook();
+            for __case in 0..__cases {
+                $crate::__rt::enter_case(stringify!($name), __seed, __case);
                 $(let $arg = $crate::__rt::Strategy::sample(&($strat), &mut __rng);)+
                 $body
             }
+            $crate::__rt::exit_case();
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
     };

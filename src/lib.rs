@@ -57,11 +57,12 @@ pub mod prelude {
     pub use sp_accel::{FrameworkProfile, ProductionStack, SwiftKv};
     pub use sp_cluster::{CollectiveModel, GpuSpec, InterconnectSpec, NodeSpec, Roofline};
     pub use sp_engine::{
-        AdmissionMode, DataParallelCluster, Engine, EngineConfig, EngineReport, QueuePolicy,
-        SpecDecode,
+        AdmissionMode, ClusterSim, DataParallelCluster, EarliestDeadlineFeasible, Engine,
+        EngineConfig, EngineReport, QueuePolicy, RoutingKind, SimNode, SpecDecode,
     };
     pub use sp_metrics::{
-        Dur, LatencyRecorder, Quantiles, RequestRecord, SimTime, SloReport, SloTarget,
+        ClassSlo, ClassSloReport, Dur, LatencyRecorder, NodeLoad, Quantiles, RequestRecord,
+        SimTime, SloReport, SloTarget,
     };
     pub use sp_model::{presets, ModelConfig, MoeConfig, Precision};
     pub use sp_parallel::{

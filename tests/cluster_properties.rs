@@ -1,0 +1,220 @@
+//! Property, determinism, and edge-case tests for the online cluster
+//! co-simulation (`ClusterSim`).
+//!
+//! The load-bearing property: online dispatch through `ClusterSim` with
+//! the `StaticSplit` policy must be *observationally identical* to the
+//! offline path (split the trace up front with
+//! `DataParallelCluster::route`, run each shard on an isolated engine) —
+//! same per-request records, same rejections. That equivalence is what
+//! lets the event-driven simulator be trusted as a superset of the
+//! offline one.
+
+use proptest::prelude::*;
+use shift_parallelism::prelude::*;
+use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+
+fn engine(kv: u64) -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig { kv_capacity_tokens: kv, ..EngineConfig::default() },
+    )
+}
+
+fn engines(n: usize, kv: u64) -> Vec<Engine> {
+    (0..n).map(|_| engine(kv)).collect()
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (prop::collection::vec((1u32..12_000, 1u32..100, 0.0f64..60.0, any::<bool>()), 1..30),)
+        .prop_map(|(reqs,)| {
+            reqs.into_iter()
+                .map(|(input, output, at, interactive)| Request {
+                    id: 0, // Trace::new renumbers in arrival order
+                    arrival: SimTime::from_secs(at),
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: if interactive {
+                        RequestClass::Interactive
+                    } else {
+                        RequestClass::Batch
+                    },
+                    cached_prefix: 0,
+                    prefix_group: None,
+                })
+                .collect()
+        })
+        .prop_map(Trace::new)
+}
+
+/// Canonical, order-independent encoding of a report's observable
+/// per-request outcome. Timestamps are compared via their exact f64 bit
+/// patterns: the equivalence below is bit-exact, not approximate.
+fn canonical_records(report: &EngineReport) -> Vec<(u64, u64, u64, u64, u32, u32)> {
+    let mut v: Vec<_> = report
+        .records()
+        .iter()
+        .map(|r| {
+            (
+                r.request_id,
+                r.arrival.as_secs().to_bits(),
+                r.first_token.as_secs().to_bits(),
+                r.finish.as_secs().to_bits(),
+                r.input_tokens,
+                r.output_tokens,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted_rejects(report: &EngineReport) -> Vec<u64> {
+    let mut v = report.rejected().to_vec();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Online `ClusterSim` + `StaticSplit` ≡ offline route-then-run: both
+    /// paths assign identically (StaticSplit replays the greedy router),
+    /// and since replicas share nothing, per-request records must agree
+    /// bit-for-bit.
+    #[test]
+    fn static_split_online_equals_offline_replica_runs(
+        trace in arb_trace(),
+        n in 2usize..4,
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+    ) {
+        let mut online = ClusterSim::new(engines(n, kv), RoutingKind::StaticSplit.policy());
+        let online_report = online.run(&trace);
+
+        let offline_cluster = DataParallelCluster::new(n, |_| engine(kv));
+        let shards = offline_cluster.route(&trace);
+        prop_assert_eq!(shards.len(), n);
+        let mut offline_merged = EngineReport::new(Dur::from_secs(1.0));
+        for shard in &shards {
+            offline_merged.merge(engine(kv).run(shard));
+        }
+
+        prop_assert_eq!(
+            canonical_records(&online_report),
+            canonical_records(&offline_merged),
+            "online static split diverged from offline shard runs"
+        );
+        prop_assert_eq!(sorted_rejects(&online_report), sorted_rejects(&offline_merged));
+        // The decision trail must replay the offline assignment exactly.
+        for d in online_report.routing_decisions() {
+            let offline_home = shards
+                .iter()
+                .position(|s| s.requests().iter().any(|q| q.id == d.request_id))
+                .expect("request assigned offline");
+            prop_assert_eq!(d.replica, offline_home, "request {}", d.request_id);
+        }
+    }
+
+    /// Two identical JSQ runs must be byte-identical: same routing trail,
+    /// same records, same aggregate counters. The tie-break contract
+    /// (lowest index wins) leaves no room for nondeterminism.
+    #[test]
+    fn cluster_runs_are_deterministic(trace in arb_trace(), n in 1usize..4) {
+        let run = || {
+            let mut sim =
+                ClusterSim::new(engines(n, 100_000), RoutingKind::JoinShortestOutstanding.policy());
+            sim.run(&trace)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.routing_decisions(), b.routing_decisions());
+        prop_assert_eq!(canonical_records(&a), canonical_records(&b));
+        prop_assert_eq!(sorted_rejects(&a), sorted_rejects(&b));
+        prop_assert_eq!(a.iterations(), b.iterations());
+        prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
+    }
+}
+
+#[test]
+fn empty_trace_is_a_clean_noop() {
+    let mut sim = ClusterSim::new(engines(2, 100_000), RoutingKind::default().policy());
+    assert!(sim.next_event_time().is_none());
+    assert_eq!(sim.outstanding_tokens(), 0);
+    let report = sim.run(&Trace::default());
+    assert!(report.records().is_empty());
+    assert!(report.routing_decisions().is_empty());
+    assert!(report.rejected().is_empty());
+    assert_eq!(report.iterations(), 0);
+}
+
+#[test]
+fn single_replica_cluster_degenerates_to_the_engine() {
+    let trace = synthetic::poisson(12, 10.0, 512, 8, 7);
+    let mut sim =
+        ClusterSim::new(engines(1, 100_000), RoutingKind::JoinShortestOutstanding.policy());
+    let online = sim.run(&trace);
+    let offline = engine(100_000).run(&trace);
+    assert!(online.routing_decisions().iter().all(|d| d.replica == 0));
+    assert_eq!(canonical_records(&online), canonical_records(&offline));
+}
+
+#[test]
+fn simultaneous_arrivals_are_all_dispatched() {
+    // Every request arrives at the same instant: the router sees live
+    // (already-updated) load for each successive dispatch, and none may
+    // be lost or double-dispatched.
+    let reqs: Vec<Request> = (0..10)
+        .map(|i| Request {
+            id: i,
+            arrival: SimTime::from_secs(1.0),
+            input_tokens: 2048,
+            output_tokens: 8,
+            class: RequestClass::Interactive,
+            cached_prefix: 0,
+            prefix_group: None,
+        })
+        .collect();
+    let trace = Trace::with_ids(reqs);
+    let mut sim =
+        ClusterSim::new(engines(2, 100_000), RoutingKind::JoinShortestOutstanding.policy());
+    let report = sim.run(&trace);
+    assert_eq!(report.routing_decisions().len(), 10);
+    assert_eq!(report.records().len(), 10);
+    // JSQ must alternate rather than herd: pushing a request raises the
+    // picked replica's outstanding load before the next pick.
+    let to_first = report.routing_decisions().iter().filter(|d| d.replica == 0).count();
+    assert_eq!(to_first, 5, "JSQ must spread simultaneous arrivals evenly");
+}
+
+#[test]
+fn oversized_request_is_rejected_not_lost() {
+    // One request larger than any replica's whole KV cache: it must land
+    // in `rejected()`, everything else completes, and the sim terminates.
+    let mut reqs = vec![Request {
+        id: 0,
+        arrival: SimTime::ZERO,
+        input_tokens: 50_000,
+        output_tokens: 8,
+        class: RequestClass::Batch,
+        cached_prefix: 0,
+        prefix_group: None,
+    }];
+    reqs.extend((1..5).map(|i| Request {
+        id: i,
+        arrival: SimTime::from_secs(0.1 * i as f64),
+        input_tokens: 1024,
+        output_tokens: 8,
+        class: RequestClass::Interactive,
+        cached_prefix: 0,
+        prefix_group: None,
+    }));
+    let trace = Trace::with_ids(reqs);
+    let mut sim =
+        ClusterSim::new(engines(2, 20_000), RoutingKind::JoinShortestOutstanding.policy());
+    let report = sim.run(&trace);
+    assert_eq!(report.rejected(), &[0]);
+    assert_eq!(report.records().len(), 4);
+    assert_eq!(report.records().len() + report.rejected().len(), trace.len());
+    assert_eq!(sim.outstanding_tokens(), 0, "drained cluster holds no work");
+}
