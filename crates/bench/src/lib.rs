@@ -14,5 +14,5 @@
 pub mod harness;
 pub mod probes;
 
-pub use harness::{run_kind, standard_kinds, summarize, RunSummary};
+pub use harness::{parallel_sweep, run_kind, standard_kinds, summarize, RunSummary};
 pub use probes::{min_latency_probe, peak_throughput_probe, LatencyProbe};

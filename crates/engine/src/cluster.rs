@@ -129,7 +129,7 @@ impl SimNode for DataParallelCluster {
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.next_event_time().map(|t| (i, t)))
-            .min_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).expect("finite"))
+            .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
             .map(|(i, _)| i);
         if let Some(i) = earliest {
             self.replicas[i].step_once();
@@ -140,7 +140,7 @@ impl SimNode for DataParallelCluster {
         self.replicas
             .iter()
             .filter_map(Engine::next_event_time)
-            .min_by(|a, b| a.as_secs().partial_cmp(&b.as_secs()).expect("finite"))
+            .min_by(|a, b| a.as_secs().total_cmp(&b.as_secs()))
     }
 
     fn outstanding_tokens(&self) -> u64 {
@@ -149,11 +149,15 @@ impl SimNode for DataParallelCluster {
 
     fn load(&self) -> NodeLoad {
         // Capacity-style signals add across replicas; the prefill rate
-        // adds because replicas prefill concurrently.
-        self.replicas.iter().map(Engine::load).fold(NodeLoad::default(), |acc, l| NodeLoad {
+        // adds because replicas prefill concurrently. `min_kv_free_tokens`
+        // is the bottleneck replica's headroom (see `NodeLoad`'s
+        // aggregate-semantics docs).
+        let seed = NodeLoad { min_kv_free_tokens: u64::MAX, ..NodeLoad::default() };
+        self.replicas.iter().map(Engine::load).fold(seed, |acc, l| NodeLoad {
             outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
             queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
             kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
+            min_kv_free_tokens: acc.min_kv_free_tokens.min(l.min_kv_free_tokens),
             prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
         })
     }

@@ -1,5 +1,6 @@
 //! The serving engine: continuous batching with chunked prefill.
 
+use crate::queue::{QueuePos, WaitQueue};
 use crate::report::EngineReport;
 use crate::seq::RunningSeq;
 use sp_kvcache::KvCacheManager;
@@ -156,7 +157,11 @@ pub struct Engine {
     kv: KvCacheManager,
     clock: SimTime,
     arrivals: VecDeque<Request>,
-    waiting: VecDeque<Request>,
+    /// Waiting requests in an indexed queue: candidate selection and
+    /// removal are O(log W) under every admission policy (the plain
+    /// `VecDeque` this replaces rescanned and shifted O(W) per admit —
+    /// quadratic under backlog).
+    waiting: WaitQueue,
     running: Vec<RunningSeq>,
     live_groups: std::collections::HashSet<u64>,
     /// Rotating start index of the decode scan in
@@ -169,6 +174,37 @@ pub struct Engine {
     /// Accumulates measurements across incremental [`Engine::step_once`]
     /// calls; taken (and reset) by [`Engine::take_report`].
     report: Option<EngineReport>,
+    /// Reusable `(running index, chunk)` buffer for
+    /// [`Engine::build_batch`]; lives on the engine so the per-iteration
+    /// batch build allocates nothing in steady state.
+    scratch_assignments: Vec<(usize, ChunkWork)>,
+    /// Reusable chunk buffer recycled through [`BatchWork::into_chunks`]
+    /// after each iteration is priced and applied.
+    scratch_chunks: Vec<ChunkWork>,
+    /// Reusable index buffer for the class-aware prefill ordering in
+    /// [`Engine::build_batch`].
+    scratch_order: Vec<usize>,
+    /// When set, the scheduler's hot paths run their pre-optimization
+    /// reference implementations — linear EDF admission rescans and
+    /// fold-over-state load snapshots — instead of the indexed/counter
+    /// fast paths (see [`Engine::set_reference_mode`]).
+    reference_mode: bool,
+    /// Σ `total_tokens` over `arrivals` + `waiting` — incremental load
+    /// counter; see [`Engine::load`].
+    queued_total_tokens: u64,
+    /// Σ `input_tokens` over `arrivals` + `waiting`.
+    queued_input_tokens: u64,
+    /// Σ (prefill remaining + output remaining) over `running`.
+    running_outstanding_tokens: u64,
+    /// Σ prefill remaining over `running`.
+    running_prefill_tokens: u64,
+}
+
+/// A running sequence's contribution to the outstanding-token load
+/// signal: prompt tokens still to prefill plus output tokens still to
+/// generate.
+fn seq_outstanding(seq: &RunningSeq) -> u64 {
+    seq.prefill_remaining() + u64::from(seq.request.output_tokens.saturating_sub(seq.generated))
 }
 
 impl Engine {
@@ -218,13 +254,53 @@ impl Engine {
             kv,
             clock: SimTime::ZERO,
             arrivals: VecDeque::new(),
-            waiting: VecDeque::new(),
+            waiting: WaitQueue::new(config.class_slo),
             running: Vec::new(),
             live_groups: std::collections::HashSet::new(),
             decode_cursor: 0,
             prefill_rate,
             report: None,
+            scratch_assignments: Vec::new(),
+            scratch_chunks: Vec::new(),
+            scratch_order: Vec::new(),
+            reference_mode: false,
+            queued_total_tokens: 0,
+            queued_input_tokens: 0,
+            running_outstanding_tokens: 0,
+            running_prefill_tokens: 0,
         }
+    }
+
+    /// Switches the scheduler's hot paths to their pre-optimization
+    /// reference implementations, preserved as executable specifications
+    /// of what the fast paths replaced: EDF admission becomes the linear
+    /// `min_by` rescan (O(W) per candidate with two deadline evaluations
+    /// per comparison, versus O(log W) on the [`WaitQueue`] index) and
+    /// load snapshots become the fold over every queued and running
+    /// request (O(queue + batch) per call, versus O(1) on the
+    /// incremental counters). Scheduling decisions are identical either
+    /// way — only the cost differs. Consumed by the `simperf` bench to
+    /// measure the win and by equivalence tests; not part of the
+    /// supported API.
+    #[doc(hidden)]
+    pub fn set_reference_mode(&mut self, reference: bool) {
+        self.reference_mode = reference;
+    }
+
+    /// Recomputes the incremental load counters from the actual queue
+    /// and batch state — used when [`Engine::run`] replaces the arrival
+    /// queue wholesale.
+    fn recount_load_counters(&mut self) {
+        self.queued_total_tokens =
+            self.arrivals.iter().chain(self.waiting.iter()).map(Request::total_tokens).sum();
+        self.queued_input_tokens = self
+            .arrivals
+            .iter()
+            .chain(self.waiting.iter())
+            .map(|r| u64::from(r.input_tokens))
+            .sum();
+        self.running_outstanding_tokens = self.running.iter().map(seq_outstanding).sum();
+        self.running_prefill_tokens = self.running.iter().map(RunningSeq::prefill_remaining).sum();
     }
 
     /// The current simulated time.
@@ -244,25 +320,50 @@ impl Engine {
     }
 
     /// Outstanding work in tokens (queued + admitted but unfinished) — the
-    /// router's load signal.
+    /// router's load signal. O(1): read off counters maintained at every
+    /// queue transition (routers poll every replica per dispatch, so a
+    /// fold over live state here made dispatch O(R × state)).
     pub fn outstanding_tokens(&self) -> u64 {
+        if self.reference_mode {
+            return self.outstanding_tokens_fold();
+        }
+        let fast = self.queued_total_tokens + self.running_outstanding_tokens;
+        debug_assert_eq!(fast, self.outstanding_tokens_fold(), "load counters drifted");
+        fast
+    }
+
+    /// The pre-counter outstanding-tokens fold over every queued and
+    /// running request — the reference implementation
+    /// [`Engine::outstanding_tokens`] is checked against in debug builds.
+    fn outstanding_tokens_fold(&self) -> u64 {
         let queued: u64 =
             self.arrivals.iter().chain(self.waiting.iter()).map(Request::total_tokens).sum();
-        let admitted: u64 = self
-            .running
-            .iter()
-            .map(|s| {
-                s.prefill_remaining()
-                    + u64::from(s.request.output_tokens.saturating_sub(s.generated))
-            })
-            .sum();
+        let admitted: u64 = self.running.iter().map(seq_outstanding).sum();
         queued + admitted
     }
 
     /// Live load snapshot for deadline-aware routing: outstanding tokens
     /// (the classic JSQ signal) plus the ingredients of a TTFT estimate —
     /// queued prefill work, KV headroom, and this engine's prefill rate.
+    /// O(1), like [`Engine::outstanding_tokens`].
     pub fn load(&self) -> NodeLoad {
+        if self.reference_mode {
+            return self.load_fold();
+        }
+        let load = NodeLoad {
+            outstanding_tokens: self.queued_total_tokens + self.running_outstanding_tokens,
+            queued_prefill_tokens: self.queued_input_tokens + self.running_prefill_tokens,
+            kv_free_tokens: self.kv.free_tokens(),
+            min_kv_free_tokens: self.kv.free_tokens(),
+            prefill_tokens_per_sec: self.prefill_rate,
+        };
+        debug_assert_eq!(load, self.load_fold(), "load counters drifted");
+        load
+    }
+
+    /// The pre-counter load fold — reference implementation for
+    /// [`Engine::load`].
+    fn load_fold(&self) -> NodeLoad {
         let queued_prefill: u64 = self
             .arrivals
             .iter()
@@ -271,9 +372,10 @@ impl Engine {
             .chain(self.running.iter().map(RunningSeq::prefill_remaining))
             .sum();
         NodeLoad {
-            outstanding_tokens: self.outstanding_tokens(),
+            outstanding_tokens: self.outstanding_tokens_fold(),
             queued_prefill_tokens: queued_prefill,
             kv_free_tokens: self.kv.free_tokens(),
+            min_kv_free_tokens: self.kv.free_tokens(),
             prefill_tokens_per_sec: self.prefill_rate,
         }
     }
@@ -287,6 +389,7 @@ impl Engine {
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
         self.report = Some(self.fresh_report());
         self.arrivals = trace.requests().to_vec().into();
+        self.recount_load_counters();
         self.clock = SimTime::ZERO;
 
         let mut guard: u64 = 0;
@@ -328,6 +431,8 @@ impl Engine {
                 "requests must be pushed in arrival order"
             );
         }
+        self.queued_total_tokens += req.total_tokens();
+        self.queued_input_tokens += u64::from(req.input_tokens);
         self.arrivals.push_back(req);
     }
 
@@ -371,7 +476,7 @@ impl Engine {
         }
         report.note_kv_utilization(self.kv.utilization());
 
-        let Some((work, assignments, deferred)) = self.build_batch() else {
+        let Some((work, deferred)) = self.build_batch() else {
             // Nothing runnable now: jump to the next arrival.
             if let Some(next) = self.arrivals.front() {
                 self.clock = self.clock.max(next.arrival);
@@ -395,7 +500,8 @@ impl Engine {
         // client-visible tokens: prompt tokens, emitted output tokens, and
         // the first output token each final prefill chunk produces.
         let mut ledger_tokens = 0u64;
-        for (seq_idx, chunk) in assignments {
+        let assignments = std::mem::take(&mut self.scratch_assignments);
+        for &(seq_idx, chunk) in &assignments {
             let seq = &mut self.running[seq_idx];
             match chunk.kind {
                 sp_parallel::ChunkKind::Decode => {
@@ -415,19 +521,24 @@ impl Engine {
                     let remaining = seq.request.output_tokens.saturating_sub(seq.generated);
                     let emitted = emitted.min(remaining);
                     seq.generated += emitted;
+                    self.running_outstanding_tokens -= u64::from(emitted);
                     ledger_tokens += u64::from(emitted);
                 }
                 sp_parallel::ChunkKind::Prefill => {
                     seq.prefill_done += chunk.new_tokens;
+                    self.running_outstanding_tokens -= chunk.new_tokens;
+                    self.running_prefill_tokens -= chunk.new_tokens;
                     ledger_tokens += chunk.new_tokens;
                     if chunk.emits_logit {
                         seq.first_token = Some(self.clock);
                         seq.generated = 1;
+                        self.running_outstanding_tokens -= 1;
                         ledger_tokens += 1;
                     }
                 }
             }
         }
+        self.scratch_assignments = assignments;
         report.note_iteration(config, self.clock, ledger_tokens, duration);
         report.note_event(crate::report::IterationEvent {
             end: self.clock,
@@ -437,6 +548,7 @@ impl Engine {
             num_seqs: work.num_seqs(),
             kv_utilization: self.kv.utilization(),
         });
+        self.scratch_chunks = work.into_chunks();
 
         // Retire finished sequences.
         let clock = self.clock;
@@ -477,11 +589,13 @@ impl Engine {
     /// Figure 10 when the cache saturates.
     fn admit(&mut self, report: &mut EngineReport) {
         while self.running.len() < self.config.max_seqs {
-            let Some(idx) = self.next_admission_candidate() else { break };
-            let head = self.waiting[idx];
+            let Some(pos) = self.next_admission_candidate() else { break };
+            let head = *self.waiting.get(pos);
             if head.total_tokens() > self.kv.capacity_tokens() {
                 // Can never fit: reject rather than deadlock.
-                self.waiting.remove(idx);
+                self.waiting.remove(pos);
+                self.queued_total_tokens -= head.total_tokens();
+                self.queued_input_tokens -= u64::from(head.input_tokens);
                 report.note_rejection(head.id);
                 continue;
             }
@@ -536,7 +650,9 @@ impl Engine {
             if let Some((group, _)) = group_rollback {
                 self.live_groups.insert(group);
             }
-            let req = self.waiting.remove(idx).expect("candidate exists");
+            let req = self.waiting.remove(pos);
+            self.queued_total_tokens -= req.total_tokens();
+            self.queued_input_tokens -= u64::from(req.input_tokens);
             let mut seq = RunningSeq::new(req);
             if self.config.prefix_caching {
                 // The cached prefix is already resident: skip its prefill.
@@ -545,43 +661,54 @@ impl Engine {
                 seq.prefill_done =
                     u64::from(req.cached_prefix.min(req.input_tokens.saturating_sub(1)));
             }
+            self.running_outstanding_tokens += seq_outstanding(&seq);
+            self.running_prefill_tokens += seq.prefill_remaining();
             self.running.push(seq);
         }
     }
 
-    /// Index into `waiting` of the next request to admit under the queue
-    /// policy.
+    /// Queue position of the next request to admit under the admission
+    /// policy, O(log W) via the [`WaitQueue`] indexes.
     ///
     /// With [`EngineConfig::class_slo`] set, admission is goodput-first
     /// EDF: earliest TTFT deadline first among requests whose deadline has
     /// not yet passed; requests that can no longer attain their SLO queue
-    /// FCFS behind the salvageable ones (serving them first would burn
-    /// capacity a salvageable deadline still needs). Ties break on queue
-    /// position — `min_by` keeps the first minimum, so the order is stable.
-    fn next_admission_candidate(&self) -> Option<usize> {
+    /// behind the salvageable ones (serving them first would burn
+    /// capacity a salvageable deadline still needs). Ties break to the
+    /// earlier queue position, so the order matches the linear scan this
+    /// replaces exactly.
+    fn next_admission_candidate(&self) -> Option<QueuePos> {
         if self.waiting.is_empty() {
             return None;
         }
         if let Some(slo) = self.config.class_slo {
-            let key = |r: &Request| {
-                let deadline = slo.ttft_deadline(r.arrival, r.class);
-                (deadline < self.clock, deadline.as_secs())
-            };
-            return (0..self.waiting.len()).min_by(|&a, &b| {
-                key(&self.waiting[a])
-                    .partial_cmp(&key(&self.waiting[b]))
-                    .expect("deadlines are finite")
-            });
+            if self.reference_mode {
+                return self.naive_admission_candidate(slo);
+            }
+            return self.waiting.edf_candidate(self.clock);
         }
         match self.config.queue_policy {
-            QueuePolicy::Fcfs => Some(0),
-            QueuePolicy::InteractiveFirst => Some(
-                self.waiting
-                    .iter()
-                    .position(|r| r.class == sp_workload::RequestClass::Interactive)
-                    .unwrap_or(0),
-            ),
+            QueuePolicy::Fcfs => self.waiting.front_pos(),
+            QueuePolicy::InteractiveFirst => {
+                self.waiting.first_interactive_pos().or_else(|| self.waiting.front_pos())
+            }
         }
+    }
+
+    /// The pre-index EDF candidate scan: `min_by` over the whole queue
+    /// with the `(deadline expired, deadline)` key recomputed for both
+    /// sides of every comparison, exactly as the scheduler worked before
+    /// the queue grew its deadline index. Same result as
+    /// [`WaitQueue::edf_candidate`], at O(W) per call.
+    fn naive_admission_candidate(&self, slo: sp_metrics::ClassSlo) -> Option<QueuePos> {
+        let key = |r: &Request| {
+            let deadline = slo.ttft_deadline(r.arrival, r.class);
+            (deadline < self.clock, deadline.as_secs())
+        };
+        self.waiting
+            .iter_with_pos()
+            .min_by(|a, b| key(a.1).partial_cmp(&key(b.1)).expect("deadlines are finite"))
+            .map(|(pos, _)| pos)
     }
 
     /// True when `req`'s first token is in jeopardy: its TTFT deadline is
@@ -615,6 +742,10 @@ impl Engine {
             return false;
         };
         let victim = self.running.remove(victim_idx);
+        self.running_outstanding_tokens -= seq_outstanding(&victim);
+        self.running_prefill_tokens -= victim.prefill_remaining();
+        self.queued_total_tokens += victim.request.total_tokens();
+        self.queued_input_tokens += u64::from(victim.request.input_tokens);
         self.kv.release(victim.request.id);
         report.note_shed(victim.request.id);
         self.waiting.push_back(victim.request);
@@ -642,6 +773,12 @@ impl Engine {
             // one we are reserving for) — it restarts from the queue.
             let victim_idx = self.running.len() - 1;
             let victim = self.running.remove(victim_idx);
+            // The preempted request restarts from scratch, so its full
+            // footprint moves back to the queued-side counters.
+            self.running_outstanding_tokens -= seq_outstanding(&victim);
+            self.running_prefill_tokens -= victim.prefill_remaining();
+            self.queued_total_tokens += victim.request.total_tokens();
+            self.queued_input_tokens += u64::from(victim.request.input_tokens);
             self.kv.release(victim.request.id);
             report.note_preemption(victim.request.id);
             self.waiting.push_front(victim.request);
@@ -662,10 +799,14 @@ impl Engine {
     /// starts from a cursor that rotates every iteration, so leftover
     /// sequences are first in line next iteration rather than starved
     /// behind the same earlier-admitted ones forever.
-    #[allow(clippy::type_complexity)]
-    fn build_batch(&self) -> Option<(BatchWork, Vec<(usize, ChunkWork)>, u64)> {
+    /// On `Some`, the per-sequence assignments are left in
+    /// `scratch_assignments` for the caller to apply (and hand back for
+    /// reuse); all three scratch buffers are engine-owned so steady-state
+    /// iterations allocate nothing here.
+    fn build_batch(&mut self) -> Option<(BatchWork, u64)> {
         let mut budget = self.config.max_batched_tokens;
-        let mut assignments: Vec<(usize, ChunkWork)> = Vec::new();
+        let mut assignments = std::mem::take(&mut self.scratch_assignments);
+        assignments.clear();
 
         let n = self.running.len();
         for k in 0..n {
@@ -711,19 +852,28 @@ impl Engine {
                 // prefill is *deferred*, not dropped: it runs once the risk
                 // clears. To guarantee progress, a batch prefill is never
                 // skipped when it would be the only work in the batch.
-                let urgent = self
-                    .waiting
-                    .iter()
-                    .any(|r| r.class == RequestClass::Interactive && self.ttft_at_risk(r, &slo));
+                let urgent = if self.reference_mode {
+                    // Pre-index scan: walks every queued entry.
+                    self.waiting
+                        .iter()
+                        .any(|r| r.class == RequestClass::Interactive && self.ttft_at_risk(r, &slo))
+                } else {
+                    self.waiting.iter_interactive().any(|r| self.ttft_at_risk(r, &slo))
+                };
                 let prefill_order = self.running.iter().enumerate().filter(|(_, s)| !s.in_decode());
-                let ordered: Vec<usize> = prefill_order
-                    .clone()
-                    .filter(|(_, s)| s.request.class == RequestClass::Interactive)
-                    .chain(prefill_order.filter(|(_, s)| s.request.class == RequestClass::Batch))
-                    .map(|(i, _)| i)
-                    .collect();
+                let mut ordered = std::mem::take(&mut self.scratch_order);
+                ordered.clear();
+                ordered.extend(
+                    prefill_order
+                        .clone()
+                        .filter(|(_, s)| s.request.class == RequestClass::Interactive)
+                        .chain(
+                            prefill_order.filter(|(_, s)| s.request.class == RequestClass::Batch),
+                        )
+                        .map(|(i, _)| i),
+                );
                 let mut scheduled_interactive = false;
-                for i in ordered {
+                for &i in &ordered {
                     let seq = &self.running[i];
                     let is_batch = seq.request.class == RequestClass::Batch;
                     if is_batch && urgent && !assignments.is_empty() {
@@ -744,14 +894,19 @@ impl Engine {
                         scheduled_interactive = true;
                     }
                 }
+                self.scratch_order = ordered;
             }
         }
 
         if assignments.is_empty() {
+            self.scratch_assignments = assignments;
             return None;
         }
-        let work = BatchWork::new(assignments.iter().map(|&(_, c)| c).collect());
-        Some((work, assignments, deferred))
+        let mut chunks = std::mem::take(&mut self.scratch_chunks);
+        chunks.clear();
+        chunks.extend(assignments.iter().map(|&(_, c)| c));
+        self.scratch_assignments = assignments;
+        Some((BatchWork::new(chunks), deferred))
     }
 }
 

@@ -38,6 +38,7 @@
 pub mod cluster;
 pub mod disagg;
 pub mod engine;
+mod queue;
 pub mod report;
 pub mod routing;
 mod seq;
@@ -46,6 +47,6 @@ pub use cluster::DataParallelCluster;
 pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
 pub use report::{EngineReport, IterationEvent};
 pub use routing::{
-    ClusterSim, EarliestDeadlineFeasible, JoinShortestOutstanding, RoundRobin, RoutingKind,
-    RoutingPolicy, SimNode, StaticSplit,
+    ClusterSim, EarliestDeadlineFeasible, JoinShortestOutstanding, ReferenceClusterSim, RoundRobin,
+    RoutingKind, RoutingPolicy, SimNode, StaticSplit,
 };

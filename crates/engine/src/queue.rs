@@ -1,0 +1,260 @@
+//! The engine's indexed waiting queue.
+//!
+//! The scheduler used to keep waiting requests in a bare `VecDeque`:
+//! every admission pass rescanned it for the next candidate (O(W)) and
+//! evicted the winner with `VecDeque::remove` (O(W) shifting) — O(W²)
+//! behaviour exactly when it hurts, under backlog. [`WaitQueue`] keeps
+//! the same queue *order* but adds ordered indexes so candidate
+//! selection and removal are O(log W) for FCFS, InteractiveFirst, and
+//! EDF admission alike, with admission order unchanged.
+//!
+//! Ordering model: each entry gets a stable integer *position token*.
+//! Back-pushes take increasing tokens, front-pushes decreasing ones, so
+//! iterating tokens in ascending order replays the deque order exactly,
+//! surviving arbitrary interleavings of `push_front` (preemption
+//! requeues), `push_back` (arrivals, sheds) and mid-queue removals
+//! (admissions, rejections).
+
+use sp_metrics::{ClassSlo, SimTime};
+use sp_workload::{Request, RequestClass};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable position token of a queued request. Ascending token order is
+/// queue (front-to-back) order.
+pub(crate) type QueuePos = i64;
+
+/// Total-order bit encoding of a non-negative simulated instant:
+/// for non-negative finite floats, `to_bits` is monotonic, so deadline
+/// comparisons become integer comparisons. `-0.0` (bit pattern with the
+/// sign bit set, which would sort above every positive value) is
+/// normalized to `+0.0` first.
+fn time_bits(t: SimTime) -> u64 {
+    (t.as_secs() + 0.0).to_bits()
+}
+
+/// Indexed waiting queue: deque-ordered storage plus an EDF index on
+/// TTFT deadlines and a position index of interactive-class entries.
+#[derive(Debug)]
+pub(crate) struct WaitQueue {
+    /// The queue proper, keyed by position token.
+    by_pos: BTreeMap<QueuePos, Request>,
+    /// Next token handed to a front push (decreasing).
+    next_front: QueuePos,
+    /// Next token handed to a back push (increasing).
+    next_back: QueuePos,
+    /// EDF index: `(TTFT-deadline bits, position)`. Deadlines are fixed
+    /// per request (`arrival + class budget`), so entries never need
+    /// rekeying. Maintained only when `slo` is set.
+    edf: BTreeSet<(u64, QueuePos)>,
+    /// Positions of interactive-class entries (InteractiveFirst lookup).
+    interactive: BTreeSet<QueuePos>,
+    /// Deadline source for the EDF index.
+    slo: Option<ClassSlo>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue. `slo` enables the EDF deadline index.
+    pub fn new(slo: Option<ClassSlo>) -> WaitQueue {
+        WaitQueue {
+            by_pos: BTreeMap::new(),
+            next_front: -1,
+            next_back: 0,
+            edf: BTreeSet::new(),
+            interactive: BTreeSet::new(),
+            slo,
+        }
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.by_pos.is_empty()
+    }
+
+    /// The waiting requests in queue (front-to-back) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.by_pos.values()
+    }
+
+    /// Queue-order iteration with position tokens — the reference
+    /// (pre-index) admission scan needs positions to hand back.
+    pub fn iter_with_pos(&self) -> impl Iterator<Item = (QueuePos, &Request)> {
+        self.by_pos.iter().map(|(&p, r)| (p, r))
+    }
+
+    fn index_insert(&mut self, pos: QueuePos, req: &Request) {
+        if let Some(slo) = self.slo {
+            self.edf.insert((time_bits(slo.ttft_deadline(req.arrival, req.class)), pos));
+        }
+        if req.class == RequestClass::Interactive {
+            self.interactive.insert(pos);
+        }
+    }
+
+    /// Appends at the back of the queue.
+    pub fn push_back(&mut self, req: Request) {
+        let pos = self.next_back;
+        self.next_back += 1;
+        self.index_insert(pos, &req);
+        self.by_pos.insert(pos, req);
+    }
+
+    /// Prepends at the front of the queue (preemption requeues retry
+    /// first).
+    pub fn push_front(&mut self, req: Request) {
+        let pos = self.next_front;
+        self.next_front -= 1;
+        self.index_insert(pos, &req);
+        self.by_pos.insert(pos, req);
+    }
+
+    /// The front entry's position, if any.
+    pub fn front_pos(&self) -> Option<QueuePos> {
+        self.by_pos.keys().next().copied()
+    }
+
+    /// The queued request at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not in the queue.
+    pub fn get(&self, pos: QueuePos) -> &Request {
+        self.by_pos.get(&pos).expect("position is queued")
+    }
+
+    /// Removes and returns the request at `pos`, O(log W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not in the queue.
+    pub fn remove(&mut self, pos: QueuePos) -> Request {
+        let req = self.by_pos.remove(&pos).expect("position is queued");
+        if let Some(slo) = self.slo {
+            self.edf.remove(&(time_bits(slo.ttft_deadline(req.arrival, req.class)), pos));
+        }
+        if req.class == RequestClass::Interactive {
+            self.interactive.remove(&pos);
+        }
+        req
+    }
+
+    /// Position of the first interactive-class entry in queue order, if
+    /// any.
+    pub fn first_interactive_pos(&self) -> Option<QueuePos> {
+        self.interactive.iter().next().copied()
+    }
+
+    /// The interactive-class waiting requests in queue order, via the
+    /// position index — O(I log W) for I interactive entries, instead of
+    /// scanning past every batch-class entry in between.
+    pub fn iter_interactive(&self) -> impl Iterator<Item = &Request> {
+        self.interactive.iter().map(|pos| self.by_pos.get(pos).expect("indexed position is queued"))
+    }
+
+    /// Goodput-first EDF candidate at instant `clock`: the earliest
+    /// deadline among *salvageable* entries (deadline not yet passed,
+    /// i.e. `deadline >= clock`), falling back to the earliest deadline
+    /// overall when every deadline is blown. Equal deadlines resolve to
+    /// the earlier queue position. O(log W).
+    ///
+    /// This reproduces the old linear scan's `min_by` over the key
+    /// `(deadline < clock, deadline)` with first-minimum (queue-order)
+    /// tie-break: expired entries are exactly those whose deadline sorts
+    /// below `clock`, so they form a prefix of the deadline-ordered
+    /// index and a single successor query skips them.
+    pub fn edf_candidate(&self, clock: SimTime) -> Option<QueuePos> {
+        let salvageable = (time_bits(clock), QueuePos::MIN);
+        self.edf.range(salvageable..).next().or_else(|| self.edf.iter().next()).map(|&(_, pos)| pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_metrics::{Dur, SloTarget};
+
+    fn req(id: u64, at: f64, class: RequestClass) -> Request {
+        Request {
+            id,
+            arrival: SimTime::from_secs(at),
+            input_tokens: 100,
+            output_tokens: 10,
+            class,
+            cached_prefix: 0,
+            prefix_group: None,
+        }
+    }
+
+    fn slo(interactive_ttft: f64, batch_ttft: f64) -> ClassSlo {
+        ClassSlo {
+            interactive: SloTarget {
+                ttft: Dur::from_secs(interactive_ttft),
+                tpot: Dur::from_secs(1.0),
+            },
+            batch: SloTarget { ttft: Dur::from_secs(batch_ttft), tpot: Dur::from_secs(1.0) },
+        }
+    }
+
+    #[test]
+    fn push_order_replays_a_deque() {
+        let mut q = WaitQueue::new(None);
+        q.push_back(req(0, 0.0, RequestClass::Batch));
+        q.push_back(req(1, 0.0, RequestClass::Batch));
+        q.push_front(req(2, 0.0, RequestClass::Batch));
+        q.push_back(req(3, 0.0, RequestClass::Batch));
+        q.push_front(req(4, 0.0, RequestClass::Batch));
+        let ids: Vec<u64> = q.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![4, 2, 0, 1, 3]);
+        assert_eq!(q.get(q.front_pos().unwrap()).id, 4);
+        assert_eq!(q.iter().count(), 5);
+    }
+
+    #[test]
+    fn remove_keeps_order_and_indexes() {
+        let mut q = WaitQueue::new(None);
+        q.push_back(req(0, 0.0, RequestClass::Batch));
+        q.push_back(req(1, 0.0, RequestClass::Interactive));
+        q.push_back(req(2, 0.0, RequestClass::Interactive));
+        let first_interactive = q.first_interactive_pos().unwrap();
+        assert_eq!(q.remove(first_interactive).id, 1);
+        assert_eq!(q.get(q.first_interactive_pos().unwrap()).id, 2);
+        let ids: Vec<u64> = q.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn edf_prefers_earliest_salvageable_deadline() {
+        // Batch deadline 30 s, interactive 1 s. At clock 0 the
+        // interactive deadline (arrival 5 → deadline 6) beats the batch
+        // one (arrival 0 → deadline 30).
+        let mut q = WaitQueue::new(Some(slo(1.0, 30.0)));
+        q.push_back(req(0, 0.0, RequestClass::Batch));
+        q.push_back(req(1, 5.0, RequestClass::Interactive));
+        let pick = q.edf_candidate(SimTime::ZERO).unwrap();
+        assert_eq!(q.get(pick).id, 1);
+    }
+
+    #[test]
+    fn edf_expired_deadlines_queue_behind_salvageable() {
+        // Interactive arrived at 0, deadline 1 — expired by clock 10.
+        // Batch arrived at 0, deadline 30 — still salvageable, wins
+        // despite the later deadline.
+        let mut q = WaitQueue::new(Some(slo(1.0, 30.0)));
+        q.push_back(req(0, 0.0, RequestClass::Interactive));
+        q.push_back(req(1, 0.0, RequestClass::Batch));
+        let pick = q.edf_candidate(SimTime::from_secs(10.0)).unwrap();
+        assert_eq!(q.get(pick).id, 1);
+        // Once everything is expired, the earliest deadline wins again.
+        let pick = q.edf_candidate(SimTime::from_secs(100.0)).unwrap();
+        assert_eq!(q.get(pick).id, 0);
+    }
+
+    #[test]
+    fn edf_ties_resolve_to_queue_order() {
+        let mut q = WaitQueue::new(Some(slo(1.0, 1.0)));
+        q.push_back(req(7, 2.0, RequestClass::Batch));
+        q.push_back(req(8, 2.0, RequestClass::Interactive));
+        let pick = q.edf_candidate(SimTime::ZERO).unwrap();
+        assert_eq!(q.get(pick).id, 7, "equal deadlines must pick the earlier position");
+    }
+}

@@ -18,6 +18,43 @@ use sp_metrics::{
     ClassSlo, Dur, NodeLoad, ReplicaLoadSeries, RequestClass, RoutingDecision, SimTime,
 };
 use sp_workload::{Request, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A totally ordered next-event instant — the event calendar's sort key.
+///
+/// Wraps the raw seconds with [`f64::total_cmp`] so a pathological node
+/// reporting a NaN next-event time sorts *after* every finite instant
+/// (and after infinity) instead of panicking the comparison, and so the
+/// ordering is a genuine `Ord` the binary heap can rely on.
+#[derive(Debug, Clone, Copy)]
+struct EventKey(f64);
+
+impl EventKey {
+    fn of(t: SimTime) -> EventKey {
+        EventKey(t.as_secs())
+    }
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &EventKey) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &EventKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &EventKey) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 /// Picks a replica for each request as it arrives.
 ///
@@ -157,7 +194,7 @@ impl RoutingPolicy for EarliestDeadlineFeasible {
         feasible.unwrap_or_else(|| {
             etas.iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
                 .map(|(i, _)| i)
                 .expect("at least one replica")
         })
@@ -290,6 +327,25 @@ pub struct ClusterSim<N: SimNode> {
     decisions: Vec<RoutingDecision>,
     /// Per-replica loads sampled at each dispatch; taken with the report.
     load_series: ReplicaLoadSeries,
+    /// The event calendar: a min-heap of `(next_event_time, node index)`
+    /// entries with *lazy invalidation*. Stepping or feeding a node
+    /// pushes its fresh key instead of rewriting the old entry; stale
+    /// entries (whose key no longer matches the node's live
+    /// `next_event_time`) are discarded when they surface at the top.
+    /// The key includes the node index, so simultaneous events pop in
+    /// index order — the same lowest-index tie-break the original
+    /// linear rescanning loop got from `min_by`, keeping every
+    /// downstream report byte-identical while next-event dispatch drops
+    /// from O(R) to O(log R).
+    ///
+    /// Invariant (holds between public calls): every active node's
+    /// current key is present, and the heap top is not stale — so
+    /// read-only peeks need no cleanup.
+    calendar: BinaryHeap<Reverse<(EventKey, usize)>>,
+    /// Scratch for the per-dispatch load snapshot, reused across
+    /// [`ClusterSim::push_request`] calls to keep the dispatch hot path
+    /// allocation-free.
+    scratch_loads: Vec<NodeLoad>,
 }
 
 impl<N: SimNode> ClusterSim<N> {
@@ -300,13 +356,19 @@ impl<N: SimNode> ClusterSim<N> {
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ClusterSim<N> {
         assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
-        ClusterSim {
+        let mut sim = ClusterSim {
             nodes,
             policy,
             throughput_bin: Dur::from_secs(1.0),
             decisions: Vec::new(),
             load_series: ReplicaLoadSeries::new(),
+            calendar: BinaryHeap::new(),
+            scratch_loads: Vec::new(),
+        };
+        for i in 0..sim.nodes.len() {
+            sim.reschedule(i);
         }
+        sim
     }
 
     /// Sets the merged report's throughput bin width (default 1 s).
@@ -330,17 +392,49 @@ impl<N: SimNode> ClusterSim<N> {
         self.nodes
     }
 
-    /// Index of the node with the earliest pending event, if any. Ties
-    /// break to the lowest node index (`min_by` keeps the first minimum),
-    /// so stepping order — and therefore every downstream report — is
-    /// deterministic.
-    fn earliest(&self) -> Option<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
-            .min_by(|a, b| a.1.as_secs().partial_cmp(&b.1.as_secs()).expect("finite"))
-            .map(|(i, _)| i)
+    /// The node's current calendar key, if it has a pending event.
+    fn node_key(&self, i: usize) -> Option<EventKey> {
+        self.nodes[i].next_event_time().map(EventKey::of)
+    }
+
+    /// Publishes node `i`'s current next-event key on the calendar. Must
+    /// be called after every operation that may change the node's next
+    /// event (stepping it, feeding it a request); the key it superseded
+    /// becomes stale and is lazily discarded by [`ClusterSim::settle`].
+    fn reschedule(&mut self, i: usize) {
+        if let Some(key) = self.node_key(i) {
+            self.calendar.push(Reverse((key, i)));
+        }
+    }
+
+    /// Discards stale calendar entries until the top is live (its key
+    /// matches the node's current `next_event_time`) or the calendar is
+    /// empty. Every mutating public method ends with a settled calendar,
+    /// so read-only peeks ([`ClusterSim::next_event_time`]) stay `&self`.
+    fn settle(&mut self) {
+        while let Some(&Reverse((key, i))) = self.calendar.peek() {
+            if self.node_key(i) == Some(key) {
+                break;
+            }
+            self.calendar.pop();
+        }
+    }
+
+    /// Index of the node with the earliest pending event, if any,
+    /// settling the calendar first. Simultaneous events resolve to the
+    /// lowest node index (the index is part of the heap key), so
+    /// stepping order — and therefore every downstream report — is
+    /// deterministic and identical to the original linear rescanning
+    /// loop's `min_by` tie-break.
+    fn earliest(&mut self) -> Option<usize> {
+        self.settle();
+        self.calendar.peek().map(|&Reverse((_, i))| i)
+    }
+
+    /// Steps node `i` by one event and republishes its calendar key.
+    fn step_node(&mut self, i: usize) {
+        self.nodes[i].step_once();
+        self.reschedule(i);
     }
 
     /// Steps nodes in global time order until every pending event is at
@@ -351,8 +445,9 @@ impl<N: SimNode> ClusterSim<N> {
             if t.as_secs() >= horizon.as_secs() {
                 break;
             }
-            self.nodes[i].step_once();
+            self.step_node(i);
         }
+        self.settle();
     }
 
     /// Dispatches one request at its arrival instant: advances every node
@@ -364,7 +459,9 @@ impl<N: SimNode> ClusterSim<N> {
         // Bring every node's local clock up to this arrival so the load
         // signal reflects work actually still outstanding now.
         self.advance_to(req.arrival);
-        let loads: Vec<NodeLoad> = self.nodes.iter().map(SimNode::load).collect();
+        let mut loads = std::mem::take(&mut self.scratch_loads);
+        loads.clear();
+        loads.extend(self.nodes.iter().map(SimNode::load));
         for (i, l) in loads.iter().enumerate() {
             self.load_series.record(i, req.arrival, l.outstanding_tokens);
         }
@@ -375,21 +472,27 @@ impl<N: SimNode> ClusterSim<N> {
             at: req.arrival,
             load_tokens: loads[pick].outstanding_tokens,
         });
+        self.scratch_loads = loads;
         self.nodes[pick].push_request(req);
+        self.reschedule(pick);
+        self.settle();
     }
 
     /// Advances the globally earliest node by one scheduling event. No-op
     /// when every node is idle.
     pub fn step_once(&mut self) {
         if let Some(i) = self.earliest() {
-            self.nodes[i].step_once();
+            self.step_node(i);
         }
+        self.settle();
     }
 
     /// Instant of the cluster's next event (the earliest across nodes),
     /// or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.earliest().and_then(|i| self.nodes[i].next_event_time())
+        // The calendar is settled at rest, so its top (when present) is a
+        // live `(key, node)` pair.
+        self.calendar.peek().and_then(|&Reverse((_, i))| self.nodes[i].next_event_time())
     }
 
     /// Total outstanding work across nodes, in tokens.
@@ -398,12 +501,19 @@ impl<N: SimNode> ClusterSim<N> {
     }
 
     /// Aggregate load: sums across nodes (capacity-style signals add;
-    /// the prefill rate adds because replicas prefill concurrently).
+    /// the prefill rate adds because replicas prefill concurrently),
+    /// except `min_kv_free_tokens`, which is the most-congested node's
+    /// headroom — the guaranteed admission room for a nested consumer
+    /// that sees this whole cluster as one node (the summed
+    /// `kv_free_tokens` overstates what a single request can use; see
+    /// [`NodeLoad`]'s aggregate-semantics docs).
     pub fn load(&self) -> NodeLoad {
-        self.nodes.iter().map(SimNode::load).fold(NodeLoad::default(), |acc, l| NodeLoad {
+        let seed = NodeLoad { min_kv_free_tokens: u64::MAX, ..NodeLoad::default() };
+        self.nodes.iter().map(SimNode::load).fold(seed, |acc, l| NodeLoad {
             outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
             queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
             kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
+            min_kv_free_tokens: acc.min_kv_free_tokens.min(l.min_kv_free_tokens),
             prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
         })
     }
@@ -440,9 +550,137 @@ impl<N: SimNode> ClusterSim<N> {
         while let Some(i) = self.earliest() {
             guard += 1;
             assert!(guard < 400_000_000, "cluster simulation failed to terminate");
-            self.nodes[i].step_once();
+            self.step_node(i);
         }
 
+        self.take_report()
+    }
+}
+
+/// The pre-calendar cluster loop, kept as an executable specification:
+/// every `earliest` query rescans all `R` nodes linearly, exactly as
+/// [`ClusterSim`] did before it grew the event calendar.
+///
+/// It exists for two consumers only — the equivalence property in
+/// `tests/cluster_properties.rs` (heap-driven runs must stay
+/// byte-identical to this loop) and the `simperf` bench bin (which
+/// measures the calendar's speedup against it). It is not part of the
+/// supported API.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct ReferenceClusterSim<N: SimNode> {
+    nodes: Vec<N>,
+    policy: Box<dyn RoutingPolicy>,
+    throughput_bin: Dur,
+    decisions: Vec<RoutingDecision>,
+    load_series: ReplicaLoadSeries,
+}
+
+impl<N: SimNode> ReferenceClusterSim<N> {
+    /// Creates the reference co-simulation over `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ReferenceClusterSim<N> {
+        assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
+        ReferenceClusterSim {
+            nodes,
+            policy,
+            throughput_bin: Dur::from_secs(1.0),
+            decisions: Vec::new(),
+            load_series: ReplicaLoadSeries::new(),
+        }
+    }
+
+    /// Sets the merged report's throughput bin width (default 1 s).
+    pub fn throughput_bin(mut self, bin: Dur) -> ReferenceClusterSim<N> {
+        self.throughput_bin = bin;
+        self
+    }
+
+    /// Linear rescanning next-event query: O(R) per event. Ties break to
+    /// the lowest index (`min_by` keeps the first minimum) and times
+    /// compare with `total_cmp`, matching the calendar's key order.
+    fn earliest(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
+            .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
+            .map(|(i, _)| i)
+    }
+
+    fn advance_to(&mut self, horizon: SimTime) {
+        while let Some(i) = self.earliest() {
+            let t = self.nodes[i].next_event_time().expect("earliest implies event");
+            if t.as_secs() >= horizon.as_secs() {
+                break;
+            }
+            self.nodes[i].step_once();
+        }
+    }
+
+    /// Dispatches one request at its arrival instant (see
+    /// [`ClusterSim::push_request`]).
+    pub fn push_request(&mut self, req: Request) {
+        self.advance_to(req.arrival);
+        let loads: Vec<NodeLoad> = self.nodes.iter().map(SimNode::load).collect();
+        for (i, l) in loads.iter().enumerate() {
+            self.load_series.record(i, req.arrival, l.outstanding_tokens);
+        }
+        let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
+        self.decisions.push(RoutingDecision {
+            request_id: req.id,
+            replica: pick,
+            at: req.arrival,
+            load_tokens: loads[pick].outstanding_tokens,
+        });
+        self.nodes[pick].push_request(req);
+    }
+
+    /// Advances the globally earliest node by one scheduling event.
+    pub fn step_once(&mut self) {
+        if let Some(i) = self.earliest() {
+            self.nodes[i].step_once();
+        }
+    }
+
+    /// Instant of the cluster's next event, or `None` when all idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.earliest().and_then(|i| self.nodes[i].next_event_time())
+    }
+
+    /// Finalizes an incremental run (see [`ClusterSim::take_report`]).
+    pub fn take_report(&mut self) -> EngineReport {
+        let mut merged = EngineReport::new(self.throughput_bin);
+        for node in &mut self.nodes {
+            merged.merge(node.take_report());
+        }
+        merged.set_routing(
+            std::mem::take(&mut self.decisions),
+            std::mem::take(&mut self.load_series),
+        );
+        merged
+    }
+
+    /// Runs `trace` to completion (see [`ClusterSim::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the co-simulation fails to make progress (internal bug
+    /// guard).
+    pub fn run(&mut self, trace: &Trace) -> EngineReport {
+        self.decisions.reserve(trace.len());
+        for &req in trace.requests() {
+            self.push_request(req);
+        }
+        let mut guard: u64 = 0;
+        while let Some(i) = self.earliest() {
+            guard += 1;
+            assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+            self.nodes[i].step_once();
+        }
         self.take_report()
     }
 }
@@ -561,12 +799,14 @@ mod tests {
                 outstanding_tokens: 10_000,
                 queued_prefill_tokens: 40_000,
                 kv_free_tokens: 1_000_000,
+                min_kv_free_tokens: 1_000_000,
                 prefill_tokens_per_sec: 20_000.0,
             },
             NodeLoad {
                 outstanding_tokens: 15_000,
                 queued_prefill_tokens: 2_000,
                 kv_free_tokens: 1_000_000,
+                min_kv_free_tokens: 1_000_000,
                 prefill_tokens_per_sec: 20_000.0,
             },
         ];

@@ -177,6 +177,13 @@ impl BatchWork {
         &self.chunks
     }
 
+    /// Consumes the batch, returning the chunk buffer for reuse —
+    /// schedulers that build a batch every iteration can recycle the
+    /// allocation instead of paying for a fresh `Vec` each time.
+    pub fn into_chunks(self) -> Vec<ChunkWork> {
+        self.chunks
+    }
+
     /// True if no work is scheduled.
     pub fn is_empty(&self) -> bool {
         self.chunks.is_empty()

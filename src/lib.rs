@@ -58,7 +58,8 @@ pub mod prelude {
     pub use sp_cluster::{CollectiveModel, GpuSpec, InterconnectSpec, NodeSpec, Roofline};
     pub use sp_engine::{
         AdmissionMode, ClusterSim, DataParallelCluster, EarliestDeadlineFeasible, Engine,
-        EngineConfig, EngineReport, QueuePolicy, RoutingKind, SimNode, SpecDecode,
+        EngineConfig, EngineReport, QueuePolicy, ReferenceClusterSim, RoutingKind, SimNode,
+        SpecDecode,
     };
     pub use sp_metrics::{
         ClassSlo, ClassSloReport, Dur, LatencyRecorder, NodeLoad, Quantiles, RequestRecord,

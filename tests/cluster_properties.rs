@@ -22,6 +22,20 @@ fn engine(kv: u64) -> Engine {
     )
 }
 
+/// An engine with optional SLO admission, optionally running its
+/// pre-optimization reference scheduling paths (linear admission scan,
+/// fold-based load snapshots).
+fn engine_with(kv: u64, slo: Option<ClassSlo>, reference: bool) -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let mut e = Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig { kv_capacity_tokens: kv, class_slo: slo, ..EngineConfig::default() },
+    );
+    e.set_reference_mode(reference);
+    e
+}
+
 fn engines(n: usize, kv: u64) -> Vec<Engine> {
     (0..n).map(|_| engine(kv)).collect()
 }
@@ -134,6 +148,128 @@ proptest! {
         prop_assert_eq!(a.iterations(), b.iterations());
         prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
     }
+
+    /// The event-calendar loop is an *optimization*, never a behavior
+    /// change: over randomized traces and randomized push/step
+    /// interleavings, `ClusterSim` (binary-heap dispatch, indexed EDF
+    /// admission, incremental load counters) must stay in lockstep with
+    /// `ReferenceClusterSim` (the pre-PR linear-rescan loop over
+    /// reference-mode engines) — same next-event instant at every step,
+    /// and byte-identical reports at the end.
+    #[test]
+    fn event_calendar_matches_reference_loop(
+        trace in arb_trace(),
+        n in 1usize..5,
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+        use_slo in any::<bool>(),
+        steps_between in prop::collection::vec(0usize..5, 0..32),
+    ) {
+        let slo = use_slo.then(ClassSlo::default);
+        let build =
+            |reference: bool| (0..n).map(|_| engine_with(kv, slo, reference)).collect::<Vec<_>>();
+        let mut calendar =
+            ClusterSim::new(build(false), RoutingKind::JoinShortestOutstanding.policy());
+        let mut naive =
+            ReferenceClusterSim::new(build(true), RoutingKind::JoinShortestOutstanding.policy());
+
+        let next_bits = |cal: &ClusterSim<Engine>, naive: &ReferenceClusterSim<Engine>| {
+            (
+                cal.next_event_time().map(|t| t.as_secs().to_bits()),
+                naive.next_event_time().map(|t| t.as_secs().to_bits()),
+            )
+        };
+        for (k, &req) in trace.requests().iter().enumerate() {
+            for _ in 0..steps_between.get(k).copied().unwrap_or(0) {
+                let (a, b) = next_bits(&calendar, &naive);
+                prop_assert_eq!(a, b, "next-event divergence before arrival {}", k);
+                calendar.step_once();
+                naive.step_once();
+            }
+            calendar.push_request(req);
+            naive.push_request(req);
+        }
+        let mut guard: u64 = 0;
+        while calendar.next_event_time().is_some() || naive.next_event_time().is_some() {
+            let (a, b) = next_bits(&calendar, &naive);
+            prop_assert_eq!(a, b, "next-event divergence while draining");
+            calendar.step_once();
+            naive.step_once();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "drain failed to terminate");
+        }
+
+        let a = calendar.take_report();
+        let b = naive.take_report();
+        prop_assert_eq!(a.routing_decisions(), b.routing_decisions());
+        prop_assert_eq!(canonical_records(&a), canonical_records(&b));
+        prop_assert_eq!(sorted_rejects(&a), sorted_rejects(&b));
+        prop_assert_eq!(a.iterations(), b.iterations());
+        prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
+    }
+}
+
+/// Minimal hand-rolled node for exercising `ClusterSim` against
+/// pathological `next_event_time` values real engines never report.
+#[derive(Debug)]
+struct StubNode {
+    time: SimTime,
+    remaining: u32,
+}
+
+impl SimNode for StubNode {
+    fn push_request(&mut self, _req: Request) {}
+
+    fn step_once(&mut self) {
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        (self.remaining > 0).then_some(self.time)
+    }
+
+    fn outstanding_tokens(&self) -> u64 {
+        u64::from(self.remaining)
+    }
+
+    fn take_report(&mut self) -> EngineReport {
+        EngineReport::new(Dur::from_secs(1.0))
+    }
+}
+
+/// Regression: a node reporting a NaN next-event time must not panic the
+/// dispatch loop. The pre-calendar `earliest()` compared instants with
+/// `partial_cmp(..).expect("simulated clocks are finite")`, which panicked
+/// the moment a NaN met another node's time; the calendar orders keys
+/// with `f64::total_cmp`, under which NaN sorts after every finite
+/// instant (and after infinity), so the pathological node simply goes
+/// last.
+#[test]
+fn nan_next_event_time_is_ordered_not_a_panic() {
+    // `SimTime::from_secs` rejects NaN, but arithmetic does not validate
+    // — the same hole a buggy cost model would leak NaN through.
+    let nan_time = SimTime::ZERO + Dur::from_secs(1.0) * f64::NAN;
+    assert!(nan_time.as_secs().is_nan());
+
+    let nodes = vec![
+        StubNode { time: SimTime::from_secs(1.0), remaining: 3 },
+        StubNode { time: nan_time, remaining: 2 },
+    ];
+    let mut sim = ClusterSim::new(nodes, RoutingKind::JoinShortestOutstanding.policy());
+
+    // The finite node must drain first: NaN sorts after 1.0 s.
+    for expected_outstanding in [5, 4, 3] {
+        assert_eq!(sim.outstanding_tokens(), expected_outstanding);
+        assert!(sim.next_event_time().is_some());
+        sim.step_once();
+    }
+    assert_eq!(sim.outstanding_tokens(), 2, "finite-time node drains before the NaN node");
+
+    // The NaN node still gets scheduled (its events are not lost), and
+    // the cluster reaches quiescence without panicking.
+    sim.step_once();
+    sim.step_once();
+    assert_eq!(sim.outstanding_tokens(), 0);
+    assert!(sim.next_event_time().is_none());
 }
 
 #[test]
