@@ -10,22 +10,34 @@
 //! cargo run --release -p sp-bench --bin simperf [-- --smoke] [-- --baseline ci/simperf_baseline.json]
 //! ```
 //!
-//! * `--smoke` — small traces and replica counts (the CI gate).
+//! * `--smoke` — small traces and replica counts (the CI gate). Smoke
+//!   scenarios run one warmup iteration then best-of-3, so the gated
+//!   numbers reflect a warm process rather than whichever cold-start
+//!   hiccup the CI runner happened to have.
 //! * `--baseline <path>` — compare events/sec against a committed
 //!   baseline JSON and exit non-zero on a >30% regression in any
 //!   scenario present in both runs.
 //!
+//! Besides the calendar sweep and the calendar-vs-reference headline
+//! pair, the bench measures `pricing_evals_per_sec`: a multi-config
+//! `ShiftPolicy` cluster on 8-GPU nodes priced through compiled
+//! [`ExecPlan`]s plus the engine's decode-shape memo, against the same
+//! cluster forced onto the direct `try_iteration` fold
+//! (`Engine::set_direct_pricing`). Both runs share the calendar
+//! scheduler, so the ratio isolates the pricing layer.
+//!
 //! The replica sweep fans out across cores via
-//! [`sp_bench::harness::parallel_sweep`]; the headline
-//! calendar-vs-reference pair runs sequentially afterwards so the
-//! speedup ratio is measured without CPU contention.
+//! [`sp_bench::harness::parallel_sweep`]; the headline and pricing
+//! pairs run sequentially afterwards so their ratios are measured
+//! without CPU contention.
 
+use shift_core::ShiftPolicy;
 use sp_bench::harness::parallel_sweep;
 use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
 use sp_engine::{ClusterSim, Engine, EngineConfig, ReferenceClusterSim, RoutingKind};
 use sp_metrics::{ClassSlo, Dur};
 use sp_model::presets;
-use sp_parallel::{ExecutionModel, ParallelConfig, StaticPolicy};
+use sp_parallel::{BatchWork, ChunkWork, ExecPlan, ExecutionModel, ParallelConfig, StaticPolicy};
 use sp_workload::bursty::BurstyConfig;
 use sp_workload::{sizes::LengthDist, Trace};
 use std::time::Instant;
@@ -68,6 +80,31 @@ fn engines(n: usize, slo: Option<ClassSlo>, kv_capacity: u64, reference_mode: bo
         .collect()
 }
 
+/// Engines for the pricing pair: 8-GPU paper nodes running the
+/// two-config Shift policy, so every scheduling iteration prices both
+/// the base and the shifted layout. `memo` enables the decode-shape
+/// step memo; `direct` forces pricing back onto the `try_iteration`
+/// fold while keeping the calendar scheduler, isolating pricing cost.
+fn pricing_engines(n: usize, memo: Option<u64>, direct: bool) -> Vec<Engine> {
+    let node = NodeSpec::p5en_48xlarge();
+    (0..n)
+        .map(|_| {
+            let config = EngineConfig {
+                kv_capacity_tokens: DEFAULT_KV,
+                decode_memo_tokens: memo,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(
+                ExecutionModel::new(node, presets::qwen_32b()),
+                Box::new(ShiftPolicy::with_default_threshold(ParallelConfig::new(4, 2))),
+                config,
+            );
+            engine.set_direct_pricing(direct);
+            engine
+        })
+        .collect()
+}
+
 /// A bursty trace whose offered load scales with the replica count, so
 /// per-replica utilization stays comparable across the sweep.
 /// `burst_depth` is the per-replica burst size — the headline scenario
@@ -90,6 +127,49 @@ fn bursty_trace(replicas: usize, smoke: bool, burst_depth: usize) -> Trace {
         seed: 0x51_3E_9F,
     }
     .generate()
+}
+
+/// A decode-heavy trace for the pricing pair: one deep synchronized
+/// burst of short prompts with long, low-variance generations, on top
+/// of a trickle of interactive traffic. After the burst prefills drain,
+/// every replica settles into a long plateau of pure-decode iterations
+/// over ~200 sequences — the regime where the direct per-chunk cost
+/// fold dominates wall time and the compiled plans plus the
+/// decode-shape memo pay off.
+fn decode_heavy_trace(replicas: usize, smoke: bool) -> Trace {
+    let r = replicas as f64;
+    let (duration, burst_depth, out_median) =
+        if smoke { (15.0, 120, 800.0) } else { (20.0, 240, 1500.0) };
+    BurstyConfig {
+        duration: Dur::from_secs(duration),
+        base_rate: 0.5 * r,
+        bursts: 1,
+        burst_size: burst_depth * replicas,
+        burst_window: Dur::from_secs(2.0),
+        base_input: LengthDist::LogNormal { median: 150.0, sigma: 0.4 },
+        base_output: LengthDist::LogNormal { median: 400.0, sigma: 0.4 },
+        burst_input: LengthDist::LogNormal { median: 200.0, sigma: 0.3 },
+        burst_output: LengthDist::LogNormal { median: out_median, sigma: 0.25 },
+        seed: 0xDE_C0_DE,
+    }
+    .generate()
+}
+
+/// One warmup run then best-of-`runs`. Smoke mode gates absolute
+/// events/sec against a committed baseline, and single cold-start runs
+/// on shared CI runners were flaky enough to trip the 30% floor; the
+/// warmup pays one-time costs (page faults, frequency ramp) and the max
+/// keeps the least-contended repeat. `runs == 1` measures once, cold —
+/// full mode keeps the old behavior.
+fn best_of(runs: usize, mut measure: impl FnMut() -> Scenario) -> Scenario {
+    if runs <= 1 {
+        return measure();
+    }
+    let _warmup = measure();
+    (0..runs)
+        .map(|_| measure())
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .expect("runs >= 1")
 }
 
 /// Process-wide peak resident set size in kB, from `/proc/self/status`
@@ -168,7 +248,121 @@ fn measure_reference(
     }
 }
 
-fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64) -> String {
+/// Every power-of-two `(sp, tp)` layout that fits an 8-GPU node and
+/// shards the model — the candidate set a cost-driven shift deployment
+/// prices when picking its base/shift pair. `compile` already rejects
+/// exactly what `try_iteration` rejects, so the surviving plans and the
+/// direct path price the same configurations.
+fn shift_candidate_plans(exec: &ExecutionModel) -> Vec<ExecPlan> {
+    let mut plans = Vec::new();
+    for sp_pow in 0..4u32 {
+        for tp_pow in 0..4u32 {
+            let (sp, tp) = (1usize << sp_pow, 1usize << tp_pow);
+            if sp * tp <= 8 {
+                if let Ok(plan) = exec.compile(&ParallelConfig::new(sp, tp)) {
+                    plans.push(plan);
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// A fixed window of decode-dominant batches echoing the decode-heavy
+/// cluster scenario's plateau: 64–256 decode chunks at varied context
+/// lengths, with a chunked-prefill rider in every 8th batch so the
+/// prefill-linear-scale split stays on the measured path. The window is
+/// pregenerated and cycled, keeping batch construction out of the
+/// timed pricing loops.
+fn pricing_batch_window() -> Vec<BatchWork> {
+    (0..256usize)
+        .map(|i| {
+            let depth = 64 + (i * 37) % 193;
+            let mut chunks: Vec<ChunkWork> = (0..depth)
+                .map(|s| ChunkWork::decode(300 + ((i * 13 + s * 29) % 1500) as u64))
+                .collect();
+            if i % 8 == 0 {
+                chunks.push(ChunkWork::prefill(512, 512 * (i % 4) as u64, i % 16 == 0));
+            }
+            BatchWork::new(chunks)
+        })
+        .collect()
+}
+
+/// Pricing-layer throughput: every candidate shift layout priced over a
+/// stream of realistic batches. For these scenarios an *event is one
+/// config evaluation* (batches × configurations), not a scheduling
+/// iteration. `compiled` prices through one `price_all` pass — one
+/// config-independent batch fold shared across all plans; the direct
+/// side re-folds the whole batch per config via `try_iteration`, which
+/// is exactly what policy pricing and `Engine::new` did before plans.
+fn measure_pricing_evals(
+    name: &str,
+    replicas: usize,
+    smoke: bool,
+    exec: &ExecutionModel,
+    compiled: bool,
+) -> Scenario {
+    let window = pricing_batch_window();
+    let plans = shift_candidate_plans(exec);
+    let configs: Vec<ParallelConfig> = plans.iter().map(|p| p.config()).collect();
+    let rounds = if smoke { 300 * replicas } else { 1500 * replicas };
+    let mut evals = 0u64;
+    let start = Instant::now();
+    for r in 0..rounds {
+        let batch = &window[r % window.len()];
+        if compiled {
+            let priced = exec.price_all(&plans, batch);
+            evals += priced.len() as u64;
+            std::hint::black_box(&priced);
+        } else {
+            for c in &configs {
+                std::hint::black_box(exec.iteration(c, batch).total());
+            }
+            evals += configs.len() as u64;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Scenario {
+        name: name.to_string(),
+        replicas,
+        requests: rounds,
+        events: evals,
+        wall_s,
+        events_per_sec: evals as f64 / wall_s.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs `trace` through a calendar-driven cluster built from the given
+/// engines. Used by the cluster-level memo pair, where the two runs
+/// differ only in how iterations are priced — scheduling decisions may
+/// diverge across the pair (the memo quantizes decode durations), so no
+/// event-count equality is asserted; each run's events/sec stands on
+/// its own wall.
+fn measure_with_engines(
+    name: &str,
+    replicas: usize,
+    engines: Vec<Engine>,
+    trace: &Trace,
+) -> Scenario {
+    let mut sim = ClusterSim::new(engines, RoutingKind::default().policy());
+    let start = Instant::now();
+    let report = sim.run(trace);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = report.iterations();
+    Scenario {
+        name: name.to_string(),
+        replicas,
+        requests: trace.len(),
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64, pricing: (f64, f64)) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"simperf\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
@@ -191,6 +385,8 @@ fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"speedup_vs_reference\": {speedup:.2},\n"));
+    out.push_str(&format!("  \"pricing_evals_per_sec\": {:.0},\n", pricing.0));
+    out.push_str(&format!("  \"pricing_speedup_vs_direct\": {:.2},\n", pricing.1));
     out.push_str(&format!("  \"peak_rss_kb\": {}\n}}\n", peak_rss_kb()));
     out
 }
@@ -229,9 +425,10 @@ fn main() {
     // feed the events/sec curve, so cross-point CPU contention is an
     // acceptable trade for a much shorter bench.
     let replica_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 16, 64] };
+    let runs = if smoke { 3 } else { 1 };
     let mut scenarios = parallel_sweep(replica_counts, |&r| {
         let trace = bursty_trace(r, smoke, if smoke { 8 } else { 20 });
-        measure_calendar(&format!("calendar_r{r}"), r, None, DEFAULT_KV, &trace)
+        best_of(runs, || measure_calendar(&format!("calendar_r{r}"), r, None, DEFAULT_KV, &trace))
     });
 
     // Headline pair: the optimized stack (event calendar + indexed EDF
@@ -245,25 +442,87 @@ fn main() {
     let headline_r = *replica_counts.last().expect("sweep is non-empty");
     let slo = Some(ClassSlo::default());
     let trace = bursty_trace(headline_r, smoke, if smoke { 40 } else { 300 });
-    let cal = measure_calendar(
-        &format!("calendar_headline_r{headline_r}"),
-        headline_r,
-        slo,
-        BOUND_KV,
-        &trace,
-    );
-    let reference =
-        measure_reference(&format!("reference_r{headline_r}"), headline_r, slo, BOUND_KV, &trace);
+    let cal = best_of(runs, || {
+        measure_calendar(
+            &format!("calendar_headline_r{headline_r}"),
+            headline_r,
+            slo,
+            BOUND_KV,
+            &trace,
+        )
+    });
+    let reference = best_of(runs, || {
+        measure_reference(&format!("reference_r{headline_r}"), headline_r, slo, BOUND_KV, &trace)
+    });
     assert_eq!(cal.events, reference.events, "loops must execute identical event counts");
     let speedup = cal.events_per_sec / reference.events_per_sec.max(1e-9);
     scenarios.push(cal);
     scenarios.push(reference);
 
-    let json = render_json(mode, &scenarios, speedup);
+    // Pricing pair: one-pass `price_all` over compiled plans vs the
+    // per-config `try_iteration` re-fold, over the same batch stream
+    // and candidate-layout sweep, back-to-back on a quiet process. For
+    // these two scenarios an event is one config evaluation, so both
+    // sides execute identical event counts by construction.
+    let pricing_r = headline_r;
+    let pricing_exec = ExecutionModel::new(NodeSpec::p5en_48xlarge(), presets::qwen_32b());
+    let compiled = best_of(runs, || {
+        measure_pricing_evals(
+            &format!("pricing_shift_r{pricing_r}"),
+            pricing_r,
+            smoke,
+            &pricing_exec,
+            true,
+        )
+    });
+    let direct = best_of(runs, || {
+        measure_pricing_evals(
+            &format!("pricing_direct_r{pricing_r}"),
+            pricing_r,
+            smoke,
+            &pricing_exec,
+            false,
+        )
+    });
+    assert_eq!(compiled.events, direct.events, "both paths price every (batch, config) pair");
+    let pricing_eps = compiled.events_per_sec;
+    let pricing_speedup = compiled.events_per_sec / direct.events_per_sec.max(1e-9);
+    scenarios.push(compiled);
+    scenarios.push(direct);
+
+    // Cluster-level memo pair (informational): the same calendar
+    // scheduler end to end on a decode-heavy shift-policy cluster, with
+    // pricing either through plans + the decode-shape memo or forced
+    // onto the direct fold. Bounds how much of a full simulation run
+    // the pricing layer is worth.
+    let cluster_trace = decode_heavy_trace(pricing_r, smoke);
+    let memo = best_of(runs, || {
+        measure_with_engines(
+            &format!("cluster_memo_r{pricing_r}"),
+            pricing_r,
+            pricing_engines(pricing_r, Some(8192), false),
+            &cluster_trace,
+        )
+    });
+    let direct_cluster = best_of(runs, || {
+        measure_with_engines(
+            &format!("cluster_directprice_r{pricing_r}"),
+            pricing_r,
+            pricing_engines(pricing_r, None, true),
+            &cluster_trace,
+        )
+    });
+    scenarios.push(memo);
+    scenarios.push(direct_cluster);
+
+    let json = render_json(mode, &scenarios, speedup, (pricing_eps, pricing_speedup));
     std::fs::write("BENCH_simperf.json", &json).expect("write BENCH_simperf.json");
     println!("{json}");
     println!(
         "calendar vs linear-rescan reference at {headline_r} replicas: {speedup:.2}x events/sec"
+    );
+    println!(
+        "compiled pricing vs direct try_iteration re-folds: {pricing_speedup:.2}x config evals/sec"
     );
 
     if let Some(path) = baseline_path {

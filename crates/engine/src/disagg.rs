@@ -16,7 +16,7 @@
 
 use crate::report::EngineReport;
 use sp_metrics::{Dur, RequestRecord, SimTime};
-use sp_parallel::{BatchWork, ChunkWork, ExecutionModel, ParallelConfig};
+use sp_parallel::{BatchWork, ChunkWork, ExecPlan, ExecutionModel, ParallelConfig};
 use sp_workload::{Request, Trace};
 
 /// Configuration of a disaggregated deployment on one node.
@@ -79,6 +79,11 @@ impl DisaggConfig {
 pub struct DisaggregatedServer {
     exec: ExecutionModel,
     config: DisaggConfig,
+    /// Compiled pricing for the prefill workers' TP config — both stage
+    /// configs are fixed for the server's lifetime, so they compile once.
+    prefill_plan: ExecPlan,
+    /// Compiled pricing for the decode workers' TP config.
+    decode_plan: ExecPlan,
 }
 
 #[derive(Debug, Clone)]
@@ -94,7 +99,9 @@ impl DisaggregatedServer {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration uses more GPUs than the node has.
+    /// Panics if the configuration uses more GPUs than the node has, or
+    /// if the model's KV heads cannot be distributed across either
+    /// stage's TP degree.
     pub fn new(
         node: sp_cluster::NodeSpec,
         model: sp_model::ModelConfig,
@@ -106,20 +113,27 @@ impl DisaggregatedServer {
             config.total_gpus(),
             node.gpu_count
         );
-        DisaggregatedServer { exec: ExecutionModel::new(node, model), config }
+        let exec = ExecutionModel::new(node, model);
+        let compile = |tp: usize, stage: &str| {
+            exec.compile(&ParallelConfig::tensor(tp)).unwrap_or_else(|e| {
+                panic!("cannot run {stage} TP={tp} on {}: {e}", exec.model().name)
+            })
+        };
+        let prefill_plan = compile(config.prefill_tp, "prefill");
+        let decode_plan = compile(config.decode_tp, "decode");
+        DisaggregatedServer { exec, config, prefill_plan, decode_plan }
     }
 
     /// Time to prefill one request exclusively on a prefill worker
     /// (chunked internally at 8k like the monolithic engine).
     fn prefill_time(&self, input_tokens: u64) -> Dur {
-        let tp = ParallelConfig::tensor(self.config.prefill_tp);
         let mut done = 0;
         let mut total = Dur::ZERO;
         while done < input_tokens {
             let chunk = (input_tokens - done).min(8192);
             let batch =
                 BatchWork::new(vec![ChunkWork::prefill(chunk, done, done + chunk == input_tokens)]);
-            total += self.exec.iteration(&tp, &batch).total();
+            total += self.exec.price_planned(&self.prefill_plan, &batch).total();
             done += chunk;
         }
         total
@@ -196,7 +210,7 @@ impl DisaggregatedServer {
             let batch = BatchWork::new(
                 active.iter().take(per_worker).map(|s| ChunkWork::decode(s.context)).collect(),
             );
-            let dur = self.exec.iteration(&decode_tp, &batch).total();
+            let dur = self.exec.price_planned(&self.decode_plan, &batch).total();
             clock += dur;
 
             let mut emitted = 0u64;

@@ -5,9 +5,19 @@ use crate::report::EngineReport;
 use crate::seq::RunningSeq;
 use sp_kvcache::KvCacheManager;
 use sp_metrics::{ClassSlo, Dur, NodeLoad, RequestClass, RequestRecord, SimTime};
-use sp_parallel::{BatchStats, BatchWork, ChunkWork, ExecutionModel, ParallelismPolicy};
+use sp_parallel::{
+    BatchStats, BatchWork, ChunkWork, ExecPlan, ExecutionModel, ParallelConfig, ParallelismPolicy,
+};
 use sp_workload::{Request, Trace};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Quantized decode-batch shape the pricing memo keys on: `(decode seq
+/// count, Σ past-context / bucket, config)`.
+type PriceKey = (usize, u64, ParallelConfig);
+
+/// Entry cap on the pricing memo; reaching it clears the map (shapes from
+/// long-retired load regimes would otherwise accumulate without bound).
+const PRICE_MEMO_CAP: usize = 65_536;
 
 /// Speculative decoding (§4.5): a free draft source (e.g. SuffixDecoding)
 /// proposes `draft_len` tokens per decode step; the target model verifies
@@ -95,6 +105,17 @@ pub struct EngineConfig {
     /// admission. Takes precedence over `queue_policy` for candidate
     /// selection.
     pub class_slo: Option<ClassSlo>,
+    /// Bucket width, in total past-context tokens, of the decode-shape
+    /// pricing memo. Steady-state decode batches repeat near-identical
+    /// shapes for thousands of consecutive iterations; with a bucket the
+    /// engine prices each quantized shape `(decode seqs, Σpast / bucket,
+    /// config)` once and reuses the duration until the batch's total
+    /// context drifts into the next bucket. Iteration durations are then
+    /// approximate: the absolute error is bounded by the cost of one
+    /// bucket of extra KV traffic (`bucket × kv_bytes_per_token ×
+    /// shard_fraction / mem_bw`) plus its attention FLOPs. `None` (the
+    /// default) disables the memo and prices every iteration exactly.
+    pub decode_memo_tokens: Option<u64>,
 }
 
 /// Admission order among waiting requests.
@@ -123,6 +144,7 @@ impl Default for EngineConfig {
             max_prefill_tokens: None,
             queue_policy: QueuePolicy::Fcfs,
             class_slo: None,
+            decode_memo_tokens: None,
         }
     }
 }
@@ -189,6 +211,10 @@ pub struct Engine {
     /// fold-over-state load snapshots — instead of the indexed/counter
     /// fast paths (see [`Engine::set_reference_mode`]).
     reference_mode: bool,
+    /// When set, iteration pricing alone runs the direct `try_iteration`
+    /// walk (see [`Engine::set_direct_pricing`]); the scheduler fast
+    /// paths stay on.
+    direct_pricing: bool,
     /// Σ `total_tokens` over `arrivals` + `waiting` — incremental load
     /// counter; see [`Engine::load`].
     queued_total_tokens: u64,
@@ -198,6 +224,16 @@ pub struct Engine {
     running_outstanding_tokens: u64,
     /// Σ prefill remaining over `running`.
     running_prefill_tokens: u64,
+    /// One compiled pricing plan per policy configuration, built at
+    /// construction: iteration pricing evaluates the plan (O(1) after the
+    /// shared batch fold) instead of re-deriving layout and coefficients
+    /// per call. Bit-identical to the direct walk; debug builds assert so
+    /// on every evaluation.
+    plans: Vec<ExecPlan>,
+    /// Decode-shape pricing memo (see
+    /// [`EngineConfig::decode_memo_tokens`]). Lives with the plans so any
+    /// future config/overhead mutation invalidates both together.
+    price_memo: HashMap<PriceKey, Dur>,
 }
 
 /// A running sequence's contribution to the outstanding-token load
@@ -225,10 +261,17 @@ impl Engine {
             "recompute preemption does not compose with speculative decoding"
         );
         let kv = KvCacheManager::new(config.kv_capacity_tokens, config.block_tokens);
+        // Compile one pricing plan per registered configuration up front:
+        // every layout validation and coefficient derivation happens here,
+        // once, instead of on every iteration.
+        let plans = exec.compile_configs(&policy.configurations()).unwrap_or_else(|e| {
+            panic!("cannot run {} on {}: {e}", policy.name(), exec.model().name)
+        });
         // Price one budget-sized prefill chunk under every registered
-        // configuration and keep the fastest: the policy's own `choose` is
-        // deliberately not consulted (adaptive policies count iterations,
-        // and this reference pricing is not an iteration).
+        // configuration (one shared fold, one plan evaluation each) and
+        // keep the fastest: the policy's own `choose` is deliberately not
+        // consulted (adaptive policies count iterations, and this
+        // reference pricing is not an iteration).
         let prefill_rate = {
             let tokens = config
                 .max_prefill_tokens
@@ -236,10 +279,10 @@ impl Engine {
                 .min(config.max_batched_tokens)
                 .max(1);
             let work = BatchWork::new(vec![ChunkWork::prefill(tokens, 0, false)]);
-            let best = policy
-                .configurations()
+            let best = exec
+                .price_all(&plans, &work)
                 .iter()
-                .map(|cfg| exec.iteration(cfg, &work).total().as_secs())
+                .map(|it| it.total().as_secs())
                 .fold(f64::INFINITY, f64::min);
             if best.is_finite() && best > 0.0 {
                 tokens as f64 / best
@@ -264,11 +307,50 @@ impl Engine {
             scratch_chunks: Vec::new(),
             scratch_order: Vec::new(),
             reference_mode: false,
+            direct_pricing: false,
             queued_total_tokens: 0,
             queued_input_tokens: 0,
             running_outstanding_tokens: 0,
             running_prefill_tokens: 0,
+            plans,
+            price_memo: HashMap::new(),
         }
+    }
+
+    /// Prices one iteration of `work` under `config`.
+    ///
+    /// Fast path: evaluate the config's compiled [`ExecPlan`] from one
+    /// shared batch fold — bit-identical to the direct walk (debug builds
+    /// assert so on every call). With
+    /// [`EngineConfig::decode_memo_tokens`] set, steady-state decode
+    /// batches are priced once per quantized shape and the duration
+    /// reused until the shape drifts into the next bucket. Reference mode
+    /// prices through `try_iteration` directly, preserving the
+    /// pre-compilation path as an executable specification.
+    fn price_iteration(&mut self, config: &ParallelConfig, work: &BatchWork) -> Dur {
+        if self.reference_mode || self.direct_pricing {
+            return self.exec.iteration(config, work).total();
+        }
+        let Some(plan) = self.plans.iter().find(|p| p.config() == *config) else {
+            // The policy chose a config outside `configurations()`;
+            // price it directly rather than trusting the plan set.
+            return self.exec.iteration(config, work).total();
+        };
+        if let Some(bucket) = self.config.decode_memo_tokens {
+            if let Some((seqs, past)) = work.decode_only_shape() {
+                let key = (seqs, past / bucket.max(1), *config);
+                if let Some(&dur) = self.price_memo.get(&key) {
+                    return dur;
+                }
+                let dur = self.exec.price_planned(plan, work).total();
+                if self.price_memo.len() >= PRICE_MEMO_CAP {
+                    self.price_memo.clear();
+                }
+                self.price_memo.insert(key, dur);
+                return dur;
+            }
+        }
+        self.exec.price_planned(plan, work).total()
     }
 
     /// Switches the scheduler's hot paths to their pre-optimization
@@ -278,13 +360,31 @@ impl Engine {
     /// per comparison, versus O(log W) on the [`WaitQueue`] index) and
     /// load snapshots become the fold over every queued and running
     /// request (O(queue + batch) per call, versus O(1) on the
-    /// incremental counters). Scheduling decisions are identical either
-    /// way — only the cost differs. Consumed by the `simperf` bench to
-    /// measure the win and by equivalence tests; not part of the
+    /// incremental counters), and iteration pricing calls
+    /// `try_iteration` per iteration instead of evaluating the compiled
+    /// per-config plan. Scheduling decisions are identical either way —
+    /// only the cost differs (plan evaluation is bit-identical to the
+    /// direct walk; the decode-shape memo, which is not, is ignored in
+    /// reference mode and flushed here). Consumed by the `simperf` bench
+    /// to measure the win and by equivalence tests; not part of the
     /// supported API.
     #[doc(hidden)]
     pub fn set_reference_mode(&mut self, reference: bool) {
         self.reference_mode = reference;
+        self.price_memo.clear();
+    }
+
+    /// Switches *only* iteration pricing to the direct `try_iteration`
+    /// walk (per-call layout planning, chunk fold per candidate config,
+    /// no plan evaluation, no decode-shape memo), leaving every other
+    /// scheduler fast path in place. Unlike
+    /// [`Engine::set_reference_mode`] this isolates the pricing cost, so
+    /// the `simperf` pricing pair measures compiled-vs-direct pricing
+    /// and nothing else. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn set_direct_pricing(&mut self, direct: bool) {
+        self.direct_pricing = direct;
+        self.price_memo.clear();
     }
 
     /// Recomputes the incremental load counters from the actual queue
@@ -492,7 +592,7 @@ impl Engine {
         report.note_deferrals(deferred);
         let stats = BatchStats::of(&work);
         let config = self.policy.choose(&stats);
-        let duration = self.exec.iteration(&config, &work).total();
+        let duration = self.price_iteration(&config, &work);
         self.clock += duration;
         self.decode_cursor = self.decode_cursor.wrapping_add(1);
 
@@ -972,6 +1072,26 @@ mod tests {
         // All four prefills fit one 8192-token iteration; decodes batch
         // 4-wide: 1 + 9 iterations total.
         assert_eq!(report.iterations(), 10);
+    }
+
+    #[test]
+    fn decode_memo_stays_within_bucket_error() {
+        // Same trace priced exactly and through the decode-shape memo:
+        // identical scheduling (iteration and completion counts), and
+        // timing within the documented quantization error — one bucket
+        // of KV traffic per memoized iteration.
+        let trace = synthetic::uniform_batch(8, 512, 400);
+        let exact = engine_with(EngineConfig::default(), ParallelConfig::tensor(8)).run(&trace);
+        let cfg = EngineConfig { decode_memo_tokens: Some(4096), ..EngineConfig::default() };
+        let memo = engine_with(cfg, ParallelConfig::tensor(8)).run(&trace);
+        assert_eq!(exact.records().len(), memo.records().len());
+        assert_eq!(exact.iterations(), memo.iterations());
+        let end =
+            |r: &EngineReport| r.records().iter().map(|c| c.finish.as_secs()).fold(0.0, f64::max);
+        let (a, b) = (end(&exact), end(&memo));
+        let rel = (a - b).abs() / a;
+        assert!(rel < 0.02, "memoized makespan drifted {:.2}% from exact", rel * 100.0);
+        assert!(a > 0.0 && b > 0.0);
     }
 
     #[test]

@@ -99,6 +99,45 @@ impl RoutingPolicy for JoinShortestOutstanding {
     }
 }
 
+/// Join-shortest-queue ranked by estimated TTFT: send each request to
+/// the replica whose [`NodeLoad::estimated_ttft`] for *this* request is
+/// lowest, instead of the replica with the least raw outstanding tokens.
+///
+/// Outstanding tokens overweight decode backlogs: a replica carrying
+/// long generations looks busy, yet prefills a new prompt nearly as fast
+/// as an idle one (decode iterations are short and the prompt chunks in
+/// alongside them), while a replica with a deep prefill queue delays the
+/// new prompt directly. Ranking by the TTFT estimate routes around
+/// prefill queues and KV pressure and ignores harmless decode work.
+/// Ties — including the cold start where no replica reports a prefill
+/// rate and every estimate is zero — break by outstanding tokens and
+/// then lowest index, so the policy degrades to plain JSQ exactly when
+/// the TTFT signal carries no information.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsqByTtft;
+
+impl RoutingPolicy for JsqByTtft {
+    fn name(&self) -> &str {
+        "jsq-by-ttft"
+    }
+
+    fn pick(&mut self, req: &Request, loads: &[NodeLoad]) -> usize {
+        let input = u64::from(req.input_tokens);
+        let footprint = req.total_tokens();
+        loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.estimated_ttft(input, footprint)
+                    .as_secs()
+                    .total_cmp(&b.estimated_ttft(input, footprint).as_secs())
+                    .then(a.outstanding_tokens.cmp(&b.outstanding_tokens))
+            })
+            .map(|(i, _)| i)
+            .expect("at least one replica")
+    }
+}
+
 /// Round-robin: replica `k mod n` for the `k`-th request, load-blind.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobin {
@@ -207,6 +246,8 @@ pub enum RoutingKind {
     /// [`JoinShortestOutstanding`] (the online default).
     #[default]
     JoinShortestOutstanding,
+    /// [`JsqByTtft`] — JSQ ranked by per-request TTFT estimates.
+    JsqByTtft,
     /// [`RoundRobin`].
     RoundRobin,
     /// [`StaticSplit`] — the offline greedy baseline.
@@ -220,6 +261,7 @@ impl RoutingKind {
     pub fn policy(self) -> Box<dyn RoutingPolicy> {
         match self {
             RoutingKind::JoinShortestOutstanding => Box::new(JoinShortestOutstanding),
+            RoutingKind::JsqByTtft => Box::new(JsqByTtft),
             RoutingKind::RoundRobin => Box::new(RoundRobin::default()),
             RoutingKind::StaticSplit => Box::new(StaticSplit::default()),
             RoutingKind::EarliestDeadlineFeasible(slo) => {
@@ -824,6 +866,72 @@ mod tests {
             .map(|l| NodeLoad { queued_prefill_tokens: l.queued_prefill_tokens + 100_000, ..*l })
             .collect();
         assert_eq!(edf.pick(&interactive, &swamped), 1);
+    }
+
+    #[test]
+    fn jsq_by_ttft_ignores_decode_backlog_and_degrades_to_jsq() {
+        // Replica 0 carries a huge decode backlog (large outstanding, no
+        // prefill queue); replica 1 has little outstanding but a deep
+        // prefill queue. JSQ picks 1; TTFT ranking picks 0.
+        let snapshot = vec![
+            NodeLoad {
+                outstanding_tokens: 50_000,
+                queued_prefill_tokens: 0,
+                kv_free_tokens: 1_000_000,
+                min_kv_free_tokens: 1_000_000,
+                prefill_tokens_per_sec: 20_000.0,
+            },
+            NodeLoad {
+                outstanding_tokens: 8_000,
+                queued_prefill_tokens: 30_000,
+                kv_free_tokens: 1_000_000,
+                min_kv_free_tokens: 1_000_000,
+                prefill_tokens_per_sec: 20_000.0,
+            },
+        ];
+        let r = req(0, 0.0, 500, 10);
+        assert_eq!(JoinShortestOutstanding.pick(&r, &snapshot), 1);
+        assert_eq!(JsqByTtft.pick(&r, &snapshot), 0);
+        // Without a prefill-rate estimate every ETA is zero and the
+        // tie-break reproduces plain JSQ.
+        assert_eq!(JsqByTtft.pick(&r, &loads(&[500, 200, 900])), 1);
+        assert_eq!(JsqByTtft.pick(&r, &loads(&[300, 300, 300])), 0);
+    }
+
+    #[test]
+    fn jsq_by_ttft_spreads_prompt_bursts_better_than_jsq() {
+        // Three long generations at t=0 land 2-vs-1 across two replicas
+        // (JSQ ties to the lowest index), so replica 0 carries twice the
+        // outstanding decode work. A prompt-heavy burst then arrives.
+        // Plain JSQ piles the burst onto replica 1 until its outstanding
+        // tokens catch up with replica 0's decode backlog — but decode
+        // backlog barely delays a new prefill, so those prompts queue
+        // behind each other for nothing. TTFT ranking spreads the burst
+        // by actual prefill wait and must win on tail TTFT.
+        let bursty = || {
+            let mut t: Vec<Request> = (0..3).map(|i| req(i, 0.0, 200, 12_000)).collect();
+            t.extend((0..12u64).map(|i| req(3 + i, 0.5 + 0.02 * i as f64, 6_000, 8)));
+            Trace::with_ids(t)
+        };
+        let burst_ttft_tail = |kind: RoutingKind| {
+            let mut sim = ClusterSim::new(engines(2), kind.policy());
+            let report = sim.run(&bursty());
+            let mut ttfts: Vec<f64> = report
+                .records()
+                .iter()
+                .filter(|r| r.input_tokens == 6_000)
+                .map(|r| r.ttft().as_secs())
+                .collect();
+            assert_eq!(ttfts.len(), 12, "every burst prompt completes");
+            ttfts.sort_by(f64::total_cmp);
+            ttfts[ttfts.len() - 2]
+        };
+        let jsq = burst_ttft_tail(RoutingKind::JoinShortestOutstanding);
+        let by_ttft = burst_ttft_tail(RoutingKind::JsqByTtft);
+        assert!(
+            by_ttft < jsq,
+            "TTFT-ranked JSQ tail TTFT {by_ttft:.3}s must beat plain JSQ {jsq:.3}s"
+        );
     }
 
     #[test]

@@ -124,6 +124,19 @@ impl KvShardLayout {
         self.degree
     }
 
+    /// The KV head count this layout was planned for.
+    pub fn kv_heads(&self) -> u32 {
+        self.kv_heads
+    }
+
+    /// Fraction of the model's per-token KV traffic each GPU carries:
+    /// `heads_per_gpu / kv_heads`. 1/degree for even splits; with
+    /// replication each GPU still reads one full head, so the fraction
+    /// stops shrinking at `1 / kv_heads`.
+    pub fn shard_fraction(&self) -> f64 {
+        f64::from(self.heads_per_gpu) / f64::from(self.kv_heads)
+    }
+
     /// KV head ids stored on GPU `rank`.
     ///
     /// # Panics
@@ -190,6 +203,16 @@ mod tests {
         assert_eq!(l.heads_on_gpu(1), vec![0]);
         assert_eq!(l.heads_on_gpu(6), vec![3]);
         assert_eq!(l.heads_on_gpu(7), vec![3]);
+    }
+
+    #[test]
+    fn shard_fraction_floors_at_one_head() {
+        // Even split: each of 8 GPUs reads 1/8 of the heads.
+        assert_eq!(KvShardLayout::plan(8, 8).unwrap().shard_fraction(), 0.125);
+        // Replication: the fraction stops shrinking at one full head.
+        assert_eq!(KvShardLayout::plan(4, 8).unwrap().shard_fraction(), 0.25);
+        assert_eq!(KvShardLayout::plan(4, 4).unwrap().shard_fraction(), 0.25);
+        assert_eq!(KvShardLayout::plan(4, 8).unwrap().kv_heads(), 4);
     }
 
     #[test]

@@ -109,12 +109,12 @@ impl IterationBreakdown {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExecutionModel {
-    node: NodeSpec,
-    model: ModelConfig,
-    overhead: EngineOverhead,
-    roofline: Roofline,
-    collectives: CollectiveModel,
-    prefill_linear_scale: f64,
+    pub(crate) node: NodeSpec,
+    pub(crate) model: ModelConfig,
+    pub(crate) overhead: EngineOverhead,
+    pub(crate) roofline: Roofline,
+    pub(crate) collectives: CollectiveModel,
+    pub(crate) prefill_linear_scale: f64,
 }
 
 impl ExecutionModel {

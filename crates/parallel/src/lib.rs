@@ -22,6 +22,9 @@
 //! * [`complexity`] — the symbolic per-GPU complexity of Table 2.
 //! * [`exec`] — [`exec::ExecutionModel`]: times one iteration (Algorithm 1
 //!   walk) and reports the Figure 15 cost breakdown.
+//! * [`plan`] — compiled pricing: per-config [`plan::ExecPlan`]s evaluated
+//!   in O(1) from one shared [`plan::BatchSummary`] fold, bit-identical to
+//!   the direct `try_iteration` walk.
 //! * [`memory`] — weight/KV memory planning per configuration.
 //! * [`policy`] — the [`policy::ParallelismPolicy`] trait the engine
 //!   consults each iteration; static policies live here, the dynamic shift
@@ -48,10 +51,12 @@ pub mod expert;
 pub mod mapping;
 pub mod memory;
 pub mod pipeline;
+pub mod plan;
 pub mod policy;
 
 pub use config::{BatchWork, ChunkKind, ChunkWork, ParallelConfig};
 pub use exec::{EngineOverhead, ExecutionModel, IterationBreakdown};
 pub use mapping::ProcessMapping;
 pub use memory::MemoryPlan;
+pub use plan::{BatchSummary, ExecPlan};
 pub use policy::{BatchStats, ParallelismPolicy, StaticPolicy};

@@ -1,0 +1,468 @@
+//! Compiled cost-model pricing: per-config plans evaluated from one
+//! shared batch summary.
+//!
+//! [`ExecutionModel::try_iteration`] re-derives everything on every call:
+//! it re-plans the KV shard layout, re-folds per-chunk [`StepCost`]s, and
+//! rebuilds the per-layer collective byte formulas from model constants.
+//! Policies that price several candidate `(SP, TP)` configurations per
+//! scheduling step repeat the chunk fold once *per config*, even though
+//! the fold is config-independent.
+//!
+//! This module splits the evaluation:
+//!
+//! * [`ExecutionModel::summarize`] folds a [`BatchWork`] into a
+//!   [`BatchSummary`] once — the only O(chunks) work, shared by every
+//!   config;
+//! * [`ExecPlan`] (built once per config by [`ExecutionModel::compile`])
+//!   holds the validated [`KvShardLayout`] and every config- and
+//!   model-derived constant of the Table 2 cost terms: padding divisors,
+//!   the per-layer collective byte coefficients, the streamed-weight
+//!   constants, and copies of the roofline/α–β calibration;
+//! * [`ExecPlan::price`] evaluates one summary in O(1).
+//!
+//! The cost terms are affine in the batch statistics for a fixed config,
+//! but *folding* the α–β model into `a + b·n_pad` coefficients would
+//! re-associate f64 sums and drift from the reference by rounding. The
+//! plan instead precomputes only what is exact — integer byte
+//! coefficients, divisors, the layout fraction — and replays the direct
+//! path's remaining float operations in the same order, so every plan
+//! evaluation is **bit-identical** to `try_iteration`. Debug builds
+//! assert exactly that on every [`ExecutionModel::price_planned`] /
+//! [`ExecutionModel::price_all`] call, and the
+//! `compiled_pricing_matches_direct` property test pins it across
+//! randomized models, configs, and batches.
+
+use crate::complexity::ACTIVATION_BYTES;
+use crate::config::{BatchWork, ChunkKind, ParallelConfig};
+use crate::exec::{EngineOverhead, ExecutionModel, IterationBreakdown};
+use sp_cluster::{CollectiveModel, Roofline};
+use sp_kvcache::layout::LayoutError;
+use sp_kvcache::KvShardLayout;
+use sp_metrics::Dur;
+use sp_model::{ModelConfig, StepCost};
+
+/// Config-independent statistics of one batch: the single O(chunks) fold
+/// shared by every plan evaluation.
+///
+/// Produced by [`ExecutionModel::summarize`]; the chunk costs are summed
+/// in chunk order with the prefill-linear-scale already applied, exactly
+/// as `try_iteration` folds them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSummary {
+    /// Summed per-chunk costs (prefill linear FLOPs pre-scaled).
+    pub cost: StepCost,
+    /// Total new tokens across chunks (pre-padding).
+    pub total_new_tokens: u64,
+    /// Batched sequences (one chunk each).
+    pub num_seqs: usize,
+}
+
+impl BatchSummary {
+    /// Whether the summarized batch had no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.num_seqs == 0
+    }
+}
+
+/// How the per-iteration streamed weight bytes depend on the padded batch
+/// size: a constant for dense models, the touched-expert formula for MoE.
+#[derive(Debug, Clone, Copy)]
+enum StreamedWeights {
+    /// Dense: every iteration streams all weights.
+    Dense(u64),
+    /// MoE: non-routed params always stream; routed experts stream in
+    /// proportion to how many the batch touches.
+    Moe { non_routed: u64, routed_total: u64, active: u64, experts: u64, prec: u64 },
+}
+
+impl StreamedWeights {
+    fn of(model: &ModelConfig) -> StreamedWeights {
+        let prec = model.weight_precision.bytes();
+        match model.moe {
+            None => StreamedWeights::Dense(model.total_params() * prec),
+            Some(moe) => {
+                let routed_per_layer = u64::from(moe.num_experts)
+                    * 3
+                    * u64::from(model.hidden_size)
+                    * u64::from(moe.expert_intermediate);
+                let routed_total = u64::from(model.num_layers) * routed_per_layer;
+                StreamedWeights::Moe {
+                    non_routed: model.total_params() - routed_total,
+                    routed_total,
+                    active: u64::from(moe.active_experts),
+                    experts: u64::from(moe.num_experts),
+                    prec,
+                }
+            }
+        }
+    }
+
+    /// Mirrors `ModelConfig::streamed_weight_bytes` with the model
+    /// constants pre-folded.
+    fn bytes(&self, batch_tokens: u64) -> u64 {
+        match *self {
+            StreamedWeights::Dense(bytes) => bytes,
+            StreamedWeights::Moe { non_routed, routed_total, active, experts, prec } => {
+                let touched = (batch_tokens * active).min(experts);
+                (non_routed + routed_total * touched / experts) * prec
+            }
+        }
+    }
+}
+
+/// One `(SP, TP)` configuration's precompiled pricing surface.
+///
+/// Holds everything `try_iteration` derives per call that does not depend
+/// on the batch: the validated KV shard layout, the padding and divisor
+/// constants, the per-layer collective byte coefficients, the
+/// streamed-weight constants, and copies of the roofline, collective, and
+/// overhead calibration. [`ExecPlan::price`] then evaluates a
+/// [`BatchSummary`] in a handful of operations, bit-identical to the
+/// direct path.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecPlan {
+    config: ParallelConfig,
+    layout: KvShardLayout,
+    /// SP degree (padding multiple).
+    sp: u64,
+    /// TP degree (weight-shard divisor).
+    tp: u64,
+    /// Group size `sp * tp`, the all-to-all #2 divisor.
+    sp_tp: u64,
+    /// `config.degree()` for overhead scaling.
+    p: usize,
+    /// SP group size for the all-to-all / all-gather collectives.
+    sp_group: usize,
+    /// TP group size for the all-reduce collective.
+    tp_group: usize,
+    /// `(sp * tp) as f64`, the GEMM FLOP divisor.
+    gemm_div: f64,
+    /// `degree as f64`, the attention FLOP divisor.
+    attn_div: f64,
+    /// Per-GPU share of KV traffic (`layout.shard_fraction()`).
+    kv_frac: f64,
+    /// Embedding row bytes `hidden_size × ACTIVATION_BYTES` (all-reduce
+    /// and all-gather coefficient).
+    embed_row_bytes: u64,
+    /// QKV row bytes `(h + 2·h_kv·replication) × head_dim × act`
+    /// (all-to-all #1 coefficient, before the `/tp` shard).
+    qkv_row_bytes: u64,
+    /// Attention-output row bytes `h × head_dim × act` (all-to-all #2
+    /// coefficient, before the `/(sp·tp)` shard).
+    out_row_bytes: u64,
+    /// `num_layers as f64` for the per-layer collective sum.
+    layers: f64,
+    streamed: StreamedWeights,
+    roofline: Roofline,
+    collectives: CollectiveModel,
+    overhead: EngineOverhead,
+}
+
+impl ExecPlan {
+    /// The configuration this plan was compiled for.
+    pub fn config(&self) -> ParallelConfig {
+        self.config
+    }
+
+    /// The validated KV shard layout reused by every evaluation.
+    pub fn layout(&self) -> KvShardLayout {
+        self.layout
+    }
+
+    /// Times one iteration of a summarized batch under this plan.
+    ///
+    /// Replays `try_iteration`'s float operations in the same order with
+    /// the config/model constants pre-folded, so the result is
+    /// bit-identical to the direct path on the same batch.
+    pub fn price(&self, summary: &BatchSummary) -> IterationBreakdown {
+        if summary.is_empty() {
+            return IterationBreakdown::default();
+        }
+        let n = summary.total_new_tokens;
+        let n_pad = n.div_ceil(self.sp) * self.sp;
+        let pad_ratio = n_pad as f64 / n as f64;
+        let cost = &summary.cost;
+
+        // --- GEMM: linear + logit FLOPs vs weight streaming ---
+        let linear_flops_pg = cost.linear_flops * pad_ratio / self.gemm_div;
+        let logit_flops_pg = cost.logit_flops / self.gemm_div;
+        let weight_bytes_pg = self.streamed.bytes(n_pad) / self.tp;
+        let gemm = self.roofline.kernel(linear_flops_pg + logit_flops_pg, weight_bytes_pg);
+
+        // --- Attention: head-parallel across the whole group ---
+        let attn_flops_pg = cost.attn_flops / self.attn_div;
+        let kv_bytes_pg = (cost.total_kv_bytes() as f64 * self.kv_frac) as u64;
+        let attention = self.roofline.kernel(attn_flops_pg, kv_bytes_pg);
+
+        // --- Communication: Algorithm 1 lines 4, 6, 8, 11, 13 ---
+        let ar_time =
+            self.collectives.all_reduce((n_pad / self.sp) * self.embed_row_bytes, self.tp_group);
+        let a2a_time = self
+            .collectives
+            .all_to_all((n_pad / self.sp) * self.qkv_row_bytes / self.tp, self.sp_group)
+            + self.collectives.all_to_all(n_pad * self.out_row_bytes / self.sp_tp, self.sp_group);
+        let ag_time = self.collectives.all_gather(n_pad * self.embed_row_bytes, self.sp_group);
+        let communication = Dur::from_secs(
+            self.layers * (2.0 * ar_time.as_secs() + a2a_time.as_secs()) + ag_time.as_secs(),
+        );
+
+        let overhead = self.overhead.for_batch(summary.num_seqs, self.p);
+
+        IterationBreakdown { gemm, attention, communication, overhead }
+    }
+}
+
+impl ExecutionModel {
+    /// Compiles the pricing plan for one configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] exactly when
+    /// [`ExecutionModel::try_iteration`] would for the same config.
+    pub fn compile(&self, config: &ParallelConfig) -> Result<ExecPlan, LayoutError> {
+        let p = config.degree();
+        let layout = KvShardLayout::for_model(&self.model, p)?;
+        let sp = config.sp() as u64;
+        let tp = config.tp() as u64;
+        let head_dim = u64::from(self.model.head_dim);
+        let qkv_width = u64::from(self.model.q_heads)
+            + 2 * u64::from(self.model.kv_heads) * u64::from(layout.replication());
+        Ok(ExecPlan {
+            config: *config,
+            layout,
+            sp,
+            tp,
+            sp_tp: sp * tp,
+            p,
+            sp_group: config.sp(),
+            tp_group: config.tp(),
+            gemm_div: (sp * tp) as f64,
+            attn_div: p as f64,
+            kv_frac: layout.shard_fraction(),
+            embed_row_bytes: u64::from(self.model.hidden_size) * ACTIVATION_BYTES,
+            qkv_row_bytes: qkv_width * head_dim * ACTIVATION_BYTES,
+            out_row_bytes: u64::from(self.model.q_heads) * head_dim * ACTIVATION_BYTES,
+            layers: u64::from(self.model.num_layers) as f64,
+            streamed: StreamedWeights::of(&self.model),
+            roofline: self.roofline,
+            collectives: self.collectives,
+            overhead: self.overhead,
+        })
+    }
+
+    /// Compiles a plan per configuration (e.g. a policy's candidate set).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LayoutError`] among the configs.
+    pub fn compile_configs(
+        &self,
+        configs: &[ParallelConfig],
+    ) -> Result<Vec<ExecPlan>, LayoutError> {
+        configs.iter().map(|c| self.compile(c)).collect()
+    }
+
+    /// Folds a batch into the config-independent statistics every plan
+    /// evaluation consumes — the chunk-cost sum (with the
+    /// prefill-linear-scale applied per chunk, in chunk order, matching
+    /// `try_iteration`), total new tokens, and sequence count.
+    pub fn summarize(&self, batch: &BatchWork) -> BatchSummary {
+        let cost: StepCost = batch
+            .chunks()
+            .iter()
+            .map(|c| {
+                let mut cc = self.model.chunk_cost(c.new_tokens, c.past, u64::from(c.emits_logit));
+                if c.kind == ChunkKind::Prefill {
+                    cc.linear_flops *= self.prefill_linear_scale;
+                }
+                cc
+            })
+            .sum();
+        BatchSummary {
+            cost,
+            total_new_tokens: batch.total_new_tokens(),
+            num_seqs: batch.num_seqs(),
+        }
+    }
+
+    /// Times one iteration through a compiled plan.
+    ///
+    /// Debug builds assert the result is bit-identical to
+    /// [`ExecutionModel::try_iteration`] on every call; `try_iteration`
+    /// stays the executable reference.
+    pub fn price_planned(&self, plan: &ExecPlan, batch: &BatchWork) -> IterationBreakdown {
+        let summary = self.summarize(batch);
+        let out = plan.price(&summary);
+        debug_assert_eq!(
+            out,
+            self.try_iteration(&plan.config(), batch)
+                .expect("compiled plan implies a valid layout"),
+            "compiled pricing diverged from try_iteration for {}",
+            plan.config()
+        );
+        out
+    }
+
+    /// Prices one batch under every plan from a single shared summary —
+    /// the multi-config fast path for policy pricing: the O(chunks) fold
+    /// runs once, then each plan evaluates in O(1).
+    ///
+    /// Debug builds assert each evaluation against the direct path.
+    pub fn price_all(&self, plans: &[ExecPlan], batch: &BatchWork) -> Vec<IterationBreakdown> {
+        let summary = self.summarize(batch);
+        plans
+            .iter()
+            .map(|plan| {
+                let out = plan.price(&summary);
+                debug_assert_eq!(
+                    out,
+                    self.try_iteration(&plan.config(), batch)
+                        .expect("compiled plan implies a valid layout"),
+                    "compiled pricing diverged from try_iteration for {}",
+                    plan.config()
+                );
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChunkWork;
+    use proptest::prelude::*;
+    use sp_cluster::NodeSpec;
+    use sp_model::presets;
+
+    fn exec(model: ModelConfig) -> ExecutionModel {
+        ExecutionModel::new(NodeSpec::p5en_48xlarge(), model)
+    }
+
+    #[test]
+    fn compile_rejects_what_try_iteration_rejects() {
+        // Qwen-30B-A3B has 4 KV heads: degree 3 is unshardable.
+        let e = exec(presets::qwen_30b_a3b());
+        let bad = ParallelConfig::sequence(3);
+        assert_eq!(
+            e.compile(&bad).unwrap_err(),
+            e.try_iteration(&bad, &BatchWork::uniform_decode(1, 16)).unwrap_err()
+        );
+        assert!(e.compile_configs(&[ParallelConfig::tensor(4), bad]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_prices_to_zero() {
+        let e = exec(presets::llama_70b());
+        let plan = e.compile(&ParallelConfig::tensor(8)).unwrap();
+        let it = plan.price(&e.summarize(&BatchWork::default()));
+        assert_eq!(it.total(), Dur::ZERO);
+    }
+
+    #[test]
+    fn price_all_matches_per_config_iterations() {
+        // A shift policy's candidate set: base (SP=4, TP=2) plus the
+        // full-TP shift config, priced from one summary.
+        let e = exec(presets::llama_70b());
+        let configs = [ParallelConfig::new(4, 2), ParallelConfig::tensor(8)];
+        let plans = e.compile_configs(&configs).unwrap();
+        let batch = BatchWork::new(vec![
+            ChunkWork::prefill(2048, 0, false),
+            ChunkWork::decode(700),
+            ChunkWork::decode(9001),
+        ]);
+        let priced = e.price_all(&plans, &batch);
+        for (cfg, got) in configs.iter().zip(&priced) {
+            assert_eq!(*got, e.iteration(cfg, &batch));
+        }
+    }
+
+    #[test]
+    fn moe_plan_streams_touched_experts() {
+        // The MoE streamed-weight formula must survive constant folding:
+        // a one-token decode touches few experts, a large prefill all.
+        let e = exec(presets::qwen_30b_a3b());
+        let plan = e.compile(&ParallelConfig::tensor(4)).unwrap();
+        let small = plan.price(&e.summarize(&BatchWork::uniform_decode(1, 128)));
+        let big = plan.price(&e.summarize(&BatchWork::single_prefill(10_000)));
+        assert_eq!(
+            small,
+            e.iteration(&ParallelConfig::tensor(4), &BatchWork::uniform_decode(1, 128))
+        );
+        assert!(big.gemm > small.gemm);
+    }
+
+    #[test]
+    fn prefill_scale_flows_through_summary() {
+        let mut e = exec(presets::llama_70b());
+        e.set_prefill_flops_scale(0.5);
+        let plan = e.compile(&ParallelConfig::sequence(8)).unwrap();
+        let batch = BatchWork::new(vec![ChunkWork::prefill(4999, 17, true), ChunkWork::decode(64)]);
+        assert_eq!(
+            plan.price(&e.summarize(&batch)),
+            e.iteration(&ParallelConfig::sequence(8), &batch)
+        );
+    }
+
+    /// Random batches spanning the edge cases the plan must preserve:
+    /// empty batches, SP padding (`n_pad > n` whenever the token total
+    /// is not a multiple of SP), logit-emitting and silent chunks.
+    fn arb_batch() -> impl Strategy<Value = BatchWork> {
+        prop::collection::vec(
+            (any::<bool>(), 1u64..3000, 0u64..60_000, any::<bool>()).prop_map(
+                |(is_prefill, new_tokens, past, emits)| {
+                    if is_prefill {
+                        ChunkWork::prefill(new_tokens, past, emits)
+                    } else {
+                        ChunkWork::decode(past)
+                    }
+                },
+            ),
+            0..6,
+        )
+        .prop_map(BatchWork::new)
+    }
+
+    proptest! {
+        #[test]
+        fn compiled_pricing_matches_direct(
+            preset in 0usize..4,
+            sp_pow in 0u32..4,
+            tp_pow in 0u32..4,
+            scale_prefill in any::<bool>(),
+            batch in arb_batch(),
+        ) {
+            // qwen_30b_a3b (4 KV heads) exercises KV-head replication at
+            // degree 8; llama_17b_16e covers a second MoE shape.
+            let model = match preset {
+                0 => presets::llama_70b(),
+                1 => presets::qwen_32b(),
+                2 => presets::qwen_30b_a3b(),
+                _ => presets::llama_17b_16e(),
+            };
+            let mut e = exec(model);
+            if scale_prefill {
+                e.set_prefill_flops_scale(0.6);
+            }
+            let config = ParallelConfig::new(1 << sp_pow, 1 << tp_pow);
+            match (e.compile(&config), e.try_iteration(&config, &batch)) {
+                (Err(ce), Err(de)) => prop_assert_eq!(ce, de),
+                (Ok(plan), Ok(direct)) => {
+                    // Bit-identical, not approximately equal: the plan
+                    // replays the direct path's float ops in order.
+                    let summary = e.summarize(&batch);
+                    prop_assert_eq!(plan.price(&summary), direct);
+                    // And the asserting wrappers agree with themselves.
+                    prop_assert_eq!(e.price_planned(&plan, &batch), direct);
+                    prop_assert_eq!(e.price_all(&[plan], &batch), vec![direct]);
+                }
+                (c, d) => prop_assert!(
+                    false,
+                    "compile ({:?}) and try_iteration ({:?}) disagree on validity",
+                    c.map(|p| p.config()),
+                    d
+                ),
+            }
+        }
+    }
+}
