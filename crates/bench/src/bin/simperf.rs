@@ -34,7 +34,10 @@
 use shift_core::ShiftPolicy;
 use sp_bench::harness::parallel_sweep;
 use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
-use sp_engine::{ClusterSim, Engine, EngineConfig, ReferenceClusterSim, RoutingKind};
+use sp_engine::{
+    AutoscaleConfig, Autoscaler, ClusterSim, Engine, EngineConfig, LoadBandPolicy,
+    ReferenceClusterSim, RoutingKind,
+};
 use sp_metrics::{ClassSlo, Dur};
 use sp_model::presets;
 use sp_parallel::{BatchWork, ChunkWork, ExecPlan, ExecutionModel, ParallelConfig, StaticPolicy};
@@ -210,6 +213,59 @@ fn measure_calendar(
     Scenario {
         name: name.to_string(),
         replicas,
+        requests: trace.len(),
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Calendar measurement with the load-band autoscaler in the loop: the
+/// fleet starts at one replica and grows toward `peak` on the load
+/// signal, so every dispatch pays the `pre_dispatch` lifecycle sweep
+/// and the calendar absorbs generation-tagged spawn/retire churn. The
+/// gated events/sec number keeps the autoscaling overhead on the
+/// regression radar alongside the plain calendar scenarios.
+fn measure_autoscaled(
+    name: &str,
+    peak: usize,
+    slo: Option<ClassSlo>,
+    kv_capacity: u64,
+    trace: &Trace,
+) -> Scenario {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let spawn = move |_: usize| {
+        Engine::new(
+            ExecutionModel::new(node, presets::qwen_32b()),
+            Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+            EngineConfig { class_slo: slo, kv_capacity_tokens: kv_capacity, ..Default::default() },
+        )
+    };
+    let scaler = Autoscaler::new(
+        AutoscaleConfig { cold_start: Dur::from_secs(2.0), min_replicas: 1, max_replicas: peak },
+        Box::new(LoadBandPolicy::new(600.0, 80.0).smoothing(0.7).cooldown(Dur::from_secs(1.0))),
+        spawn,
+    );
+    let mut sim =
+        ClusterSim::new(engines(1, slo, kv_capacity, false), RoutingKind::default().policy())
+            .with_autoscaler(scaler);
+    let start = Instant::now();
+    let report = sim.run(trace);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = report.iterations();
+    assert_eq!(
+        report.records().len() + report.rejected().len(),
+        trace.len(),
+        "every request must complete or be rejected"
+    );
+    assert!(
+        report.fleet_timeline().peak_provisioned() > 1,
+        "autoscale scenario must actually exercise replica churn"
+    );
+    Scenario {
+        name: name.to_string(),
+        replicas: peak,
         requests: trace.len(),
         events,
         wall_s,
@@ -458,6 +514,15 @@ fn main() {
     let speedup = cal.events_per_sec / reference.events_per_sec.max(1e-9);
     scenarios.push(cal);
     scenarios.push(reference);
+
+    // Autoscaled calendar: the same deep-burst SLO trace driven through
+    // a fleet that starts at one replica and scales toward the headline
+    // replica count on the load signal. Gated like the other calendar
+    // scenarios so the per-dispatch lifecycle sweep and the
+    // generation-tagged calendar churn stay on the regression radar.
+    scenarios.push(best_of(runs, || {
+        measure_autoscaled(&format!("autoscale_r{headline_r}"), headline_r, slo, BOUND_KV, &trace)
+    }));
 
     // Pricing pair: one-pass `price_all` over compiled plans vs the
     // per-config `try_iteration` re-fold, over the same batch stream

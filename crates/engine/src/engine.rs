@@ -1095,6 +1095,53 @@ mod tests {
     }
 
     #[test]
+    fn pricing_mode_switches_flush_the_decode_shape_memo() {
+        // Regression pin: `set_direct_pricing` / `set_reference_mode`
+        // must invalidate the decode-shape memo. A memo carried across a
+        // pricing-mode switch is priced under the other mode's semantics
+        // and silently corrupts every later run. Poison the memo, flip
+        // the mode, and require a subsequent run to be bit-identical to
+        // a fresh engine — if the flush is ever removed, the poisoned
+        // entries inflate the makespan and this fails.
+        let cfg = EngineConfig { decode_memo_tokens: Some(4096), ..EngineConfig::default() };
+        let trace = synthetic::uniform_batch(8, 512, 400);
+        let fresh = engine_with(cfg, ParallelConfig::tensor(8)).run(&trace);
+
+        let mut e = engine_with(cfg, ParallelConfig::tensor(8));
+        for seqs in 1..=16 {
+            for bucket in 0..8 {
+                e.price_memo.insert((seqs, bucket, ParallelConfig::tensor(8)), Dur::from_secs(1e6));
+            }
+        }
+        e.set_direct_pricing(true);
+        assert!(e.price_memo.is_empty(), "set_direct_pricing must flush the memo");
+        for seqs in 1..=16 {
+            for bucket in 0..8 {
+                e.price_memo.insert((seqs, bucket, ParallelConfig::tensor(8)), Dur::from_secs(1e6));
+            }
+        }
+        e.set_direct_pricing(false);
+        assert!(e.price_memo.is_empty(), "leaving direct pricing must flush the memo");
+
+        let report = e.run(&trace);
+        let end =
+            |r: &EngineReport| r.records().iter().map(|c| c.finish.as_secs()).fold(0.0, f64::max);
+        assert_eq!(
+            end(&fresh).to_bits(),
+            end(&report).to_bits(),
+            "a mode round-trip must leave pricing bit-identical to a fresh engine"
+        );
+
+        let mut r = engine_with(
+            EngineConfig { decode_memo_tokens: Some(4096), ..EngineConfig::default() },
+            ParallelConfig::tensor(8),
+        );
+        r.price_memo.insert((1, 0, ParallelConfig::tensor(8)), Dur::from_secs(1e6));
+        r.set_reference_mode(true);
+        assert!(r.price_memo.is_empty(), "set_reference_mode must flush the memo");
+    }
+
+    #[test]
     fn oversized_request_is_rejected_not_deadlocked() {
         let config = EngineConfig { kv_capacity_tokens: 1_000, ..EngineConfig::default() };
         let mut e = engine_with(config, ParallelConfig::tensor(8));

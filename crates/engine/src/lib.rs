@@ -18,6 +18,10 @@
 //!   replicas advance in global time order and each request is dispatched
 //!   at its arrival instant via a pluggable [`routing::RoutingPolicy`]
 //!   acting on live load.
+//! * [`autoscale::Autoscaler`] — load-signal autoscaling for the
+//!   co-simulation: a pluggable [`autoscale::ScalePolicy`] provisions
+//!   replicas (with a cold-start delay) and drains-then-retires them
+//!   mid-trace, with replica-seconds cost accounting in the report.
 //!
 //! # Examples
 //!
@@ -35,6 +39,7 @@
 //! assert_eq!(report.records().len(), 1);
 //! ```
 
+pub mod autoscale;
 pub mod cluster;
 pub mod disagg;
 pub mod engine;
@@ -43,6 +48,9 @@ pub mod report;
 pub mod routing;
 mod seq;
 
+pub use autoscale::{
+    AutoscaleConfig, Autoscaler, FleetSignal, LoadBandPolicy, NeverScale, ScaleAction, ScalePolicy,
+};
 pub use cluster::DataParallelCluster;
 pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
 pub use report::{EngineReport, IterationEvent};

@@ -1,8 +1,8 @@
 //! Run reports.
 
 use sp_metrics::{
-    ClassSlo, ClassSloReport, Dur, LatencyRecorder, ReplicaLoadSeries, RequestRecord,
-    RoutingDecision, SimTime,
+    ClassSlo, ClassSloReport, Dur, FleetTimeline, LatencyRecorder, ReplicaLoadSeries,
+    RequestRecord, RoutingDecision, SimTime,
 };
 use sp_parallel::ParallelConfig;
 use std::collections::HashMap;
@@ -41,6 +41,7 @@ pub struct EngineReport {
     timeline: Option<Vec<IterationEvent>>,
     routing: Vec<RoutingDecision>,
     replica_loads: ReplicaLoadSeries,
+    fleet: FleetTimeline,
 }
 
 impl EngineReport {
@@ -62,6 +63,7 @@ impl EngineReport {
             timeline: None,
             routing: Vec::new(),
             replica_loads: ReplicaLoadSeries::new(),
+            fleet: FleetTimeline::new(),
         }
     }
 
@@ -70,6 +72,14 @@ impl EngineReport {
     pub fn set_routing(&mut self, decisions: Vec<RoutingDecision>, loads: ReplicaLoadSeries) {
         self.routing = decisions;
         self.replica_loads = loads;
+    }
+
+    /// Attaches the replica lifecycle timeline (set by the cluster
+    /// simulation). Like [`EngineReport::set_routing`], this *replaces*
+    /// the current timeline: the cluster tier that routed also owns the
+    /// fleet's lifecycle, and nested tiers' trails are tier-local.
+    pub fn set_fleet_timeline(&mut self, timeline: FleetTimeline) {
+        self.fleet = timeline;
     }
 
     pub(crate) fn enable_timeline(&mut self) {
@@ -210,6 +220,14 @@ impl EngineReport {
         &self.replica_loads
     }
 
+    /// Replica lifecycle timeline (spawn / ready / drain / retire
+    /// events) with replica-seconds accounting. For a fixed fleet every
+    /// replica spawns ready at time zero and never retires, so
+    /// `replica_seconds(makespan)` is exactly `replicas × makespan`.
+    pub fn fleet_timeline(&self) -> &FleetTimeline {
+        &self.fleet
+    }
+
     /// Combined throughput over the whole run, tokens/second.
     pub fn combined_throughput(&self) -> f64 {
         if self.makespan.as_secs() == 0.0 {
@@ -245,6 +263,7 @@ impl EngineReport {
         self.makespan = self.makespan.max(other.makespan);
         self.routing.extend(other.routing);
         self.replica_loads.absorb(other.replica_loads);
+        self.fleet.absorb(other.fleet);
         if let (Some(mine), Some(theirs)) = (&mut self.timeline, other.timeline) {
             mine.extend(theirs);
             mine.sort_by(|a, b| a.end.as_secs().partial_cmp(&b.end.as_secs()).expect("finite"));

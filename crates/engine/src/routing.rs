@@ -12,10 +12,12 @@
 //! [`crate::cluster::DataParallelCluster`] so whole clusters nest as
 //! fleet nodes).
 
+use crate::autoscale::{Autoscaler, FleetSignal, ScaleAction};
 use crate::engine::Engine;
 use crate::report::EngineReport;
 use sp_metrics::{
-    ClassSlo, Dur, NodeLoad, ReplicaLoadSeries, RequestClass, RoutingDecision, SimTime,
+    ClassSlo, Dur, FleetTimeline, NodeLoad, ReplicaEventKind, ReplicaLoadSeries, RequestClass,
+    RoutingDecision, SimTime,
 };
 use sp_workload::{Request, Trace};
 use std::cmp::Reverse;
@@ -110,9 +112,12 @@ impl RoutingPolicy for JoinShortestOutstanding {
 /// new prompt directly. Ranking by the TTFT estimate routes around
 /// prefill queues and KV pressure and ignores harmless decode work.
 /// Ties — including the cold start where no replica reports a prefill
-/// rate and every estimate is zero — break by outstanding tokens and
-/// then lowest index, so the policy degrades to plain JSQ exactly when
-/// the TTFT signal carries no information.
+/// rate and every estimate saturates at [`Dur::MAX`] — break by
+/// outstanding tokens and then lowest index, so the policy degrades to
+/// plain JSQ exactly when the TTFT signal carries no information. A
+/// *single* rate-less replica among warm ones is never preferred: its
+/// unbounded estimate loses to any priced one (the cold-replica dogpile
+/// fix in [`NodeLoad::estimated_ttft`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsqByTtft;
 
@@ -231,9 +236,17 @@ impl RoutingPolicy for EarliestDeadlineFeasible {
             .min_by_key(|&(_, l)| l.outstanding_tokens)
             .map(|(i, _)| i);
         feasible.unwrap_or_else(|| {
+            // Least-bad fallback. ETA ties (e.g. several cold replicas
+            // saturating at `Dur::MAX`) break by outstanding tokens so
+            // the policy degrades to JSQ instead of herding onto the
+            // lowest index.
             etas.iter()
                 .enumerate()
-                .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
+                .min_by(|a, b| {
+                    a.1.as_secs()
+                        .total_cmp(&b.1.as_secs())
+                        .then(loads[a.0].outstanding_tokens.cmp(&loads[b.0].outstanding_tokens))
+                })
                 .map(|(i, _)| i)
                 .expect("at least one replica")
         })
@@ -289,8 +302,9 @@ pub trait SimNode {
 
     /// Full load snapshot for deadline-aware routing. The default carries
     /// only `outstanding_tokens` (TTFT-estimate fields zeroed), under
-    /// which [`NodeLoad::estimated_ttft`] degrades to zero and
-    /// deadline-aware policies fall back to join-shortest-outstanding.
+    /// which [`NodeLoad::estimated_ttft`] saturates at [`Dur::MAX`] for
+    /// every node alike and deadline-aware policies degrade to
+    /// join-shortest-outstanding through their tie-breaks.
     fn load(&self) -> NodeLoad {
         NodeLoad { outstanding_tokens: self.outstanding_tokens(), ..NodeLoad::default() }
     }
@@ -325,6 +339,353 @@ impl SimNode for Engine {
     }
 }
 
+/// A replica slot's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlotState {
+    /// Routable: the router may pick it.
+    Active,
+    /// Provisioned but inside its cold-start delay; becomes routable at
+    /// the first dispatch at or after `ready_at`.
+    Warming {
+        /// Instant the warmup completes.
+        ready_at: SimTime,
+    },
+    /// Excluded from routing; retires once its in-flight work drains.
+    Draining,
+}
+
+/// One replica slot. Slots are *stable*: a retired replica's slot is
+/// never shifted out from under live calendar entries — the node is
+/// taken out, the generation bumps, and a later scale-out may install a
+/// new tenant in the same slot. Routing decisions and load samples
+/// record slot indices, so replica identities in reports stay stable
+/// across the whole run.
+#[derive(Debug)]
+struct Slot<N> {
+    node: Option<N>,
+    /// Tenancy generation: bumped when a tenant retires, so calendar
+    /// entries published by a dead tenant can never alias a new tenant
+    /// in the same slot (see [`ClusterSim`]'s calendar docs).
+    gen: u64,
+    state: SlotState,
+}
+
+/// The lifecycle-aware fleet core shared by [`ClusterSim`] and
+/// [`ReferenceClusterSim`]: slots, routing, autoscaling decisions,
+/// lifecycle bookkeeping and report assembly. The two simulations differ
+/// *only* in how they find the earliest pending event (binary-heap
+/// calendar vs. linear rescan), so the byte-identity property between
+/// them keeps pinning exactly the calendar — scale events included.
+#[derive(Debug)]
+struct Fleet<N> {
+    slots: Vec<Slot<N>>,
+    policy: Box<dyn RoutingPolicy>,
+    throughput_bin: Dur,
+    /// Decision trail accumulated across dispatches; taken with the
+    /// report. `RoutingDecision::replica` holds the stable slot index.
+    decisions: Vec<RoutingDecision>,
+    /// Per-slot loads sampled at each dispatch; taken with the report.
+    load_series: ReplicaLoadSeries,
+    /// Replica lifecycle events + replica-seconds accounting.
+    timeline: FleetTimeline,
+    /// Reports of retired replicas, merged into the final report.
+    retired: Vec<EngineReport>,
+    /// Scale-out / drain-then-retire decision machinery, if attached.
+    autoscaler: Option<Autoscaler<N>>,
+    /// Scratch for the per-dispatch load snapshot and its position→slot
+    /// map, reused to keep the dispatch hot path allocation-free.
+    scratch_loads: Vec<NodeLoad>,
+    scratch_slots: Vec<usize>,
+}
+
+impl<N: SimNode> Fleet<N> {
+    fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> Fleet<N> {
+        assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
+        let mut timeline = FleetTimeline::new();
+        let slots: Vec<Slot<N>> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| {
+                timeline.record(i, SimTime::ZERO, ReplicaEventKind::Spawned);
+                timeline.record(i, SimTime::ZERO, ReplicaEventKind::Ready);
+                Slot { node: Some(n), gen: 0, state: SlotState::Active }
+            })
+            .collect();
+        Fleet {
+            slots,
+            policy,
+            throughput_bin: Dur::from_secs(1.0),
+            decisions: Vec::new(),
+            load_series: ReplicaLoadSeries::new(),
+            timeline,
+            retired: Vec::new(),
+            autoscaler: None,
+            scratch_loads: Vec::new(),
+            scratch_slots: Vec::new(),
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Provisioned replicas: slots currently holding a node (routable,
+    /// warming or draining).
+    fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.node.is_some()).count()
+    }
+
+    /// Routable replicas: provisioned and in the `Active` state.
+    fn routable_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.node.is_some() && matches!(s.state, SlotState::Active))
+            .count()
+    }
+
+    fn gen(&self, i: usize) -> u64 {
+        self.slots[i].gen
+    }
+
+    fn next_event_of(&self, i: usize) -> Option<SimTime> {
+        self.slots[i].node.as_ref().and_then(SimNode::next_event_time)
+    }
+
+    /// Linear rescanning next-event query over live slots: O(R) per
+    /// event. Ties break to the lowest slot index (`min_by` keeps the
+    /// first minimum) and times compare with `total_cmp`, matching the
+    /// calendar's key order.
+    fn earliest_linear(&self) -> Option<usize> {
+        (0..self.slots.len())
+            .filter_map(|i| self.next_event_of(i).map(|t| (i, t)))
+            .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
+            .map(|(i, _)| i)
+    }
+
+    fn step(&mut self, i: usize) {
+        if let Some(n) = self.slots[i].node.as_mut() {
+            n.step_once();
+        }
+    }
+
+    /// Post-step lifecycle hook: a draining slot whose final event just
+    /// fired (at instant `t`) retires on the spot.
+    fn after_step(&mut self, i: usize, t: SimTime) {
+        self.maybe_retire(i, t);
+    }
+
+    /// Retires slot `i` if it is draining and idle: takes its report,
+    /// removes the node, bumps the tenancy generation. Returns whether
+    /// it retired.
+    fn maybe_retire(&mut self, i: usize, at: SimTime) -> bool {
+        if self.slots[i].state != SlotState::Draining {
+            return false;
+        }
+        let idle = self.slots[i]
+            .node
+            .as_ref()
+            .is_some_and(|n| n.next_event_time().is_none() && n.outstanding_tokens() == 0);
+        if !idle {
+            return false;
+        }
+        let mut node = self.slots[i].node.take().expect("draining slot holds a node");
+        self.retired.push(node.take_report());
+        self.slots[i].gen += 1;
+        self.slots[i].state = SlotState::Active;
+        self.timeline.record(i, at, ReplicaEventKind::Retired);
+        true
+    }
+
+    /// Provisions one replica (a scale-out decision at instant `now`),
+    /// reusing the lowest free slot if any. No-op at `max_replicas`.
+    fn spawn(&mut self, now: SimTime) {
+        let config = self.autoscaler.as_ref().expect("spawn requires an autoscaler").config;
+        if self.live_count() >= config.max_replicas {
+            return;
+        }
+        let node = {
+            let scaler = self.autoscaler.as_mut().expect("spawn requires an autoscaler");
+            let node = (scaler.spawner)(scaler.spawned);
+            scaler.spawned += 1;
+            node
+        };
+        let i = match self.slots.iter().position(|s| s.node.is_none()) {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot { node: None, gen: 0, state: SlotState::Active });
+                self.slots.len() - 1
+            }
+        };
+        self.slots[i].node = Some(node);
+        self.timeline.record(i, now, ReplicaEventKind::Spawned);
+        let ready_at = now + config.cold_start;
+        if ready_at <= now {
+            self.slots[i].state = SlotState::Active;
+            self.timeline.record(i, now, ReplicaEventKind::Ready);
+        } else {
+            self.slots[i].state = SlotState::Warming { ready_at };
+        }
+    }
+
+    /// Starts drain-then-retire on slot `i` (a scale-in decision at
+    /// instant `now`). No-op unless the slot is routable, and ignored
+    /// when the routable fleet is at `min_replicas`. An already-idle
+    /// victim retires immediately.
+    fn drain(&mut self, i: usize, now: SimTime) {
+        let config = self.autoscaler.as_ref().expect("drain requires an autoscaler").config;
+        if self.slots[i].node.is_none() || self.slots[i].state != SlotState::Active {
+            return;
+        }
+        if self.routable_count() <= config.min_replicas {
+            return;
+        }
+        self.slots[i].state = SlotState::Draining;
+        self.timeline.record(i, now, ReplicaEventKind::DrainStarted);
+        self.maybe_retire(i, now);
+    }
+
+    /// Lifecycle work at a dispatch instant, before routing: warmed-up
+    /// replicas join the routable set, idle draining slots retire, and
+    /// the scale policy observes the routable loads and acts. A fleet
+    /// without an autoscaler skips all of it — no slot ever leaves
+    /// `Active`, so the fixed-fleet dispatch path is unchanged.
+    fn pre_dispatch(&mut self, now: SimTime) {
+        if self.autoscaler.is_none() {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            if let SlotState::Warming { ready_at } = self.slots[i].state {
+                if ready_at <= now && self.slots[i].node.is_some() {
+                    self.slots[i].state = SlotState::Active;
+                    self.timeline.record(i, ready_at, ReplicaEventKind::Ready);
+                }
+            }
+        }
+        for i in 0..self.slots.len() {
+            self.maybe_retire(i, now);
+        }
+
+        // Snapshot the routable loads for the scale policy — the same
+        // signal (and sampling cadence) the router acts on.
+        let mut loads = std::mem::take(&mut self.scratch_loads);
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        loads.clear();
+        slots.clear();
+        let mut warming = 0usize;
+        let mut draining = 0usize;
+        for (i, s) in self.slots.iter().enumerate() {
+            let Some(node) = &s.node else { continue };
+            match s.state {
+                SlotState::Active => {
+                    loads.push(node.load());
+                    slots.push(i);
+                }
+                SlotState::Warming { .. } => warming += 1,
+                SlotState::Draining => draining += 1,
+            }
+        }
+        let mut actions = {
+            let scaler = self.autoscaler.as_mut().expect("checked above");
+            let mut actions = std::mem::take(&mut scaler.actions);
+            actions.clear();
+            let signal = FleetSignal { now, loads: &loads, warming, draining };
+            scaler.policy.decide(&signal, &mut actions);
+            actions
+        };
+        for action in actions.drain(..) {
+            match action {
+                ScaleAction::Spawn => self.spawn(now),
+                ScaleAction::Drain { replica } => {
+                    if let Some(&slot) = slots.get(replica) {
+                        self.drain(slot, now);
+                    }
+                }
+            }
+        }
+        self.autoscaler.as_mut().expect("checked above").actions = actions;
+        self.scratch_loads = loads;
+        self.scratch_slots = slots;
+    }
+
+    /// Samples the routable loads, records the load series, and routes
+    /// `req`, returning the chosen slot index.
+    fn route(&mut self, req: &Request) -> usize {
+        let mut loads = std::mem::take(&mut self.scratch_loads);
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        loads.clear();
+        slots.clear();
+        for (i, s) in self.slots.iter().enumerate() {
+            if matches!(s.state, SlotState::Active) {
+                if let Some(node) = &s.node {
+                    loads.push(node.load());
+                    slots.push(i);
+                }
+            }
+        }
+        assert!(!loads.is_empty(), "no routable replica (min_replicas >= 1 guards this)");
+        for (pos, l) in loads.iter().enumerate() {
+            self.load_series.record(slots[pos], req.arrival, l.outstanding_tokens);
+        }
+        let pick = self.policy.pick(req, &loads).min(loads.len() - 1);
+        let slot = slots[pick];
+        self.decisions.push(RoutingDecision {
+            request_id: req.id,
+            replica: slot,
+            at: req.arrival,
+            load_tokens: loads[pick].outstanding_tokens,
+        });
+        self.scratch_loads = loads;
+        self.scratch_slots = slots;
+        slot
+    }
+
+    fn push_to(&mut self, slot: usize, req: Request) {
+        self.slots[slot].node.as_mut().expect("routed to a live slot").push_request(req);
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.slots.iter().filter_map(|s| s.node.as_ref()).map(SimNode::outstanding_tokens).sum()
+    }
+
+    fn aggregate_load(&self) -> NodeLoad {
+        let seed = NodeLoad { min_kv_free_tokens: u64::MAX, ..NodeLoad::default() };
+        self.slots.iter().filter_map(|s| s.node.as_ref()).map(SimNode::load).fold(seed, |acc, l| {
+            NodeLoad {
+                outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
+                queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
+                kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
+                min_kv_free_tokens: acc.min_kv_free_tokens.min(l.min_kv_free_tokens),
+                prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
+            }
+        })
+    }
+
+    /// Finalizes an incremental run: merges retired and live per-node
+    /// reports and attaches the accumulated decision trail, load samples
+    /// and lifecycle timeline (all reset).
+    fn take_report(&mut self) -> EngineReport {
+        let mut merged = EngineReport::new(self.throughput_bin);
+        for report in std::mem::take(&mut self.retired) {
+            merged.merge(report);
+        }
+        for s in &mut self.slots {
+            if let Some(n) = s.node.as_mut() {
+                merged.merge(n.take_report());
+            }
+        }
+        merged.set_routing(
+            std::mem::take(&mut self.decisions),
+            std::mem::take(&mut self.load_series),
+        );
+        merged.set_fleet_timeline(std::mem::take(&mut self.timeline));
+        merged
+    }
+
+    fn into_nodes(self) -> Vec<N> {
+        self.slots.into_iter().filter_map(|s| s.node).collect()
+    }
+}
+
 /// Event-driven multi-replica co-simulation.
 ///
 /// Replicas advance in global simulated-time order; each request is
@@ -332,6 +693,12 @@ impl SimNode for Engine {
 /// [`RoutingPolicy`] picks from live `outstanding_tokens`. The merged
 /// report carries the routing decision trail and a per-replica load time
 /// series sampled at every dispatch.
+///
+/// Attach an [`Autoscaler`] with [`ClusterSim::with_autoscaler`] to let
+/// a [`crate::autoscale::ScalePolicy`] grow and shrink the fleet
+/// mid-trace on the load signal (scale-out with a cold-start delay,
+/// drain-then-retire on the way down); the report then also carries the
+/// replica lifecycle timeline and its replica-seconds cost accounting.
 ///
 /// # Examples
 ///
@@ -360,34 +727,31 @@ impl SimNode for Engine {
 /// ```
 #[derive(Debug)]
 pub struct ClusterSim<N: SimNode> {
-    nodes: Vec<N>,
-    policy: Box<dyn RoutingPolicy>,
-    throughput_bin: Dur,
-    /// Decision trail accumulated across incremental
-    /// [`ClusterSim::push_request`] calls; taken by
-    /// [`ClusterSim::take_report`].
-    decisions: Vec<RoutingDecision>,
-    /// Per-replica loads sampled at each dispatch; taken with the report.
-    load_series: ReplicaLoadSeries,
-    /// The event calendar: a min-heap of `(next_event_time, node index)`
-    /// entries with *lazy invalidation*. Stepping or feeding a node
-    /// pushes its fresh key instead of rewriting the old entry; stale
-    /// entries (whose key no longer matches the node's live
+    fleet: Fleet<N>,
+    /// The event calendar: a min-heap of `(next_event_time, slot,
+    /// generation)` entries with *lazy invalidation*. Stepping or
+    /// feeding a slot pushes its fresh key instead of rewriting the old
+    /// entry; stale entries (whose key no longer matches the slot's live
     /// `next_event_time`) are discarded when they surface at the top.
-    /// The key includes the node index, so simultaneous events pop in
-    /// index order — the same lowest-index tie-break the original
-    /// linear rescanning loop got from `min_by`, keeping every
-    /// downstream report byte-identical while next-event dispatch drops
-    /// from O(R) to O(log R).
+    /// The key includes the slot index, so simultaneous events pop in
+    /// slot order — the same lowest-index tie-break the original linear
+    /// rescanning loop got from `min_by`, keeping every downstream
+    /// report byte-identical while next-event dispatch drops from O(R)
+    /// to O(log R).
     ///
-    /// Invariant (holds between public calls): every active node's
-    /// current key is present, and the heap top is not stale — so
-    /// read-only peeks need no cleanup.
-    calendar: BinaryHeap<Reverse<(EventKey, usize)>>,
-    /// Scratch for the per-dispatch load snapshot, reused across
-    /// [`ClusterSim::push_request`] calls to keep the dispatch hot path
-    /// allocation-free.
-    scratch_loads: Vec<NodeLoad>,
+    /// The *generation* tombstones entries across replica lifecycles:
+    /// when a draining replica retires, its published keys stay buried
+    /// in the heap, and a scale-out may install a new tenant in the same
+    /// slot whose next event happens to coincide with a dead entry's
+    /// key. Pure key matching would mistake that stale entry for live.
+    /// The tenancy generation (bumped at every retire) makes entries
+    /// from retired tenants compare unequal regardless of key
+    /// coincidences.
+    ///
+    /// Invariant (holds between public calls): every live slot's current
+    /// key is present, and the heap top is not stale — so read-only
+    /// peeks need no cleanup.
+    calendar: BinaryHeap<Reverse<(EventKey, usize, u64)>>,
 }
 
 impl<N: SimNode> ClusterSim<N> {
@@ -397,93 +761,110 @@ impl<N: SimNode> ClusterSim<N> {
     ///
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ClusterSim<N> {
-        assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
-        let mut sim = ClusterSim {
-            nodes,
-            policy,
-            throughput_bin: Dur::from_secs(1.0),
-            decisions: Vec::new(),
-            load_series: ReplicaLoadSeries::new(),
-            calendar: BinaryHeap::new(),
-            scratch_loads: Vec::new(),
-        };
-        for i in 0..sim.nodes.len() {
+        let mut sim = ClusterSim { fleet: Fleet::new(nodes, policy), calendar: BinaryHeap::new() };
+        for i in 0..sim.fleet.slot_count() {
             sim.reschedule(i);
         }
         sim
     }
 
-    /// Sets the merged report's throughput bin width (default 1 s).
-    pub fn throughput_bin(mut self, bin: Dur) -> ClusterSim<N> {
-        self.throughput_bin = bin;
+    /// Attaches an autoscaler: at every dispatch instant its
+    /// [`crate::autoscale::ScalePolicy`] observes the routable loads and
+    /// may provision replicas (routable after the configured cold-start
+    /// delay) or drain-then-retire them. Without this, the fleet is
+    /// fixed and dispatch behaves exactly as before.
+    pub fn with_autoscaler(mut self, scaler: Autoscaler<N>) -> ClusterSim<N> {
+        self.fleet.autoscaler = Some(scaler);
         self
     }
 
-    /// Number of nodes.
+    /// Sets the merged report's throughput bin width (default 1 s).
+    pub fn throughput_bin(mut self, bin: Dur) -> ClusterSim<N> {
+        self.fleet.throughput_bin = bin;
+        self
+    }
+
+    /// Number of provisioned nodes (routable, warming or draining).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.fleet.live_count()
+    }
+
+    /// Number of routable nodes (provisioned and past warmup, not
+    /// draining). Equals [`ClusterSim::node_count`] without an
+    /// autoscaler.
+    pub fn routable_count(&self) -> usize {
+        self.fleet.routable_count()
     }
 
     /// The routing policy's name.
     pub fn policy_name(&self) -> &str {
-        self.policy.name()
+        self.fleet.policy.name()
     }
 
-    /// Consumes the simulation, returning its nodes.
+    /// Consumes the simulation, returning its live nodes.
     pub fn into_nodes(self) -> Vec<N> {
-        self.nodes
+        self.fleet.into_nodes()
     }
 
-    /// The node's current calendar key, if it has a pending event.
+    /// The slot's current calendar key, if it holds a node with a
+    /// pending event.
     fn node_key(&self, i: usize) -> Option<EventKey> {
-        self.nodes[i].next_event_time().map(EventKey::of)
+        self.fleet.next_event_of(i).map(EventKey::of)
     }
 
-    /// Publishes node `i`'s current next-event key on the calendar. Must
-    /// be called after every operation that may change the node's next
-    /// event (stepping it, feeding it a request); the key it superseded
-    /// becomes stale and is lazily discarded by [`ClusterSim::settle`].
+    /// Publishes slot `i`'s current next-event key on the calendar. Must
+    /// be called after every operation that may change the slot's next
+    /// event (stepping it, feeding it a request, installing or retiring
+    /// a tenant); the key it superseded becomes stale and is lazily
+    /// discarded by [`ClusterSim::settle`].
     fn reschedule(&mut self, i: usize) {
         if let Some(key) = self.node_key(i) {
-            self.calendar.push(Reverse((key, i)));
+            self.calendar.push(Reverse((key, i, self.fleet.gen(i))));
         }
     }
 
-    /// Discards stale calendar entries until the top is live (its key
-    /// matches the node's current `next_event_time`) or the calendar is
-    /// empty. Every mutating public method ends with a settled calendar,
-    /// so read-only peeks ([`ClusterSim::next_event_time`]) stay `&self`.
+    /// Discards stale calendar entries until the top is live (same
+    /// tenancy generation, key matches the slot's current
+    /// `next_event_time`) or the calendar is empty. Every mutating
+    /// public method ends with a settled calendar, so read-only peeks
+    /// ([`ClusterSim::next_event_time`]) stay `&self`.
     fn settle(&mut self) {
-        while let Some(&Reverse((key, i))) = self.calendar.peek() {
-            if self.node_key(i) == Some(key) {
+        while let Some(&Reverse((key, i, gen))) = self.calendar.peek() {
+            if self.fleet.gen(i) == gen && self.node_key(i) == Some(key) {
                 break;
             }
             self.calendar.pop();
         }
     }
 
-    /// Index of the node with the earliest pending event, if any,
+    /// Index of the slot with the earliest pending event, if any,
     /// settling the calendar first. Simultaneous events resolve to the
-    /// lowest node index (the index is part of the heap key), so
+    /// lowest slot index (the index is part of the heap key), so
     /// stepping order — and therefore every downstream report — is
-    /// deterministic and identical to the original linear rescanning
+    /// deterministic and identical to the reference linear rescanning
     /// loop's `min_by` tie-break.
     fn earliest(&mut self) -> Option<usize> {
         self.settle();
-        self.calendar.peek().map(|&Reverse((_, i))| i)
+        self.calendar.peek().map(|&Reverse((_, i, _))| i)
     }
 
-    /// Steps node `i` by one event and republishes its calendar key.
+    /// Steps slot `i` by one event, runs the post-step lifecycle hook
+    /// (a drained-dry replica retires at the event's instant), and
+    /// republishes the slot's calendar key.
     fn step_node(&mut self, i: usize) {
-        self.nodes[i].step_once();
+        let t = self.fleet.next_event_of(i);
+        self.fleet.step(i);
+        if let Some(t) = t {
+            self.fleet.after_step(i, t);
+        }
         self.reschedule(i);
     }
 
-    /// Steps nodes in global time order until every pending event is at
+    /// Steps slots in global time order until every pending event is at
     /// or after `horizon`.
     fn advance_to(&mut self, horizon: SimTime) {
         while let Some(i) = self.earliest() {
-            let t = self.nodes[i].next_event_time().expect("earliest implies event");
+            let t = self.fleet.next_event_of(i).expect("earliest implies event");
             if t.as_secs() >= horizon.as_secs() {
                 break;
             }
@@ -492,31 +873,20 @@ impl<N: SimNode> ClusterSim<N> {
         self.settle();
     }
 
-    /// Dispatches one request at its arrival instant: advances every node
-    /// up to the arrival, samples live loads, routes, and enqueues.
-    /// Requests must be pushed in nondecreasing arrival order (as
-    /// [`ClusterSim::run`] does for a trace). The routing decision and
-    /// load samples accumulate until [`ClusterSim::take_report`].
+    /// Dispatches one request at its arrival instant: advances every
+    /// node up to the arrival, runs autoscaler lifecycle work (warmups,
+    /// retires, scale decisions), samples routable loads, routes, and
+    /// enqueues. Requests must be pushed in nondecreasing arrival order
+    /// (as [`ClusterSim::run`] does for a trace). The routing decision
+    /// and load samples accumulate until [`ClusterSim::take_report`].
     pub fn push_request(&mut self, req: Request) {
         // Bring every node's local clock up to this arrival so the load
         // signal reflects work actually still outstanding now.
         self.advance_to(req.arrival);
-        let mut loads = std::mem::take(&mut self.scratch_loads);
-        loads.clear();
-        loads.extend(self.nodes.iter().map(SimNode::load));
-        for (i, l) in loads.iter().enumerate() {
-            self.load_series.record(i, req.arrival, l.outstanding_tokens);
-        }
-        let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
-        self.decisions.push(RoutingDecision {
-            request_id: req.id,
-            replica: pick,
-            at: req.arrival,
-            load_tokens: loads[pick].outstanding_tokens,
-        });
-        self.scratch_loads = loads;
-        self.nodes[pick].push_request(req);
-        self.reschedule(pick);
+        self.fleet.pre_dispatch(req.arrival);
+        let slot = self.fleet.route(&req);
+        self.fleet.push_to(slot, req);
+        self.reschedule(slot);
         self.settle();
     }
 
@@ -533,13 +903,13 @@ impl<N: SimNode> ClusterSim<N> {
     /// or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
         // The calendar is settled at rest, so its top (when present) is a
-        // live `(key, node)` pair.
-        self.calendar.peek().and_then(|&Reverse((_, i))| self.nodes[i].next_event_time())
+        // live `(key, slot, gen)` triple.
+        self.calendar.peek().and_then(|&Reverse((_, i, _))| self.fleet.next_event_of(i))
     }
 
-    /// Total outstanding work across nodes, in tokens.
+    /// Total outstanding work across live nodes, in tokens.
     pub fn outstanding_tokens(&self) -> u64 {
-        self.nodes.iter().map(SimNode::outstanding_tokens).sum()
+        self.fleet.outstanding()
     }
 
     /// Aggregate load: sums across nodes (capacity-style signals add;
@@ -550,28 +920,14 @@ impl<N: SimNode> ClusterSim<N> {
     /// `kv_free_tokens` overstates what a single request can use; see
     /// [`NodeLoad`]'s aggregate-semantics docs).
     pub fn load(&self) -> NodeLoad {
-        let seed = NodeLoad { min_kv_free_tokens: u64::MAX, ..NodeLoad::default() };
-        self.nodes.iter().map(SimNode::load).fold(seed, |acc, l| NodeLoad {
-            outstanding_tokens: acc.outstanding_tokens + l.outstanding_tokens,
-            queued_prefill_tokens: acc.queued_prefill_tokens + l.queued_prefill_tokens,
-            kv_free_tokens: acc.kv_free_tokens + l.kv_free_tokens,
-            min_kv_free_tokens: acc.min_kv_free_tokens.min(l.min_kv_free_tokens),
-            prefill_tokens_per_sec: acc.prefill_tokens_per_sec + l.prefill_tokens_per_sec,
-        })
+        self.fleet.aggregate_load()
     }
 
-    /// Finalizes an incremental run: merges per-node reports and attaches
-    /// the accumulated decision trail and load samples (both reset).
+    /// Finalizes an incremental run: merges per-node reports (retired
+    /// replicas included) and attaches the accumulated decision trail,
+    /// load samples and replica lifecycle timeline (all reset).
     pub fn take_report(&mut self) -> EngineReport {
-        let mut merged = EngineReport::new(self.throughput_bin);
-        for node in &mut self.nodes {
-            merged.merge(node.take_report());
-        }
-        merged.set_routing(
-            std::mem::take(&mut self.decisions),
-            std::mem::take(&mut self.load_series),
-        );
-        merged
+        self.fleet.take_report()
     }
 
     /// Runs `trace` to completion: dispatch at arrival instants, then
@@ -582,7 +938,7 @@ impl<N: SimNode> ClusterSim<N> {
     /// Panics if the co-simulation fails to make progress (internal bug
     /// guard).
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
-        self.decisions.reserve(trace.len());
+        self.fleet.decisions.reserve(trace.len());
         for &req in trace.requests() {
             self.push_request(req);
         }
@@ -611,11 +967,7 @@ impl<N: SimNode> ClusterSim<N> {
 #[doc(hidden)]
 #[derive(Debug)]
 pub struct ReferenceClusterSim<N: SimNode> {
-    nodes: Vec<N>,
-    policy: Box<dyn RoutingPolicy>,
-    throughput_bin: Dur,
-    decisions: Vec<RoutingDecision>,
-    load_series: ReplicaLoadSeries,
+    fleet: Fleet<N>,
 }
 
 impl<N: SimNode> ReferenceClusterSim<N> {
@@ -625,41 +977,40 @@ impl<N: SimNode> ReferenceClusterSim<N> {
     ///
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ReferenceClusterSim<N> {
-        assert!(!nodes.is_empty(), "cluster simulation needs at least one node");
-        ReferenceClusterSim {
-            nodes,
-            policy,
-            throughput_bin: Dur::from_secs(1.0),
-            decisions: Vec::new(),
-            load_series: ReplicaLoadSeries::new(),
-        }
+        ReferenceClusterSim { fleet: Fleet::new(nodes, policy) }
+    }
+
+    /// Attaches an autoscaler (see [`ClusterSim::with_autoscaler`]). The
+    /// lifecycle machinery is the shared [`Fleet`] core, so scale events
+    /// exercise the byte-identity property too.
+    pub fn with_autoscaler(mut self, scaler: Autoscaler<N>) -> ReferenceClusterSim<N> {
+        self.fleet.autoscaler = Some(scaler);
+        self
     }
 
     /// Sets the merged report's throughput bin width (default 1 s).
     pub fn throughput_bin(mut self, bin: Dur) -> ReferenceClusterSim<N> {
-        self.throughput_bin = bin;
+        self.fleet.throughput_bin = bin;
         self
     }
 
-    /// Linear rescanning next-event query: O(R) per event. Ties break to
-    /// the lowest index (`min_by` keeps the first minimum) and times
-    /// compare with `total_cmp`, matching the calendar's key order.
-    fn earliest(&self) -> Option<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
-            .min_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
-            .map(|(i, _)| i)
+    /// Steps slot `i` with the same post-step lifecycle hook as
+    /// [`ClusterSim`], so drained replicas retire at identical instants.
+    fn step_node(&mut self, i: usize) {
+        let t = self.fleet.next_event_of(i);
+        self.fleet.step(i);
+        if let Some(t) = t {
+            self.fleet.after_step(i, t);
+        }
     }
 
     fn advance_to(&mut self, horizon: SimTime) {
-        while let Some(i) = self.earliest() {
-            let t = self.nodes[i].next_event_time().expect("earliest implies event");
+        while let Some(i) = self.fleet.earliest_linear() {
+            let t = self.fleet.next_event_of(i).expect("earliest implies event");
             if t.as_secs() >= horizon.as_secs() {
                 break;
             }
-            self.nodes[i].step_once();
+            self.step_node(i);
         }
     }
 
@@ -667,43 +1018,26 @@ impl<N: SimNode> ReferenceClusterSim<N> {
     /// [`ClusterSim::push_request`]).
     pub fn push_request(&mut self, req: Request) {
         self.advance_to(req.arrival);
-        let loads: Vec<NodeLoad> = self.nodes.iter().map(SimNode::load).collect();
-        for (i, l) in loads.iter().enumerate() {
-            self.load_series.record(i, req.arrival, l.outstanding_tokens);
-        }
-        let pick = self.policy.pick(&req, &loads).min(self.nodes.len() - 1);
-        self.decisions.push(RoutingDecision {
-            request_id: req.id,
-            replica: pick,
-            at: req.arrival,
-            load_tokens: loads[pick].outstanding_tokens,
-        });
-        self.nodes[pick].push_request(req);
+        self.fleet.pre_dispatch(req.arrival);
+        let slot = self.fleet.route(&req);
+        self.fleet.push_to(slot, req);
     }
 
     /// Advances the globally earliest node by one scheduling event.
     pub fn step_once(&mut self) {
-        if let Some(i) = self.earliest() {
-            self.nodes[i].step_once();
+        if let Some(i) = self.fleet.earliest_linear() {
+            self.step_node(i);
         }
     }
 
     /// Instant of the cluster's next event, or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.earliest().and_then(|i| self.nodes[i].next_event_time())
+        self.fleet.earliest_linear().and_then(|i| self.fleet.next_event_of(i))
     }
 
     /// Finalizes an incremental run (see [`ClusterSim::take_report`]).
     pub fn take_report(&mut self) -> EngineReport {
-        let mut merged = EngineReport::new(self.throughput_bin);
-        for node in &mut self.nodes {
-            merged.merge(node.take_report());
-        }
-        merged.set_routing(
-            std::mem::take(&mut self.decisions),
-            std::mem::take(&mut self.load_series),
-        );
-        merged
+        self.fleet.take_report()
     }
 
     /// Runs `trace` to completion (see [`ClusterSim::run`]).
@@ -713,15 +1047,15 @@ impl<N: SimNode> ReferenceClusterSim<N> {
     /// Panics if the co-simulation fails to make progress (internal bug
     /// guard).
     pub fn run(&mut self, trace: &Trace) -> EngineReport {
-        self.decisions.reserve(trace.len());
+        self.fleet.decisions.reserve(trace.len());
         for &req in trace.requests() {
             self.push_request(req);
         }
         let mut guard: u64 = 0;
-        while let Some(i) = self.earliest() {
+        while let Some(i) = self.fleet.earliest_linear() {
             guard += 1;
             assert!(guard < 400_000_000, "cluster simulation failed to terminate");
-            self.nodes[i].step_once();
+            self.step_node(i);
         }
         self.take_report()
     }
@@ -892,8 +1226,8 @@ mod tests {
         let r = req(0, 0.0, 500, 10);
         assert_eq!(JoinShortestOutstanding.pick(&r, &snapshot), 1);
         assert_eq!(JsqByTtft.pick(&r, &snapshot), 0);
-        // Without a prefill-rate estimate every ETA is zero and the
-        // tie-break reproduces plain JSQ.
+        // Without a prefill-rate estimate every ETA saturates at
+        // `Dur::MAX` and the tie-break reproduces plain JSQ.
         assert_eq!(JsqByTtft.pick(&r, &loads(&[500, 200, 900])), 1);
         assert_eq!(JsqByTtft.pick(&r, &loads(&[300, 300, 300])), 0);
     }
@@ -988,5 +1322,235 @@ mod tests {
         // One load sample per replica per dispatch.
         assert_eq!(report.replica_loads().samples().len(), 40 * 4);
         assert_eq!(report.records().len(), 40);
+    }
+
+    #[test]
+    fn spawned_engine_seeds_prefill_rate_from_compiled_plans() {
+        // An engine straight out of construction — exactly what an
+        // autoscaler's spawner builds — must already report a real
+        // prefill rate from its compiled plan set, so deadline-aware
+        // routers see its capacity before it has served anything.
+        let e = engines(1).pop().unwrap();
+        assert!(
+            e.load().prefill_tokens_per_sec > 0.0,
+            "fresh engine must price its prefill rate at construction"
+        );
+    }
+
+    #[test]
+    fn ttft_routing_never_dogpiles_a_rateless_replica() {
+        // Regression (cold-replica dogpile): a replica with no prefill
+        // rate sample used to estimate TTFT as *zero*, so TTFT-ranked
+        // and deadline-aware routers piled every request onto it. Its
+        // estimate now saturates at `Dur::MAX`: a warm replica — even a
+        // heavily loaded one — must win.
+        let warm = NodeLoad {
+            outstanding_tokens: 30_000,
+            queued_prefill_tokens: 10_000,
+            kv_free_tokens: 1_000_000,
+            min_kv_free_tokens: 1_000_000,
+            prefill_tokens_per_sec: 20_000.0,
+        };
+        let cold = NodeLoad {
+            outstanding_tokens: 0,
+            queued_prefill_tokens: 0,
+            kv_free_tokens: 1_000_000,
+            min_kv_free_tokens: 1_000_000,
+            prefill_tokens_per_sec: 0.0,
+        };
+        let r = req(0, 0.0, 500, 10);
+        assert_eq!(JsqByTtft.pick(&r, &[warm, cold]), 0, "TTFT ranking must avoid the cold one");
+        let mut edf = EarliestDeadlineFeasible::default();
+        assert_eq!(edf.pick(&r, &[warm, cold]), 0, "EDF must treat the cold one as infeasible");
+        // Two rateless replicas tie at MAX and degrade to JSQ on the
+        // outstanding tie-break instead of herding onto index 0.
+        let colder = NodeLoad { outstanding_tokens: 400, ..cold };
+        assert_eq!(JsqByTtft.pick(&r, &[colder, cold]), 1);
+        assert_eq!(edf.pick(&r, &[colder, cold]), 1);
+    }
+
+    /// Replays a fixed `(at, action)` script: each action fires at the
+    /// first dispatch at or after its instant. Deterministic by
+    /// construction.
+    #[derive(Debug)]
+    struct ScriptedScale {
+        script: Vec<(f64, ScaleAction)>,
+        next: usize,
+    }
+
+    impl ScriptedScale {
+        fn new(script: Vec<(f64, ScaleAction)>) -> ScriptedScale {
+            ScriptedScale { script, next: 0 }
+        }
+    }
+
+    impl crate::autoscale::ScalePolicy for ScriptedScale {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+
+        fn decide(&mut self, signal: &FleetSignal<'_>, actions: &mut Vec<ScaleAction>) {
+            while self.next < self.script.len() && signal.now.as_secs() >= self.script[self.next].0
+            {
+                actions.push(self.script[self.next].1);
+                self.next += 1;
+            }
+        }
+    }
+
+    fn scripted_scaler(
+        config: crate::autoscale::AutoscaleConfig,
+        script: Vec<(f64, ScaleAction)>,
+    ) -> Autoscaler<Engine> {
+        Autoscaler::new(config, Box::new(ScriptedScale::new(script)), |_| engines(1).pop().unwrap())
+    }
+
+    fn steady_trace(n: u64, gap: f64) -> Trace {
+        Trace::with_ids((0..n).map(|i| req(i, i as f64 * gap, 512, 8)).collect::<Vec<_>>())
+    }
+
+    fn record_bits(report: &EngineReport) -> Vec<(u64, u64, u64)> {
+        report
+            .records()
+            .iter()
+            .map(|r| {
+                (r.request_id, r.first_token.as_secs().to_bits(), r.finish.as_secs().to_bits())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn never_firing_autoscaler_is_byte_identical_to_fixed_fleet() {
+        use crate::autoscale::{AutoscaleConfig, NeverScale};
+        let trace = steady_trace(40, 0.25);
+        let fixed = ClusterSim::new(engines(2), RoutingKind::JsqByTtft.policy()).run(&trace);
+        let scaler = Autoscaler::new(AutoscaleConfig::default(), Box::new(NeverScale), |_| {
+            engines(1).pop().unwrap()
+        });
+        let auto = ClusterSim::new(engines(2), RoutingKind::JsqByTtft.policy())
+            .with_autoscaler(scaler)
+            .run(&trace);
+        assert_eq!(fixed.routing_decisions(), auto.routing_decisions());
+        assert_eq!(record_bits(&fixed), record_bits(&auto));
+    }
+
+    #[test]
+    fn autoscaled_cluster_spawns_and_retires_on_schedule() {
+        use crate::autoscale::AutoscaleConfig;
+        use sp_metrics::ReplicaEventKind;
+        let config =
+            AutoscaleConfig { cold_start: Dur::from_secs(2.0), min_replicas: 1, max_replicas: 4 };
+        let script = vec![(1.0, ScaleAction::Spawn), (30.0, ScaleAction::Drain { replica: 1 })];
+        let trace = steady_trace(80, 0.5);
+        let mut sim = ClusterSim::new(engines(1), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scripted_scaler(config, script));
+        let report = sim.run(&trace);
+
+        assert_eq!(report.records().len(), 80, "drain must not drop in-flight work");
+        let tl = report.fleet_timeline();
+        let kinds = |k: ReplicaEventKind| tl.events().iter().filter(|e| e.kind == k).count();
+        assert_eq!(kinds(ReplicaEventKind::Spawned), 2, "initial replica + one scale-out");
+        assert_eq!(kinds(ReplicaEventKind::DrainStarted), 1);
+        assert_eq!(kinds(ReplicaEventKind::Retired), 1);
+        let spawned = tl
+            .events()
+            .iter()
+            .find(|e| e.replica == 1 && e.kind == ReplicaEventKind::Spawned)
+            .expect("scale-out recorded");
+        let ready = tl
+            .events()
+            .iter()
+            .find(|e| e.replica == 1 && e.kind == ReplicaEventKind::Ready)
+            .expect("warmup completion recorded");
+        assert_eq!(ready.at.since(spawned.at).as_secs(), 2.0, "cold start is paid in full");
+        // No dispatch lands on the new replica before it is ready.
+        for d in report.routing_decisions() {
+            if d.replica == 1 {
+                assert!(d.at >= ready.at, "request routed to a warming replica at {:?}", d.at);
+            }
+        }
+        // Replica 1 lives for part of the run, so the fleet bills less
+        // than two always-on replicas.
+        let makespan = report.makespan();
+        let rs = tl.replica_seconds(makespan);
+        assert!(rs > makespan.as_secs(), "more than one replica existed");
+        assert!(rs < 2.0 * makespan.as_secs(), "replica 1 must not bill the full run");
+        assert_eq!(tl.peak_provisioned(), 2);
+    }
+
+    #[test]
+    fn retire_then_respawn_reuses_the_slot_and_matches_reference() {
+        // Regression (stale calendar entries): retiring a replica and
+        // later installing a new tenant in the same slot must neither
+        // resurrect the dead tenant's calendar entries nor shift live
+        // ones — the tenancy generation in the heap key tombstones them.
+        // A naive implementation that removes the node from the vector
+        // (shifting indices) or reuses the slot without bumping the
+        // generation diverges from the linear-rescan reference here.
+        use crate::autoscale::AutoscaleConfig;
+        use sp_metrics::ReplicaEventKind;
+        let config =
+            AutoscaleConfig { cold_start: Dur::from_secs(1.0), min_replicas: 1, max_replicas: 2 };
+        let script = || vec![(5.0, ScaleAction::Drain { replica: 1 }), (15.0, ScaleAction::Spawn)];
+        let trace = steady_trace(60, 0.5);
+        let heap = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scripted_scaler(config, script()))
+            .run(&trace);
+        let reference =
+            ReferenceClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+                .with_autoscaler(scripted_scaler(config, script()))
+                .run(&trace);
+
+        assert_eq!(heap.routing_decisions(), reference.routing_decisions());
+        assert_eq!(record_bits(&heap), record_bits(&reference));
+
+        // The respawn reused slot 1: two Spawned events on the same
+        // stable replica index, one Retired between them.
+        let slot1: Vec<ReplicaEventKind> = heap
+            .fleet_timeline()
+            .events()
+            .iter()
+            .filter(|e| e.replica == 1)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            slot1,
+            vec![
+                ReplicaEventKind::Spawned,
+                ReplicaEventKind::Ready,
+                ReplicaEventKind::DrainStarted,
+                ReplicaEventKind::Retired,
+                ReplicaEventKind::Spawned,
+                ReplicaEventKind::Ready,
+            ]
+        );
+    }
+
+    #[test]
+    fn autoscaler_clamps_at_min_and_max_bounds() {
+        use crate::autoscale::AutoscaleConfig;
+        use sp_metrics::ReplicaEventKind;
+        // min == max == 2: every scripted action must be ignored and the
+        // run must stay byte-identical to the fixed fleet.
+        let config =
+            AutoscaleConfig { cold_start: Dur::from_secs(1.0), min_replicas: 2, max_replicas: 2 };
+        let script = vec![
+            (1.0, ScaleAction::Drain { replica: 0 }),
+            (2.0, ScaleAction::Spawn),
+            (3.0, ScaleAction::Spawn),
+        ];
+        let trace = steady_trace(40, 0.25);
+        let fixed =
+            ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy()).run(&trace);
+        let clamped = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scripted_scaler(config, script))
+            .run(&trace);
+        assert_eq!(fixed.routing_decisions(), clamped.routing_decisions());
+        assert_eq!(record_bits(&fixed), record_bits(&clamped));
+        let tl = clamped.fleet_timeline();
+        assert_eq!(tl.peak_provisioned(), 2);
+        assert!(tl.events().iter().all(
+            |e| e.kind != ReplicaEventKind::DrainStarted && e.kind != ReplicaEventKind::Retired
+        ));
     }
 }

@@ -41,7 +41,10 @@ pub mod units;
 pub use histogram::LogHistogram;
 pub use latency::{LatencyRecorder, RequestRecord};
 pub use percentile::Quantiles;
-pub use routing::{NodeLoad, ReplicaLoadSample, ReplicaLoadSeries, RoutingDecision};
+pub use routing::{
+    FleetTimeline, NodeLoad, ReplicaEvent, ReplicaEventKind, ReplicaLoadSample, ReplicaLoadSeries,
+    RoutingDecision,
+};
 pub use slo::{ClassSlo, ClassSloReport, RequestClass, SloReport, SloTarget};
 pub use summary::StreamingSummary;
 pub use timeseries::BinnedSeries;

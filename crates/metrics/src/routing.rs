@@ -7,6 +7,7 @@
 //! Figure 16 production analyses can correlate tail latencies with
 //! routing behaviour.
 
+use crate::timeseries::BinnedSeries;
 use crate::units::{Dur, SimTime};
 
 /// A replica's live load, snapshotted at a routing instant.
@@ -62,9 +63,21 @@ impl NodeLoad {
     /// prompt, plus a KV-blocked penalty when the cache lacks headroom
     /// (the deficit must be freed by decode drain before admission, which
     /// the prefill-rate proxy undercounts — so it is weighted up).
+    ///
+    /// A snapshot with no prefill-rate sample (`prefill_tokens_per_sec <=
+    /// 0.0`) yields [`Dur::MAX`]: an unknown rate cannot *promise* a
+    /// first token, so the estimate is unbounded rather than zero. The
+    /// zero it used to return made every cold replica look instantly
+    /// available — deadline-aware routers dogpiled a freshly added
+    /// replica no matter how deep its queue grew, because its estimate
+    /// never moved off zero. When every replica is rate-less the
+    /// estimates tie at `MAX` and TTFT-ranked policies degrade to their
+    /// outstanding-token tie-breaks, preserving the old
+    /// fall-back-to-JSQ behaviour. Live engines never hit this path:
+    /// they seed the rate from their compiled plan set at construction.
     pub fn estimated_ttft(&self, input_tokens: u64, footprint_tokens: u64) -> Dur {
         if self.prefill_tokens_per_sec <= 0.0 {
-            return Dur::ZERO;
+            return Dur::MAX;
         }
         let prefill = (self.queued_prefill_tokens + input_tokens) as f64;
         let mut secs = prefill / self.prefill_tokens_per_sec;
@@ -187,6 +200,175 @@ impl ReplicaLoadSeries {
     }
 }
 
+/// A replica lifecycle transition (autoscaling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaEventKind {
+    /// The replica was provisioned; cost accrues from here. A cold-start
+    /// delay separates this from [`ReplicaEventKind::Ready`].
+    Spawned,
+    /// The replica finished warming up and became routable.
+    Ready,
+    /// The replica stopped receiving new work and began draining its
+    /// in-flight sequences.
+    DrainStarted,
+    /// The replica drained dry and was removed; cost stops accruing.
+    Retired,
+}
+
+/// One replica lifecycle event: `replica` transitioned at instant `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaEvent {
+    /// Stable replica slot index (reused slots keep the same index across
+    /// tenants; the event order disambiguates).
+    pub replica: usize,
+    /// Transition instant.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: ReplicaEventKind,
+}
+
+/// The fleet's replica lifecycle trail and its cost accounting.
+///
+/// Records every spawn / ready / drain / retire transition in time order
+/// and derives the *replica-seconds* cost metric from it: each replica
+/// pays from [`ReplicaEventKind::Spawned`] (provisioning starts billing,
+/// including the cold-start warmup) until [`ReplicaEventKind::Retired`]
+/// (or the query horizon for replicas still up). A fixed fleet of `R`
+/// replicas over a makespan `T` therefore costs exactly `R x T`, which is
+/// the baseline autoscaling is measured against.
+///
+/// # Examples
+///
+/// ```
+/// use sp_metrics::{FleetTimeline, ReplicaEventKind, SimTime};
+///
+/// let mut t = FleetTimeline::new();
+/// t.record(0, SimTime::ZERO, ReplicaEventKind::Spawned);
+/// t.record(0, SimTime::ZERO, ReplicaEventKind::Ready);
+/// t.record(1, SimTime::from_secs(10.0), ReplicaEventKind::Spawned);
+/// t.record(1, SimTime::from_secs(30.0), ReplicaEventKind::Retired);
+/// assert_eq!(t.replica_seconds(SimTime::from_secs(100.0)), 100.0 + 20.0);
+/// assert_eq!(t.peak_provisioned(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTimeline {
+    events: Vec<ReplicaEvent>,
+    replica_count: usize,
+}
+
+impl FleetTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> FleetTimeline {
+        FleetTimeline::default()
+    }
+
+    /// Records one lifecycle transition. Events must be recorded in
+    /// nondecreasing time order (as a simulation emits them).
+    pub fn record(&mut self, replica: usize, at: SimTime, kind: ReplicaEventKind) {
+        self.replica_count = self.replica_count.max(replica + 1);
+        self.events.push(ReplicaEvent { replica, at, kind });
+    }
+
+    /// All events in recording (time) order.
+    pub fn events(&self) -> &[ReplicaEvent] {
+        &self.events
+    }
+
+    /// True if no lifecycle event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct replica slots observed (max index + 1).
+    pub fn replica_count(&self) -> usize {
+        self.replica_count
+    }
+
+    /// Provisioned spans per slot: `(replica, spawned, retired)` with
+    /// `None` for spans still open. Slots retired and respawned yield
+    /// multiple spans.
+    fn spans(&self) -> Vec<(usize, SimTime, Option<SimTime>)> {
+        let mut open: Vec<Option<SimTime>> = vec![None; self.replica_count];
+        let mut spans = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                ReplicaEventKind::Spawned => open[e.replica] = Some(e.at),
+                ReplicaEventKind::Retired => {
+                    if let Some(from) = open[e.replica].take() {
+                        spans.push((e.replica, from, Some(e.at)));
+                    }
+                }
+                ReplicaEventKind::Ready | ReplicaEventKind::DrainStarted => {}
+            }
+        }
+        for (replica, o) in open.into_iter().enumerate() {
+            if let Some(from) = o {
+                spans.push((replica, from, None));
+            }
+        }
+        spans
+    }
+
+    /// Total replica-seconds provisioned up to `horizon`: the fleet cost
+    /// metric. Spans still open at the horizon are clamped to it.
+    pub fn replica_seconds(&self, horizon: SimTime) -> f64 {
+        self.spans()
+            .into_iter()
+            .map(|(_, from, to)| {
+                to.map_or(horizon, |t| t.min(horizon)).since(from.min(horizon)).as_secs()
+            })
+            .sum()
+    }
+
+    /// Replicas provisioned (spawned, not yet retired) at instant `t`.
+    pub fn provisioned_at(&self, t: SimTime) -> usize {
+        self.spans()
+            .into_iter()
+            .filter(|&(_, from, to)| from <= t && to.is_none_or(|r| t < r))
+            .count()
+    }
+
+    /// Peak number of simultaneously provisioned replicas.
+    pub fn peak_provisioned(&self) -> usize {
+        let mut up = 0usize;
+        let mut peak = 0usize;
+        for e in &self.events {
+            match e.kind {
+                ReplicaEventKind::Spawned => {
+                    up += 1;
+                    peak = peak.max(up);
+                }
+                ReplicaEventKind::Retired => up = up.saturating_sub(1),
+                ReplicaEventKind::Ready | ReplicaEventKind::DrainStarted => {}
+            }
+        }
+        peak
+    }
+
+    /// The replica-seconds *cost series*: provisioned replica-seconds per
+    /// `bin` up to `horizon` — plot it against the latency series to see
+    /// what each burst's scale-out cost bought.
+    pub fn cost_series(&self, bin: Dur, horizon: SimTime) -> BinnedSeries {
+        let mut series = BinnedSeries::new(bin);
+        for (_, from, to) in self.spans() {
+            series.record_span(from.min(horizon), to.map_or(horizon, |t| t.min(horizon)), 1.0);
+        }
+        series
+    }
+
+    /// Absorbs `other`, shifting its replica indices past this
+    /// timeline's, mirroring [`ReplicaLoadSeries::absorb`] so merged
+    /// reports keep the two views' replica identities aligned.
+    pub fn absorb(&mut self, other: FleetTimeline) {
+        let offset = self.replica_count;
+        for mut e in other.events {
+            e.replica += offset;
+            self.replica_count = self.replica_count.max(e.replica + 1);
+            self.events.push(e);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,10 +428,85 @@ mod tests {
         };
         let full = NodeLoad { kv_free_tokens: 100, min_kv_free_tokens: 100, ..free };
         assert!(full.estimated_ttft(500, 1_000) > free.estimated_ttft(500, 1_000));
-        // Zero-rate snapshots (no execution model) degrade to zero rather
-        // than dividing by zero.
+        // Zero-rate snapshots (no throughput sample) are unbounded rather
+        // than dividing by zero — and rather than the old `Dur::ZERO`,
+        // which read as "instantly available".
         let dead = NodeLoad::default();
-        assert_eq!(dead.estimated_ttft(500, 1_000), Dur::ZERO);
+        assert_eq!(dead.estimated_ttft(500, 1_000), Dur::MAX);
+    }
+
+    #[test]
+    fn cold_replica_with_queued_work_is_never_estimated_instant() {
+        // Regression (cold-replica dogpile): a replica with no prefill-rate
+        // sample used to estimate TTFT = 0 regardless of its queue, so
+        // TTFT-ranked routers kept picking it while its backlog mounted.
+        // Its estimate must be *unbounded*, i.e. worse than any replica
+        // with a real rate — no matter how loaded the warm one is.
+        let cold = NodeLoad {
+            outstanding_tokens: 9_000,
+            queued_prefill_tokens: 8_000,
+            kv_free_tokens: 50_000,
+            min_kv_free_tokens: 50_000,
+            prefill_tokens_per_sec: 0.0,
+        };
+        let warm = NodeLoad {
+            outstanding_tokens: 60_000,
+            queued_prefill_tokens: 45_000,
+            kv_free_tokens: 1_000,
+            min_kv_free_tokens: 1_000,
+            prefill_tokens_per_sec: 20_000.0,
+        };
+        assert!(cold.estimated_ttft(500, 600) > warm.estimated_ttft(500, 600));
+        // But two rate-less replicas still tie (so TTFT-ranked policies
+        // degrade to their outstanding-token tie-breaks, not to herding).
+        let also_cold = NodeLoad { outstanding_tokens: 1, ..cold };
+        assert_eq!(cold.estimated_ttft(500, 600), also_cold.estimated_ttft(500, 600));
+    }
+
+    #[test]
+    fn replica_seconds_accounts_spawn_to_retire() {
+        let mut t = FleetTimeline::new();
+        // Slot 0: up for the whole run. Slot 1: spawned at 10, warmed at
+        // 15, retired at 40 — pays for the warmup too.
+        t.record(0, SimTime::ZERO, ReplicaEventKind::Spawned);
+        t.record(0, SimTime::ZERO, ReplicaEventKind::Ready);
+        t.record(1, SimTime::from_secs(10.0), ReplicaEventKind::Spawned);
+        t.record(1, SimTime::from_secs(15.0), ReplicaEventKind::Ready);
+        t.record(1, SimTime::from_secs(35.0), ReplicaEventKind::DrainStarted);
+        t.record(1, SimTime::from_secs(40.0), ReplicaEventKind::Retired);
+        let horizon = SimTime::from_secs(100.0);
+        assert_eq!(t.replica_seconds(horizon), 100.0 + 30.0);
+        assert_eq!(t.peak_provisioned(), 2);
+        assert_eq!(t.provisioned_at(SimTime::from_secs(20.0)), 2);
+        assert_eq!(t.provisioned_at(SimTime::from_secs(50.0)), 1);
+        // The cost series conserves the same total.
+        let series = t.cost_series(Dur::from_secs(10.0), horizon);
+        assert!((series.total() - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_seconds_handles_slot_reuse_and_horizon_clamp() {
+        let mut t = FleetTimeline::new();
+        // Slot 0 serves two tenants: [0, 10) and [20, open).
+        t.record(0, SimTime::ZERO, ReplicaEventKind::Spawned);
+        t.record(0, SimTime::from_secs(10.0), ReplicaEventKind::Retired);
+        t.record(0, SimTime::from_secs(20.0), ReplicaEventKind::Spawned);
+        assert_eq!(t.replica_seconds(SimTime::from_secs(50.0)), 10.0 + 30.0);
+        // Horizon before the second spawn: only the first span counts.
+        assert_eq!(t.replica_seconds(SimTime::from_secs(15.0)), 10.0);
+        assert_eq!(t.peak_provisioned(), 1);
+    }
+
+    #[test]
+    fn timeline_absorb_offsets_replica_indices() {
+        let mut a = FleetTimeline::new();
+        a.record(0, SimTime::ZERO, ReplicaEventKind::Spawned);
+        a.record(1, SimTime::ZERO, ReplicaEventKind::Spawned);
+        let mut b = FleetTimeline::new();
+        b.record(0, SimTime::from_secs(1.0), ReplicaEventKind::Spawned);
+        a.absorb(b);
+        assert_eq!(a.replica_count(), 3);
+        assert_eq!(a.events().last().unwrap().replica, 2);
     }
 
     #[test]

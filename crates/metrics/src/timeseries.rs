@@ -47,6 +47,29 @@ impl BinnedSeries {
         self.bins[idx] += weight;
     }
 
+    /// Adds weight accruing at `rate` per second uniformly over the
+    /// half-open interval `[from, to)`, split across bins by overlap —
+    /// the span analogue of [`BinnedSeries::record`], used for cost
+    /// series where a resource is held over time (e.g. replica-seconds)
+    /// rather than delivered at an instant. No-op when `to <= from`.
+    pub fn record_span(&mut self, from: SimTime, to: SimTime, rate: f64) {
+        let (a, b) = (from.as_secs(), to.as_secs());
+        if b <= a {
+            return;
+        }
+        let w = self.bin_width.as_secs();
+        let last = (b / w).ceil().max(1.0) as usize;
+        if last > self.bins.len() {
+            self.bins.resize(last, 0.0);
+        }
+        let first = (a / w) as usize;
+        for (i, bin) in self.bins.iter_mut().enumerate().take(last).skip(first) {
+            let lo = i as f64 * w;
+            let overlap = (b.min(lo + w) - a.max(lo)).max(0.0);
+            *bin += overlap * rate;
+        }
+    }
+
     /// Number of bins so far.
     pub fn len(&self) -> usize {
         self.bins.len()
@@ -126,6 +149,24 @@ mod tests {
         assert_eq!(s.peak_rate(), 20.0);
         assert_eq!(s.mean_rate(), 15.0);
         assert_eq!(s.total(), 15.0);
+    }
+
+    #[test]
+    fn record_span_splits_weight_by_bin_overlap() {
+        let mut s = BinnedSeries::new(Dur::from_secs(1.0));
+        // 1 unit/s over [0.5, 2.5): 0.5 in bin 0, 1.0 in bin 1, 0.5 in
+        // bin 2.
+        s.record_span(SimTime::from_secs(0.5), SimTime::from_secs(2.5), 1.0);
+        let totals: Vec<_> = s.totals().map(|(_, v)| v).collect();
+        assert_eq!(totals, vec![0.5, 1.0, 0.5]);
+        // A span ending exactly on a bin edge doesn't open the next bin.
+        let mut t = BinnedSeries::new(Dur::from_secs(1.0));
+        t.record_span(SimTime::from_secs(0.0), SimTime::from_secs(2.0), 2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total(), 4.0);
+        // Empty spans are no-ops.
+        t.record_span(SimTime::from_secs(5.0), SimTime::from_secs(5.0), 9.0);
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -87,6 +87,12 @@ impl Dur {
     /// The zero-length span.
     pub const ZERO: Dur = Dur(0.0);
 
+    /// The longest representable span — an "effectively never" sentinel
+    /// for estimates that cannot be bounded (e.g. a replica with no
+    /// throughput sample). Finite, so arithmetic and `total_cmp`-based
+    /// orderings stay well-behaved.
+    pub const MAX: Dur = Dur(f64::MAX);
+
     /// Creates a span of `secs` seconds.
     ///
     /// # Panics

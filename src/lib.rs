@@ -57,13 +57,14 @@ pub mod prelude {
     pub use sp_accel::{FrameworkProfile, ProductionStack, SwiftKv};
     pub use sp_cluster::{CollectiveModel, GpuSpec, InterconnectSpec, NodeSpec, Roofline};
     pub use sp_engine::{
-        AdmissionMode, ClusterSim, DataParallelCluster, EarliestDeadlineFeasible, Engine,
-        EngineConfig, EngineReport, QueuePolicy, ReferenceClusterSim, RoutingKind, SimNode,
-        SpecDecode,
+        AdmissionMode, AutoscaleConfig, Autoscaler, ClusterSim, DataParallelCluster,
+        EarliestDeadlineFeasible, Engine, EngineConfig, EngineReport, FleetSignal, LoadBandPolicy,
+        NeverScale, QueuePolicy, ReferenceClusterSim, RoutingKind, ScaleAction, ScalePolicy,
+        SimNode, SpecDecode,
     };
     pub use sp_metrics::{
-        ClassSlo, ClassSloReport, Dur, LatencyRecorder, NodeLoad, Quantiles, RequestRecord,
-        SimTime, SloReport, SloTarget,
+        ClassSlo, ClassSloReport, Dur, FleetTimeline, LatencyRecorder, NodeLoad, Quantiles,
+        ReplicaEventKind, RequestRecord, SimTime, SloReport, SloTarget,
     };
     pub use sp_model::{presets, ModelConfig, MoeConfig, Precision};
     pub use sp_parallel::{

@@ -62,6 +62,33 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         .prop_map(Trace::new)
 }
 
+/// Like [`arb_trace`], but with every arrival packed into an 8 s window
+/// so instantaneous load actually accumulates — the autoscaling
+/// properties need traces that push a load-band policy across both
+/// watermarks (spawns *and* drains), which uniformly spread arrivals
+/// rarely do.
+fn arb_dense_trace() -> impl Strategy<Value = Trace> {
+    (prop::collection::vec((1u32..12_000, 1u32..100, 0.0f64..8.0, any::<bool>()), 1..30),)
+        .prop_map(|(reqs,)| {
+            reqs.into_iter()
+                .map(|(input, output, at, interactive)| Request {
+                    id: 0,
+                    arrival: SimTime::from_secs(at),
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: if interactive {
+                        RequestClass::Interactive
+                    } else {
+                        RequestClass::Batch
+                    },
+                    cached_prefix: 0,
+                    prefix_group: None,
+                })
+                .collect()
+        })
+        .prop_map(Trace::new)
+}
+
 /// Canonical, order-independent encoding of a report's observable
 /// per-request outcome. Timestamps are compared via their exact f64 bit
 /// patterns: the equivalence below is bit-exact, not approximate.
@@ -205,6 +232,173 @@ proptest! {
         prop_assert_eq!(sorted_rejects(&a), sorted_rejects(&b));
         prop_assert_eq!(a.iterations(), b.iterations());
         prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
+    }
+
+    /// An attached autoscaler whose policy never fires must leave the
+    /// run *byte-identical* to the plain fixed fleet: same routing
+    /// trail, records, rejects. The lifecycle machinery may not perturb
+    /// dispatch in any way until a scale decision actually happens.
+    #[test]
+    fn never_firing_autoscaler_is_byte_identical_to_fixed_fleet(
+        trace in arb_trace(),
+        n in 1usize..4,
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+    ) {
+        let mut fixed =
+            ClusterSim::new(engines(n, kv), RoutingKind::JoinShortestOutstanding.policy());
+        let fixed_report = fixed.run(&trace);
+
+        let scaler =
+            Autoscaler::new(AutoscaleConfig::default(), Box::new(NeverScale), move |_| engine(kv));
+        let mut auto = ClusterSim::new(engines(n, kv), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scaler);
+        let auto_report = auto.run(&trace);
+
+        prop_assert_eq!(fixed_report.routing_decisions(), auto_report.routing_decisions());
+        prop_assert_eq!(canonical_records(&fixed_report), canonical_records(&auto_report));
+        prop_assert_eq!(sorted_rejects(&fixed_report), sorted_rejects(&auto_report));
+        prop_assert_eq!(fixed_report.iterations(), auto_report.iterations());
+        prop_assert_eq!(
+            format!("{:?}", fixed_report.records()),
+            format!("{:?}", auto_report.records())
+        );
+    }
+
+    /// The calendar/reference byte-identity property *with live scale
+    /// events*: a load-band autoscaler spawns (with cold start) and
+    /// drains replicas mid-trace on both simulations, which share the
+    /// lifecycle core but find the next event differently (heap vs
+    /// linear rescan). Tombstoned generations in the heap key must keep
+    /// retire-then-respawn slot reuse invisible: same next-event instant
+    /// at every step, byte-identical reports and lifecycle timelines at
+    /// the end.
+    #[test]
+    fn event_calendar_matches_reference_loop_with_scale_events(
+        trace in arb_dense_trace(),
+        n in 1usize..4,
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+        cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
+        steps_between in prop::collection::vec(0usize..5, 0..32),
+    ) {
+        let build =
+            |reference: bool| (0..n).map(|_| engine_with(kv, None, reference)).collect::<Vec<_>>();
+        let scaler = |reference: bool| {
+            Autoscaler::new(
+                AutoscaleConfig {
+                    cold_start: Dur::from_secs(cold),
+                    min_replicas: 1,
+                    max_replicas: 4,
+                },
+                Box::new(
+                    LoadBandPolicy::new(hi, lo).smoothing(0.5).cooldown(Dur::from_secs(2.0)),
+                ),
+                move |_| engine_with(kv, None, reference),
+            )
+        };
+        let mut calendar =
+            ClusterSim::new(build(false), RoutingKind::JoinShortestOutstanding.policy())
+                .with_autoscaler(scaler(false));
+        let mut naive =
+            ReferenceClusterSim::new(build(true), RoutingKind::JoinShortestOutstanding.policy())
+                .with_autoscaler(scaler(true));
+
+        let next_bits = |cal: &ClusterSim<Engine>, naive: &ReferenceClusterSim<Engine>| {
+            (
+                cal.next_event_time().map(|t| t.as_secs().to_bits()),
+                naive.next_event_time().map(|t| t.as_secs().to_bits()),
+            )
+        };
+        for (k, &req) in trace.requests().iter().enumerate() {
+            for _ in 0..steps_between.get(k).copied().unwrap_or(0) {
+                let (a, b) = next_bits(&calendar, &naive);
+                prop_assert_eq!(a, b, "next-event divergence before arrival {}", k);
+                calendar.step_once();
+                naive.step_once();
+            }
+            calendar.push_request(req);
+            naive.push_request(req);
+        }
+        let mut guard: u64 = 0;
+        while calendar.next_event_time().is_some() || naive.next_event_time().is_some() {
+            let (a, b) = next_bits(&calendar, &naive);
+            prop_assert_eq!(a, b, "next-event divergence while draining");
+            calendar.step_once();
+            naive.step_once();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "drain failed to terminate");
+        }
+
+        let a = calendar.take_report();
+        let b = naive.take_report();
+        prop_assert_eq!(a.routing_decisions(), b.routing_decisions());
+        prop_assert_eq!(canonical_records(&a), canonical_records(&b));
+        prop_assert_eq!(sorted_rejects(&a), sorted_rejects(&b));
+        prop_assert_eq!(a.fleet_timeline().events(), b.fleet_timeline().events());
+        prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
+    }
+
+    /// Drain-then-retire conservation: under an aggressive autoscaler no
+    /// request is ever dropped, double-served, or double-reported — every
+    /// arrival shows up exactly once as a record or a reject, and the
+    /// lifecycle timeline stays well-formed (each replica alternates
+    /// spawn/retire, every drain precedes its retire).
+    #[test]
+    fn autoscaled_runs_conserve_requests(
+        trace in arb_dense_trace(),
+        n in 1usize..3,
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+        cold in prop_oneof![Just(0.0f64), Just(5.0)],
+    ) {
+        let kv = 60_000u64;
+        let scaler = Autoscaler::new(
+            AutoscaleConfig { cold_start: Dur::from_secs(cold), min_replicas: 1, max_replicas: 5 },
+            Box::new(LoadBandPolicy::new(hi, lo).smoothing(1.0).cooldown(Dur::from_secs(1.0))),
+            move |_| engine(kv),
+        );
+        let mut sim = ClusterSim::new(engines(n, kv), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scaler);
+        let report = sim.run(&trace);
+
+        prop_assert_eq!(report.records().len() + report.rejected().len(), trace.len());
+        let mut ids: Vec<u64> = report
+            .records()
+            .iter()
+            .map(|r| r.request_id)
+            .chain(report.rejected().iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len(), "a request was served or reported twice");
+        prop_assert_eq!(sim.outstanding_tokens(), 0, "drained cluster holds no work");
+
+        // Timeline sanity: per-replica lifecycles alternate correctly.
+        let tl = report.fleet_timeline();
+        for r in 0..tl.replica_count() {
+            let mut alive = false;
+            let mut draining = false;
+            for e in tl.events().iter().filter(|e| e.replica == r) {
+                match e.kind {
+                    ReplicaEventKind::Spawned => {
+                        prop_assert!(!alive, "replica {} spawned while alive", r);
+                        alive = true;
+                        draining = false;
+                    }
+                    ReplicaEventKind::Ready => prop_assert!(alive),
+                    ReplicaEventKind::DrainStarted => {
+                        prop_assert!(alive && !draining);
+                        draining = true;
+                    }
+                    ReplicaEventKind::Retired => {
+                        prop_assert!(alive && draining, "replica {} retired without draining", r);
+                        alive = false;
+                        draining = false;
+                    }
+                }
+            }
+        }
     }
 }
 

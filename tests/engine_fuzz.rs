@@ -140,7 +140,24 @@ proptest! {
         // Extra step_once calls injected between dispatches.
         steps in prop::collection::vec(0usize..6, 40),
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps);
+        drive_interleaved(&trace, replicas, kind, &steps, None);
+    }
+
+    #[test]
+    fn autoscaled_cluster_sim_survives_arbitrary_interleavings(
+        trace in arb_trace(),
+        replicas in 1usize..4,
+        kind in prop_oneof![
+            Just(RoutingKind::JoinShortestOutstanding),
+            Just(RoutingKind::JsqByTtft),
+            Just(RoutingKind::EarliestDeadlineFeasible(ClassSlo::default())),
+        ],
+        steps in prop::collection::vec(0usize..6, 40),
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+        cold in prop_oneof![Just(0.0f64), Just(5.0)],
+    ) {
+        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
     }
 }
 
@@ -164,7 +181,25 @@ proptest! {
         ],
         steps in prop::collection::vec(0usize..12, 60),
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps);
+        drive_interleaved(&trace, replicas, kind, &steps, None);
+    }
+
+    #[test]
+    #[ignore = "tier-2 long fuzz; run with --ignored"]
+    fn autoscaled_cluster_sim_survives_arbitrary_interleavings_long(
+        trace in arb_trace(),
+        replicas in 1usize..5,
+        kind in prop_oneof![
+            Just(RoutingKind::JoinShortestOutstanding),
+            Just(RoutingKind::JsqByTtft),
+            Just(RoutingKind::EarliestDeadlineFeasible(ClassSlo::default())),
+        ],
+        steps in prop::collection::vec(0usize..12, 60),
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+        cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
+    ) {
+        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
     }
 }
 
@@ -172,28 +207,42 @@ proptest! {
 /// the incremental `SimNode` surface (instead of the packaged `run`) and
 /// checks the invariants that must hold under *any* interleaving: event
 /// times never run backwards, no request is lost or duplicated, and a
-/// drained cluster holds no outstanding work.
-fn drive_interleaved(trace: &Trace, replicas: usize, kind: RoutingKind, steps: &[usize]) {
+/// drained cluster holds no outstanding work. With `scale` set, a
+/// load-band autoscaler spawns and drains replicas mid-run, so the same
+/// invariants are checked across replica lifecycle churn.
+fn drive_interleaved(
+    trace: &Trace,
+    replicas: usize,
+    kind: RoutingKind,
+    steps: &[usize],
+    scale: Option<(f64, f64, f64)>,
+) {
     let node = sp_cluster::NodeSpec::new(
         sp_cluster::GpuSpec::h200(),
         1,
         sp_cluster::InterconnectSpec::nvswitch(),
     );
-    let engines: Vec<Engine> = (0..replicas)
-        .map(|_| {
-            Engine::new(
-                ExecutionModel::new(node, presets::qwen_32b()),
-                Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
-                EngineConfig {
-                    kv_capacity_tokens: 40_000,
-                    class_slo: matches!(kind, RoutingKind::EarliestDeadlineFeasible(_))
-                        .then(ClassSlo::default),
-                    ..EngineConfig::default()
-                },
-            )
-        })
-        .collect();
+    let build = move || {
+        Engine::new(
+            ExecutionModel::new(node, presets::qwen_32b()),
+            Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+            EngineConfig {
+                kv_capacity_tokens: 40_000,
+                class_slo: matches!(kind, RoutingKind::EarliestDeadlineFeasible(_))
+                    .then(ClassSlo::default),
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let engines: Vec<Engine> = (0..replicas).map(|_| build()).collect();
     let mut sim = ClusterSim::new(engines, kind.policy());
+    if let Some((hi, lo, cold)) = scale {
+        sim = sim.with_autoscaler(Autoscaler::new(
+            AutoscaleConfig { cold_start: Dur::from_secs(cold), min_replicas: 1, max_replicas: 5 },
+            Box::new(LoadBandPolicy::new(hi, lo).smoothing(1.0).cooldown(Dur::from_secs(1.0))),
+            move |_| build(),
+        ));
+    }
 
     for (i, &req) in trace.requests().iter().enumerate() {
         // A burst of manual steps before the dispatch (no-ops when idle).
