@@ -35,8 +35,8 @@ use shift_core::ShiftPolicy;
 use sp_bench::harness::parallel_sweep;
 use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
 use sp_engine::{
-    AutoscaleConfig, Autoscaler, ClusterSim, Engine, EngineConfig, LoadBandPolicy,
-    ReferenceClusterSim, RoutingKind,
+    AutoscaleConfig, Autoscaler, ClusterSim, Engine, EngineConfig, FaultPlan, LoadBandPolicy,
+    ReferenceClusterSim, RetryPolicy, RoutingKind,
 };
 use sp_metrics::{ClassSlo, Dur};
 use sp_model::presets;
@@ -345,6 +345,62 @@ fn pricing_batch_window() -> Vec<BatchWork> {
         .collect()
 }
 
+/// Calendar measurement with fault injection in the loop: a seeded
+/// Poisson crash schedule plus the crash-deficit autoscaler respawning
+/// lost replicas, so every event passes through the fault-timer
+/// interleaving (`peek_timer`, salvage, retry redelivery) instead of the
+/// fault-free fast path. Gated like the other calendar scenarios to keep
+/// the chaos machinery's overhead on the regression radar.
+fn measure_chaos(
+    name: &str,
+    peak: usize,
+    slo: Option<ClassSlo>,
+    kv_capacity: u64,
+    trace: &Trace,
+    horizon: Dur,
+) -> Scenario {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let spawn = move |_: usize| {
+        Engine::new(
+            ExecutionModel::new(node, presets::qwen_32b()),
+            Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+            EngineConfig { class_slo: slo, kv_capacity_tokens: kv_capacity, ..Default::default() },
+        )
+    };
+    let scaler = Autoscaler::new(
+        AutoscaleConfig { cold_start: Dur::from_secs(2.0), min_replicas: 1, max_replicas: peak },
+        Box::new(LoadBandPolicy::new(600.0, 80.0).smoothing(0.7).cooldown(Dur::from_secs(1.0))),
+        spawn,
+    );
+    // MTTF of a quarter horizon: a handful of crashes per run, each
+    // exercising salvage, backoff redelivery, and deficit respawn.
+    let plan = FaultPlan::crashes_poisson(0xC4A5, horizon * 0.25, horizon, peak);
+    let retry = RetryPolicy { max_retries: 3, base_backoff: Dur::from_secs(0.25) };
+    let mut sim =
+        ClusterSim::new(engines(1, slo, kv_capacity, false), RoutingKind::default().policy())
+            .with_autoscaler(scaler)
+            .with_faults(plan, retry);
+    let start = Instant::now();
+    let report = sim.run(trace);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = report.iterations();
+    assert_eq!(
+        report.records().len() + report.rejected().len() + report.failed().len(),
+        trace.len(),
+        "every request must complete, be rejected, or fail terminally"
+    );
+    assert!(report.fleet_timeline().crash_count() > 0, "chaos scenario must actually crash");
+    Scenario {
+        name: name.to_string(),
+        replicas: peak,
+        requests: trace.len(),
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
 /// Pricing-layer throughput: every candidate shift layout priced over a
 /// stream of realistic batches. For these scenarios an *event is one
 /// config evaluation* (batches × configurations), not a scheduling
@@ -522,6 +578,22 @@ fn main() {
     // generation-tagged calendar churn stay on the regression radar.
     scenarios.push(best_of(runs, || {
         measure_autoscaled(&format!("autoscale_r{headline_r}"), headline_r, slo, BOUND_KV, &trace)
+    }));
+
+    // Chaos calendar: the same autoscaled fleet under a seeded Poisson
+    // crash schedule, so the fault-timer interleaving (salvage, backoff
+    // redelivery, deficit respawn) is measured and gated rather than
+    // only tested.
+    let chaos_horizon = Dur::from_secs(if smoke { 30.0 } else { 120.0 });
+    scenarios.push(best_of(runs, || {
+        measure_chaos(
+            &format!("chaos_r{headline_r}"),
+            headline_r,
+            slo,
+            BOUND_KV,
+            &trace,
+            chaos_horizon,
+        )
     }));
 
     // Pricing pair: one-pass `price_all` over compiled plans vs the

@@ -567,6 +567,20 @@ impl SimNode for Deployment {
             Inner::Cluster(cluster) => SimNode::take_report(cluster),
         }
     }
+
+    fn take_unfinished(&mut self) -> sp_engine::SalvagedWork {
+        match &mut self.inner {
+            Inner::Single(engine) => engine.take_unfinished(),
+            Inner::Cluster(cluster) => SimNode::take_unfinished(cluster),
+        }
+    }
+
+    fn set_slowdown(&mut self, factor: f64) {
+        match &mut self.inner {
+            Inner::Single(engine) => engine.set_slowdown(factor),
+            Inner::Cluster(cluster) => SimNode::set_slowdown(cluster, factor),
+        }
+    }
 }
 
 #[cfg(test)]

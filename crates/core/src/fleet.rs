@@ -9,7 +9,7 @@
 //! across nodes.
 
 use crate::deployment::{Deployment, DeploymentBuilder, DeploymentError};
-use sp_engine::{ClusterSim, EngineReport, RoutingKind};
+use sp_engine::{ClusterSim, EngineReport, FaultPlan, RetryPolicy, RoutingKind};
 use sp_metrics::Dur;
 use sp_workload::{Request, Trace};
 
@@ -35,6 +35,7 @@ use sp_workload::{Request, Trace};
 pub struct Fleet {
     nodes: Vec<Deployment>,
     routing: RoutingKind,
+    faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
 impl Fleet {
@@ -53,13 +54,21 @@ impl Fleet {
     ) -> Result<Fleet, DeploymentError> {
         assert!(node_count > 0, "fleet needs at least one node");
         let nodes = (0..node_count).map(|_| make().build()).collect::<Result<Vec<_>, _>>()?;
-        Ok(Fleet { nodes, routing: RoutingKind::default() })
+        Ok(Fleet { nodes, routing: RoutingKind::default(), faults: None })
     }
 
     /// Selects the inter-node routing policy (default:
     /// join-shortest-outstanding-tokens).
     pub fn routing(mut self, kind: RoutingKind) -> Fleet {
         self.routing = kind;
+        self
+    }
+
+    /// Injects a fault schedule into every subsequent [`Fleet::run`]:
+    /// node crashes salvage and re-dispatch in-flight work under `retry`
+    /// (see [`ClusterSim::with_faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> Fleet {
+        self.faults = Some((plan, retry));
         self
     }
 
@@ -93,6 +102,9 @@ impl Fleet {
         let nodes = std::mem::take(&mut self.nodes);
         let mut sim =
             ClusterSim::new(nodes, self.routing.policy()).throughput_bin(Dur::from_secs(1.0));
+        if let Some((plan, retry)) = self.faults.clone() {
+            sim = sim.with_faults(plan, retry);
+        }
         let report = sim.run(trace);
         self.nodes = sim.into_nodes();
         report

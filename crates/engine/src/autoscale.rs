@@ -78,6 +78,11 @@ pub struct FleetSignal<'a> {
     pub warming: usize,
     /// Replicas draining toward retirement (no longer routable).
     pub draining: usize,
+    /// Replicas lost to crashes and not yet replaced by a spawn. Crash
+    /// loss is capacity the load signal has not felt yet (the EWMA lags),
+    /// so policies should treat a nonzero deficit as an immediate
+    /// scale-out signal.
+    pub crash_deficit: usize,
 }
 
 /// One scale decision.
@@ -193,6 +198,15 @@ impl ScalePolicy for LoadBandPolicy {
     }
 
     fn decide(&mut self, signal: &FleetSignal<'_>, actions: &mut Vec<ScaleAction>) {
+        if signal.crash_deficit > 0 {
+            // Crash-induced capacity loss: replace the dead replicas
+            // immediately instead of waiting for the smoothed load to
+            // climb — the EWMA lags, and the salvaged requests are
+            // already queued behind their backoff.
+            actions.extend(std::iter::repeat_n(ScaleAction::Spawn, signal.crash_deficit));
+            self.last_action = Some(signal.now);
+            return;
+        }
         if signal.loads.is_empty() {
             return;
         }
@@ -298,7 +312,13 @@ mod tests {
     }
 
     fn signal(now: f64, loads: &[NodeLoad]) -> FleetSignal<'_> {
-        FleetSignal { now: SimTime::from_secs(now), loads, warming: 0, draining: 0 }
+        FleetSignal {
+            now: SimTime::from_secs(now),
+            loads,
+            warming: 0,
+            draining: 0,
+            crash_deficit: 0,
+        }
     }
 
     #[test]
@@ -361,9 +381,39 @@ mod tests {
         let mut p = LoadBandPolicy::new(10_000.0, 1_000.0).smoothing(1.0);
         let mut actions = Vec::new();
         let loads = [load(10), load(10)];
-        let sig = FleetSignal { now: SimTime::ZERO, loads: &loads, warming: 1, draining: 0 };
+        let sig = FleetSignal {
+            now: SimTime::ZERO,
+            loads: &loads,
+            warming: 1,
+            draining: 0,
+            crash_deficit: 0,
+        };
         p.decide(&sig, &mut actions);
         assert!(actions.is_empty(), "no shrink while a replica is warming");
+    }
+
+    #[test]
+    fn crash_deficit_spawns_immediately_ignoring_band_and_cooldown() {
+        let mut p =
+            LoadBandPolicy::new(10_000.0, 1_000.0).smoothing(1.0).cooldown(Dur::from_secs(100.0));
+        let mut actions = Vec::new();
+        // Load is deep inside the drain band, yet two crashed replicas
+        // must be replaced right away.
+        let loads = [load(10)];
+        let sig = FleetSignal {
+            now: SimTime::from_secs(3.0),
+            loads: &loads,
+            warming: 0,
+            draining: 0,
+            crash_deficit: 2,
+        };
+        p.decide(&sig, &mut actions);
+        assert_eq!(actions, vec![ScaleAction::Spawn, ScaleAction::Spawn]);
+        // The replacement counts as an action: the cooldown now paces
+        // ordinary band decisions.
+        actions.clear();
+        p.decide(&signal(4.0, &[load(50_000)]), &mut actions);
+        assert!(actions.is_empty(), "inside cooldown after the deficit spawn");
     }
 
     #[test]

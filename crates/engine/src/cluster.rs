@@ -170,6 +170,22 @@ impl SimNode for DataParallelCluster {
         }
         merged
     }
+
+    fn take_unfinished(&mut self) -> crate::fault::SalvagedWork {
+        let mut salvaged = crate::fault::SalvagedWork::default();
+        for engine in &mut self.replicas {
+            let part = engine.take_unfinished();
+            salvaged.wasted_prefill_tokens += part.wasted_prefill_tokens;
+            salvaged.requests.extend(part.requests);
+        }
+        salvaged
+    }
+
+    fn set_slowdown(&mut self, factor: f64) {
+        for engine in &mut self.replicas {
+            engine.set_slowdown(factor);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -234,6 +234,10 @@ pub struct Engine {
     /// [`EngineConfig::decode_memo_tokens`]). Lives with the plans so any
     /// future config/overhead mutation invalidates both together.
     price_memo: HashMap<PriceKey, Dur>,
+    /// Fault-injection slowdown multiplier on iteration durations
+    /// (1.0 = healthy). Applied *outside* the pricing memo, which keeps
+    /// storing base durations, so a slowdown window never poisons it.
+    slowdown: f64,
 }
 
 /// A running sequence's contribution to the outstanding-token load
@@ -314,7 +318,19 @@ impl Engine {
             running_prefill_tokens: 0,
             plans,
             price_memo: HashMap::new(),
+            slowdown: 1.0,
         }
+    }
+
+    /// Sets the fault-injection slowdown multiplier: every subsequent
+    /// iteration takes `factor`× its healthy duration until reset to 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "slowdown factor must be finite and positive");
+        self.slowdown = factor;
     }
 
     /// Prices one iteration of `work` under `config`.
@@ -328,6 +344,18 @@ impl Engine {
     /// prices through `try_iteration` directly, preserving the
     /// pre-compilation path as an executable specification.
     fn price_iteration(&mut self, config: &ParallelConfig, work: &BatchWork) -> Dur {
+        let base = self.price_iteration_base(config, work);
+        if self.slowdown == 1.0 {
+            base
+        } else {
+            base * self.slowdown
+        }
+    }
+
+    /// The healthy-hardware iteration price — what [`Engine::price_iteration`]
+    /// scales by the fault-injection slowdown. Kept separate so the
+    /// decode-shape memo only ever holds base durations.
+    fn price_iteration_base(&mut self, config: &ParallelConfig, work: &BatchWork) -> Dur {
         if self.reference_mode || self.direct_pricing {
             return self.exec.iteration(config, work).total();
         }
@@ -565,6 +593,34 @@ impl Engine {
             self.kv.release_group(group);
         }
         self.report.take().unwrap_or_else(|| self.fresh_report())
+    }
+
+    /// Rips every unfinished request out of the engine, as a crash would:
+    /// queued arrivals, waiting requests, and running sequences all come
+    /// back (their KV reservations released, shared-prefix groups
+    /// dropped), with the prompt tokens already prefilled counted as
+    /// wasted — a re-dispatched request pays full re-prefill because its
+    /// KV cache died with the replica. Completed work already in the
+    /// report is untouched.
+    pub fn take_unfinished(&mut self) -> crate::fault::SalvagedWork {
+        let mut salvaged = crate::fault::SalvagedWork::default();
+        salvaged.requests.extend(std::mem::take(&mut self.arrivals));
+        while let Some(pos) = self.waiting.front_pos() {
+            salvaged.requests.push(self.waiting.remove(pos));
+        }
+        for seq in self.running.drain(..) {
+            salvaged.wasted_prefill_tokens += seq.prefill_done;
+            self.kv.release(seq.request.id);
+            salvaged.requests.push(seq.request);
+        }
+        for group in std::mem::take(&mut self.live_groups) {
+            self.kv.release_group(group);
+        }
+        self.queued_total_tokens = 0;
+        self.queued_input_tokens = 0;
+        self.running_outstanding_tokens = 0;
+        self.running_prefill_tokens = 0;
+        salvaged
     }
 
     /// Executes one scheduling step: admit, batch, price, apply.

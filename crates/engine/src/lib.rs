@@ -43,6 +43,7 @@ pub mod autoscale;
 pub mod cluster;
 pub mod disagg;
 pub mod engine;
+pub mod fault;
 mod queue;
 pub mod report;
 pub mod routing;
@@ -53,6 +54,7 @@ pub use autoscale::{
 };
 pub use cluster::DataParallelCluster;
 pub use engine::{AdmissionMode, Engine, EngineConfig, QueuePolicy, SpecDecode};
+pub use fault::{Fault, FaultEvent, FaultPlan, RetryPolicy, SalvagedWork};
 pub use report::{EngineReport, IterationEvent};
 pub use routing::{
     ClusterSim, EarliestDeadlineFeasible, JoinShortestOutstanding, ReferenceClusterSim, RoundRobin,

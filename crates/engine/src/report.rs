@@ -1,8 +1,8 @@
 //! Run reports.
 
 use sp_metrics::{
-    ClassSlo, ClassSloReport, Dur, FleetTimeline, LatencyRecorder, ReplicaLoadSeries,
-    RequestRecord, RoutingDecision, SimTime,
+    ClassSlo, ClassSloReport, Dur, FailedRequest, FleetTimeline, LatencyRecorder,
+    ReplicaLoadSeries, RequestRecord, RoutingDecision, SimTime,
 };
 use sp_parallel::ParallelConfig;
 use std::collections::HashMap;
@@ -32,6 +32,7 @@ pub struct EngineReport {
     iterations: u64,
     config_usage: HashMap<ParallelConfig, u64>,
     rejected: Vec<u64>,
+    failed: Vec<FailedRequest>,
     preemptions: u64,
     sheds: u64,
     deferrals: u64,
@@ -54,6 +55,7 @@ impl EngineReport {
             iterations: 0,
             config_usage: HashMap::new(),
             rejected: Vec::new(),
+            failed: Vec::new(),
             preemptions: 0,
             sheds: 0,
             deferrals: 0,
@@ -115,6 +117,17 @@ impl EngineReport {
         self.rejected.push(request_id);
     }
 
+    pub(crate) fn note_failures(&mut self, failed: Vec<FailedRequest>) {
+        self.failed.extend(failed);
+    }
+
+    /// Mutable record access, for the cluster tier to restore the *true*
+    /// arrival instants of re-dispatched requests (the engine only ever
+    /// saw the re-dispatch time) before latency aggregation.
+    pub(crate) fn records_mut(&mut self) -> &mut [RequestRecord] {
+        &mut self.records
+    }
+
     pub(crate) fn note_preemption(&mut self, _request_id: u64) {
         self.preemptions += 1;
     }
@@ -160,6 +173,12 @@ impl EngineReport {
     /// Requests rejected because they could never fit the KV cache.
     pub fn rejected(&self) -> &[u64] {
         &self.rejected
+    }
+
+    /// Requests abandoned after exhausting their fault-retry budget
+    /// (fault injection only; empty otherwise).
+    pub fn failed(&self) -> &[FailedRequest] {
+        &self.failed
     }
 
     /// Recompute preemptions (PreemptRestart admission mode only).
@@ -255,6 +274,7 @@ impl EngineReport {
             *self.config_usage.entry(cfg).or_default() += n;
         }
         self.rejected.extend(other.rejected);
+        self.failed.extend(other.failed);
         self.preemptions += other.preemptions;
         self.sheds += other.sheds;
         self.deferrals += other.deferrals;

@@ -14,14 +14,15 @@
 
 use crate::autoscale::{Autoscaler, FleetSignal, ScaleAction};
 use crate::engine::Engine;
+use crate::fault::{Fault, FaultEvent, FaultPlan, RetryPolicy, SalvagedWork};
 use crate::report::EngineReport;
 use sp_metrics::{
-    ClassSlo, Dur, FleetTimeline, NodeLoad, ReplicaEventKind, ReplicaLoadSeries, RequestClass,
-    RoutingDecision, SimTime,
+    ClassSlo, Dur, FailedRequest, FleetTimeline, NodeLoad, ReplicaEventKind, ReplicaLoadSeries,
+    RequestClass, RequestFaultKind, RoutingDecision, SimTime,
 };
 use sp_workload::{Request, Trace};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A totally ordered next-event instant — the event calendar's sort key.
 ///
@@ -311,6 +312,17 @@ pub trait SimNode {
 
     /// Finalizes and returns the node's accumulated report.
     fn take_report(&mut self) -> EngineReport;
+
+    /// Rips out every unfinished request for crash salvage (the node's
+    /// KV state is considered lost). The default salvages nothing —
+    /// nodes that don't queue work internally have nothing to lose.
+    fn take_unfinished(&mut self) -> SalvagedWork {
+        SalvagedWork::default()
+    }
+
+    /// Applies a duration multiplier to the node's subsequent work
+    /// (`1.0` restores full speed). The default ignores it.
+    fn set_slowdown(&mut self, _factor: f64) {}
 }
 
 impl SimNode for Engine {
@@ -336,6 +348,14 @@ impl SimNode for Engine {
 
     fn take_report(&mut self) -> EngineReport {
         Engine::take_report(self)
+    }
+
+    fn take_unfinished(&mut self) -> SalvagedWork {
+        Engine::take_unfinished(self)
+    }
+
+    fn set_slowdown(&mut self, factor: f64) {
+        Engine::set_slowdown(self, factor);
     }
 }
 
@@ -370,6 +390,127 @@ struct Slot<N> {
     state: SlotState,
 }
 
+/// A fault-displaced request waiting out its retry backoff.
+#[derive(Debug)]
+struct PendingRetry {
+    /// Redelivery instant (`lost_at` + backoff).
+    at: SimTime,
+    /// Insertion sequence — the total-order tie-break for simultaneous
+    /// redeliveries.
+    seq: u64,
+    /// Which attempt this redelivery is (1-based).
+    attempt: u32,
+    /// When the request lost its previous dispatch.
+    lost_at: SimTime,
+    req: Request,
+}
+
+/// Which fault timer fires next. Same-instant timers resolve in this
+/// declaration order (plan faults, then slowdown-window ends, then retry
+/// redeliveries), so the global event order is total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TimerChoice {
+    /// The next [`FaultPlan`] event.
+    Fault,
+    /// The end of the slowdown window at this index of `slow_until`.
+    SlowEnd(usize),
+    /// The head of the pending-retry queue.
+    Retry,
+}
+
+/// Fault-injection state carried by the shared fleet core. Fault timers
+/// interleave with node events through the simulations' event loops —
+/// never behind the calendar's back — so the heap and reference loops
+/// stay byte-identical under the same plan.
+#[derive(Debug)]
+struct FaultState {
+    /// The schedule, in firing order; `cursor` is the next unfired event.
+    plan: Vec<FaultEvent>,
+    cursor: usize,
+    retry: RetryPolicy,
+    /// Fault-displaced requests awaiting redelivery, sorted by
+    /// `(at, seq)`.
+    pending: Vec<PendingRetry>,
+    /// Total tokens parked in `pending` (counted as outstanding work so
+    /// drivers waiting on `outstanding_tokens == 0` don't stop early).
+    pending_tokens: u64,
+    next_seq: u64,
+    /// True arrival instant of every request whose `arrival` field was
+    /// rewritten (dispatch-time clamp or retry redelivery), keyed by
+    /// request id. Patched back into the records at report time so TTFT
+    /// counts the backoff the user actually waited.
+    origin_arrival: HashMap<u64, SimTime>,
+    /// Retry attempts consumed per request id. Lookup-only bookkeeping —
+    /// iteration order never matters.
+    attempts: HashMap<u64, u32>,
+    /// Requests whose retry budget ran out.
+    failed: Vec<FailedRequest>,
+    /// Open slowdown windows: `(end instant, slot)`.
+    slow_until: Vec<(SimTime, usize)>,
+    /// Crashed replicas not yet replaced by a spawn — the autoscaler's
+    /// scale-out signal.
+    crash_deficit: usize,
+    /// A `RouteTimeout` fault has fired and will consume the next
+    /// dispatch.
+    route_timeout_armed: bool,
+    /// The fault clock: the latest instant the fleet has witnessed
+    /// (dispatches, node events, fired timers). Timers scheduled in the
+    /// past fire "now" — never before it — so event time stays monotone.
+    now: SimTime,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, retry: RetryPolicy) -> FaultState {
+        FaultState {
+            plan: plan.events().to_vec(),
+            cursor: 0,
+            retry,
+            pending: Vec::new(),
+            pending_tokens: 0,
+            next_seq: 0,
+            origin_arrival: HashMap::new(),
+            attempts: HashMap::new(),
+            failed: Vec::new(),
+            slow_until: Vec::new(),
+            crash_deficit: 0,
+            route_timeout_armed: false,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The earliest unfired timer, clamped to the fault clock. Ties
+    /// break by [`TimerChoice`] declaration order, then by window index.
+    fn peek_timer(&self) -> Option<(SimTime, TimerChoice)> {
+        let mut best: Option<(SimTime, u8, usize, TimerChoice)> = None;
+        let offer = |cand: (SimTime, u8, usize, TimerChoice),
+                     best: &mut Option<(SimTime, u8, usize, TimerChoice)>| {
+            let better = match best {
+                None => true,
+                Some(b) => cand
+                    .0
+                    .as_secs()
+                    .total_cmp(&b.0.as_secs())
+                    .then(cand.1.cmp(&b.1))
+                    .then(cand.2.cmp(&b.2))
+                    .is_lt(),
+            };
+            if better {
+                *best = Some(cand);
+            }
+        };
+        if let Some(e) = self.plan.get(self.cursor) {
+            offer((e.at.max(self.now), 0, 0, TimerChoice::Fault), &mut best);
+        }
+        for (j, &(end, _)) in self.slow_until.iter().enumerate() {
+            offer((end.max(self.now), 1, j, TimerChoice::SlowEnd(j)), &mut best);
+        }
+        if let Some(p) = self.pending.first() {
+            offer((p.at.max(self.now), 2, 0, TimerChoice::Retry), &mut best);
+        }
+        best.map(|(t, _, _, c)| (t, c))
+    }
+}
+
 /// The lifecycle-aware fleet core shared by [`ClusterSim`] and
 /// [`ReferenceClusterSim`]: slots, routing, autoscaling decisions,
 /// lifecycle bookkeeping and report assembly. The two simulations differ
@@ -392,6 +533,9 @@ struct Fleet<N> {
     retired: Vec<EngineReport>,
     /// Scale-out / drain-then-retire decision machinery, if attached.
     autoscaler: Option<Autoscaler<N>>,
+    /// Fault-injection machinery, if attached. `None` leaves every
+    /// dispatch and event-loop path exactly as the fault-free build.
+    faults: Option<FaultState>,
     /// Scratch for the per-dispatch load snapshot and its position→slot
     /// map, reused to keep the dispatch hot path allocation-free.
     scratch_loads: Vec<NodeLoad>,
@@ -420,6 +564,7 @@ impl<N: SimNode> Fleet<N> {
             timeline,
             retired: Vec::new(),
             autoscaler: None,
+            faults: None,
             scratch_loads: Vec::new(),
             scratch_slots: Vec::new(),
         }
@@ -469,8 +614,12 @@ impl<N: SimNode> Fleet<N> {
     }
 
     /// Post-step lifecycle hook: a draining slot whose final event just
-    /// fired (at instant `t`) retires on the spot.
+    /// fired (at instant `t`) retires on the spot, and the fault clock
+    /// advances to the event's instant.
     fn after_step(&mut self, i: usize, t: SimTime) {
+        if let Some(f) = self.faults.as_mut() {
+            f.now = f.now.max(t);
+        }
         self.maybe_retire(i, t);
     }
 
@@ -499,6 +648,12 @@ impl<N: SimNode> Fleet<N> {
     /// Provisions one replica (a scale-out decision at instant `now`),
     /// reusing the lowest free slot if any. No-op at `max_replicas`.
     fn spawn(&mut self, now: SimTime) {
+        // Every spawn attempt repays one unit of crash deficit — even
+        // one clamped away at `max_replicas`, or the deficit signal
+        // would re-fire forever against a full fleet.
+        if let Some(f) = self.faults.as_mut() {
+            f.crash_deficit = f.crash_deficit.saturating_sub(1);
+        }
         let config = self.autoscaler.as_ref().expect("spawn requires an autoscaler").config;
         if self.live_count() >= config.max_replicas {
             return;
@@ -588,7 +743,8 @@ impl<N: SimNode> Fleet<N> {
             let scaler = self.autoscaler.as_mut().expect("checked above");
             let mut actions = std::mem::take(&mut scaler.actions);
             actions.clear();
-            let signal = FleetSignal { now, loads: &loads, warming, draining };
+            let crash_deficit = self.faults.as_ref().map_or(0, |f| f.crash_deficit);
+            let signal = FleetSignal { now, loads: &loads, warming, draining, crash_deficit };
             scaler.policy.decide(&signal, &mut actions);
             actions
         };
@@ -643,8 +799,217 @@ impl<N: SimNode> Fleet<N> {
         self.slots[slot].node.as_mut().expect("routed to a live slot").push_request(req);
     }
 
+    /// Dispatches one request at instant `now`: lifecycle work, then
+    /// routing, then enqueue. Returns the chosen slot, or `None` when a
+    /// fault consumed the dispatch (armed route timeout, or no routable
+    /// replica left) and the request re-entered under the retry policy.
+    ///
+    /// With faults attached, the enqueued copy's `arrival` is clamped to
+    /// the fault clock (engines require nondecreasing arrivals, and
+    /// redeliveries happen after later work was pushed); the true
+    /// arrival is remembered and patched back at report time. Without
+    /// faults the clamp never fires and this is exactly the pre-fault
+    /// dispatch path.
+    fn dispatch(&mut self, req: Request, now: SimTime) -> Option<usize> {
+        self.pre_dispatch(now);
+        if self.faults.is_none() {
+            let slot = self.route(&req);
+            self.push_to(slot, req);
+            return Some(slot);
+        }
+        {
+            let f = self.faults.as_mut().expect("checked above");
+            f.now = f.now.max(now);
+            if f.route_timeout_armed {
+                f.route_timeout_armed = false;
+                self.requeue_after_fault(req, now);
+                return None;
+            }
+        }
+        if self.routable_count() == 0 {
+            // Every replica is dead (crashes ignore `min_replicas`).
+            // The request waits out a backoff and tries again — by then
+            // the autoscaler may have replaced the losses.
+            self.requeue_after_fault(req, now);
+            return None;
+        }
+        let slot = self.route(&req);
+        let f = self.faults.as_mut().expect("checked above");
+        let push = if req.arrival.as_secs() < f.now.as_secs() {
+            f.origin_arrival.entry(req.id).or_insert(req.arrival);
+            Request { arrival: f.now, ..req }
+        } else {
+            req
+        };
+        self.push_to(slot, push);
+        Some(slot)
+    }
+
+    /// Re-enters a fault-displaced request under the retry policy:
+    /// consumes one attempt, then either parks it behind an exponential
+    /// backoff or — budget exhausted — records a terminal failure.
+    fn requeue_after_fault(&mut self, req: Request, at: SimTime) {
+        let f = self.faults.as_mut().expect("fault requeue requires fault state");
+        f.origin_arrival.entry(req.id).or_insert(req.arrival);
+        let attempts = f.attempts.entry(req.id).or_insert(0);
+        *attempts += 1;
+        let attempt = *attempts;
+        if attempt > f.retry.max_retries {
+            f.failed.push(FailedRequest { request_id: req.id, attempts: f.retry.max_retries });
+            self.timeline.record_request_fault(
+                req.id,
+                at,
+                RequestFaultKind::Failed { attempts: f.retry.max_retries },
+            );
+            return;
+        }
+        let deliver = at + f.retry.backoff_for(attempt);
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        let key = (deliver.as_secs().to_bits(), seq);
+        let pos = f.pending.partition_point(|p| (p.at.as_secs().to_bits(), p.seq) <= key);
+        f.pending_tokens += req.total_tokens();
+        f.pending.insert(pos, PendingRetry { at: deliver, seq, attempt, lost_at: at, req });
+    }
+
+    /// Kills the tenant of slot `i` at instant `at`: its report is kept
+    /// (completed work survives), its unfinished requests are salvaged
+    /// into the retry queue with their prefill progress written off (the
+    /// KV cache died with the replica), and the slot retires *without*
+    /// draining — the generation bump tombstones its calendar keys
+    /// exactly like the retire path. Crashing an empty slot is a no-op.
+    fn crash(&mut self, i: usize, at: SimTime) {
+        if i >= self.slots.len() || self.slots[i].node.is_none() {
+            return;
+        }
+        let mut node = self.slots[i].node.take().expect("checked above");
+        let salvage = node.take_unfinished();
+        self.retired.push(node.take_report());
+        self.slots[i].gen += 1;
+        self.slots[i].state = SlotState::Active;
+        self.timeline.record(i, at, ReplicaEventKind::Crashed);
+        self.timeline.note_wasted_prefill(salvage.wasted_prefill_tokens);
+        {
+            let f = self.faults.as_mut().expect("crash requires fault state");
+            f.crash_deficit += 1;
+            // The slowdown window dies with its tenant.
+            f.slow_until.retain(|&(_, s)| s != i);
+        }
+        let mut requests = salvage.requests;
+        requests.sort_by(|a, b| {
+            a.arrival.as_secs().total_cmp(&b.arrival.as_secs()).then(a.id.cmp(&b.id))
+        });
+        for req in requests {
+            self.requeue_after_fault(req, at);
+        }
+    }
+
+    /// Instant of the earliest unfired fault timer, if any.
+    fn next_timer_time(&self) -> Option<SimTime> {
+        self.faults.as_ref().and_then(FaultState::peek_timer).map(|(t, _)| t)
+    }
+
+    /// Fires exactly the earliest fault timer. Returns the slot whose
+    /// next-event key may have changed (the crash victim, or the slot a
+    /// retry was redelivered to) so the calendar can republish it.
+    fn fire_next_timer(&mut self) -> Option<usize> {
+        let (tt, choice) = self.faults.as_ref().and_then(FaultState::peek_timer)?;
+        let f = self.faults.as_mut().expect("peeked above");
+        f.now = f.now.max(tt);
+        match choice {
+            TimerChoice::Fault => {
+                let event = f.plan[f.cursor];
+                f.cursor += 1;
+                match event.fault {
+                    Fault::Crash { replica } => {
+                        self.crash(replica, tt);
+                        // An out-of-range target was a no-op: nothing to
+                        // republish in the calendar.
+                        (replica < self.slots.len()).then_some(replica)
+                    }
+                    Fault::Slowdown { replica, factor, duration } => {
+                        if replica < self.slots.len() {
+                            if let Some(n) = self.slots[replica].node.as_mut() {
+                                n.set_slowdown(factor);
+                                let f = self.faults.as_mut().expect("fault state");
+                                // A new window replaces any open one.
+                                f.slow_until.retain(|&(_, s)| s != replica);
+                                f.slow_until.push((tt + duration, replica));
+                            }
+                        }
+                        None
+                    }
+                    Fault::RouteTimeout => {
+                        f.route_timeout_armed = true;
+                        None
+                    }
+                }
+            }
+            TimerChoice::SlowEnd(j) => {
+                let (_, slot) = f.slow_until.remove(j);
+                if let Some(n) = self.slots[slot].node.as_mut() {
+                    n.set_slowdown(1.0);
+                }
+                None
+            }
+            TimerChoice::Retry => {
+                let p = f.pending.remove(0);
+                f.pending_tokens -= p.req.total_tokens();
+                // Full re-prefill: the cached prefix (and any prefix
+                // group sharing) died with the replica's KV cache.
+                let req = Request { arrival: tt, cached_prefix: 0, prefix_group: None, ..p.req };
+                let slot = self.dispatch(req, tt);
+                if slot.is_some() {
+                    self.timeline.record_request_fault(
+                        p.req.id,
+                        tt,
+                        RequestFaultKind::Redispatched { attempt: p.attempt },
+                    );
+                    self.timeline.note_recovery(tt.since(p.lost_at));
+                }
+                slot
+            }
+        }
+    }
+
+    /// Salvages every unfinished request in the fleet — live nodes'
+    /// queues plus the fault-retry queue — so a faulted fleet nested as
+    /// a node inside a larger simulation loses nothing when *it* is
+    /// crashed.
+    fn take_unfinished_all(&mut self) -> SalvagedWork {
+        let mut salvaged = SalvagedWork::default();
+        for slot in &mut self.slots {
+            if let Some(n) = slot.node.as_mut() {
+                let part = n.take_unfinished();
+                salvaged.wasted_prefill_tokens += part.wasted_prefill_tokens;
+                salvaged.requests.extend(part.requests);
+            }
+        }
+        if let Some(f) = self.faults.as_mut() {
+            for p in f.pending.drain(..) {
+                salvaged.requests.push(p.req);
+            }
+            f.pending_tokens = 0;
+        }
+        salvaged
+    }
+
+    fn set_slowdown_all(&mut self, factor: f64) {
+        for slot in &mut self.slots {
+            if let Some(n) = slot.node.as_mut() {
+                n.set_slowdown(factor);
+            }
+        }
+    }
+
     fn outstanding(&self) -> u64 {
-        self.slots.iter().filter_map(|s| s.node.as_ref()).map(SimNode::outstanding_tokens).sum()
+        let parked = self.faults.as_ref().map_or(0, |f| f.pending_tokens);
+        self.slots
+            .iter()
+            .filter_map(|s| s.node.as_ref())
+            .map(SimNode::outstanding_tokens)
+            .sum::<u64>()
+            + parked
     }
 
     fn aggregate_load(&self) -> NodeLoad {
@@ -662,16 +1027,34 @@ impl<N: SimNode> Fleet<N> {
 
     /// Finalizes an incremental run: merges retired and live per-node
     /// reports and attaches the accumulated decision trail, load samples
-    /// and lifecycle timeline (all reset).
+    /// and lifecycle timeline (all reset). With faults attached, every
+    /// record whose `arrival` was rewritten (dispatch clamp or retry
+    /// redelivery) is patched back to its true arrival *before* the
+    /// merge replays it into the latency metrics, so TTFT and E2E count
+    /// the backoff the user actually waited; terminal failures ride
+    /// along via [`EngineReport::failed`].
     fn take_report(&mut self) -> EngineReport {
         let mut merged = EngineReport::new(self.throughput_bin);
-        for report in std::mem::take(&mut self.retired) {
-            merged.merge(report);
-        }
+        let origin = self.faults.as_mut().map(|f| std::mem::take(&mut f.origin_arrival));
+        let mut reports = std::mem::take(&mut self.retired);
         for s in &mut self.slots {
             if let Some(n) = s.node.as_mut() {
-                merged.merge(n.take_report());
+                reports.push(n.take_report());
             }
+        }
+        for mut report in reports {
+            if let Some(origin) = &origin {
+                for r in report.records_mut() {
+                    if let Some(&arrival) = origin.get(&r.request_id) {
+                        r.arrival = arrival;
+                    }
+                }
+            }
+            merged.merge(report);
+        }
+        if let Some(f) = self.faults.as_mut() {
+            merged.note_failures(std::mem::take(&mut f.failed));
+            f.attempts.clear();
         }
         merged.set_routing(
             std::mem::take(&mut self.decisions),
@@ -778,6 +1161,16 @@ impl<N: SimNode> ClusterSim<N> {
         self
     }
 
+    /// Attaches a fault-injection plan and retry policy: plan events
+    /// fire as timers in the global event order (crashes salvage and
+    /// re-dispatch work under `retry`), and the report gains the
+    /// crash/redispatch/failure accounting. Injecting
+    /// [`FaultPlan::empty`] is byte-identical to no injection.
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> ClusterSim<N> {
+        self.fleet.faults = Some(FaultState::new(plan, retry));
+        self
+    }
+
     /// Sets the merged report's throughput bin width (default 1 s).
     pub fn throughput_bin(mut self, bin: Dur) -> ClusterSim<N> {
         self.fleet.throughput_bin = bin;
@@ -860,15 +1253,72 @@ impl<N: SimNode> ClusterSim<N> {
         self.reschedule(i);
     }
 
-    /// Steps slots in global time order until every pending event is at
-    /// or after `horizon`.
-    fn advance_to(&mut self, horizon: SimTime) {
-        while let Some(i) = self.earliest() {
-            let t = self.fleet.next_event_of(i).expect("earliest implies event");
-            if t.as_secs() >= horizon.as_secs() {
-                break;
-            }
+    /// Fires the earliest fault timer and republishes whatever slot key
+    /// it may have touched.
+    fn fire_timer(&mut self) {
+        if let Some(slot) = self.fleet.fire_next_timer() {
+            self.reschedule(slot);
+        }
+        self.settle();
+    }
+
+    /// Steps the single globally earliest event — fault timer or node
+    /// event, timers first on ties. Returns `false` when nothing is
+    /// pending.
+    fn step_event(&mut self) -> bool {
+        let node = self.earliest();
+        let node_t = node.and_then(|i| self.fleet.next_event_of(i));
+        let timer_first = match (self.fleet.next_timer_time(), node_t) {
+            (Some(_), None) => true,
+            (Some(tt), Some(nt)) => tt.as_secs().total_cmp(&nt.as_secs()).is_le(),
+            (None, _) => false,
+        };
+        if timer_first {
+            self.fire_timer();
+            return true;
+        }
+        if let Some(i) = node {
             self.step_node(i);
+            self.settle();
+            return true;
+        }
+        false
+    }
+
+    /// Steps slots in global time order until every pending event is at
+    /// or after `horizon`. Fault timers interleave: a timer fires before
+    /// any node event at the same instant, and — unlike node events —
+    /// fires *at* the horizon too, so a crash scheduled exactly at an
+    /// arrival instant lands before that dispatch.
+    fn advance_to(&mut self, horizon: SimTime) {
+        if self.fleet.faults.is_none() {
+            while let Some(i) = self.earliest() {
+                let t = self.fleet.next_event_of(i).expect("earliest implies event");
+                if t.as_secs() >= horizon.as_secs() {
+                    break;
+                }
+                self.step_node(i);
+            }
+            self.settle();
+            return;
+        }
+        loop {
+            let node = self.earliest();
+            let node_t = node.and_then(|i| self.fleet.next_event_of(i));
+            if let Some(tt) = self.fleet.next_timer_time() {
+                let timer_first = match node_t {
+                    Some(nt) => tt.as_secs().total_cmp(&nt.as_secs()).is_le(),
+                    None => true,
+                };
+                if timer_first && tt.as_secs() <= horizon.as_secs() {
+                    self.fire_timer();
+                    continue;
+                }
+            }
+            match (node, node_t) {
+                (Some(i), Some(t)) if t.as_secs() < horizon.as_secs() => self.step_node(i),
+                _ => break,
+            }
         }
         self.settle();
     }
@@ -883,28 +1333,32 @@ impl<N: SimNode> ClusterSim<N> {
         // Bring every node's local clock up to this arrival so the load
         // signal reflects work actually still outstanding now.
         self.advance_to(req.arrival);
-        self.fleet.pre_dispatch(req.arrival);
-        let slot = self.fleet.route(&req);
-        self.fleet.push_to(slot, req);
-        self.reschedule(slot);
-        self.settle();
-    }
-
-    /// Advances the globally earliest node by one scheduling event. No-op
-    /// when every node is idle.
-    pub fn step_once(&mut self) {
-        if let Some(i) = self.earliest() {
-            self.step_node(i);
+        if let Some(slot) = self.fleet.dispatch(req, req.arrival) {
+            self.reschedule(slot);
         }
         self.settle();
     }
 
-    /// Instant of the cluster's next event (the earliest across nodes),
-    /// or `None` when all idle.
+    /// Advances the cluster by one event — the globally earliest node
+    /// event or fault timer. No-op when every node is idle and no timer
+    /// is pending.
+    pub fn step_once(&mut self) {
+        self.step_event();
+    }
+
+    /// Instant of the cluster's next event (the earliest node event or
+    /// fault timer), or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
         // The calendar is settled at rest, so its top (when present) is a
         // live `(key, slot, gen)` triple.
-        self.calendar.peek().and_then(|&Reverse((_, i, _))| self.fleet.next_event_of(i))
+        let node = self.calendar.peek().and_then(|&Reverse((_, i, _))| self.fleet.next_event_of(i));
+        match (self.fleet.next_timer_time(), node) {
+            (Some(tt), Some(nt)) => {
+                Some(if tt.as_secs().total_cmp(&nt.as_secs()).is_le() { tt } else { nt })
+            }
+            (Some(tt), None) => Some(tt),
+            (None, node) => node,
+        }
     }
 
     /// Total outstanding work across live nodes, in tokens.
@@ -943,12 +1397,23 @@ impl<N: SimNode> ClusterSim<N> {
             self.push_request(req);
         }
 
-        // Drain: keep stepping the globally earliest event until all idle.
+        // Drain: keep stepping the globally earliest event until all
+        // idle. The fault-free fleet keeps the tight node-only loop;
+        // with faults attached, remaining timers (backoffs, trailing
+        // plan events) interleave and fire too, so salvaged requests
+        // finish — or fail terminally — before the report is cut.
         let mut guard: u64 = 0;
-        while let Some(i) = self.earliest() {
-            guard += 1;
-            assert!(guard < 400_000_000, "cluster simulation failed to terminate");
-            self.step_node(i);
+        if self.fleet.faults.is_none() {
+            while let Some(i) = self.earliest() {
+                guard += 1;
+                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+                self.step_node(i);
+            }
+        } else {
+            while self.step_event() {
+                guard += 1;
+                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+            }
         }
 
         self.take_report()
@@ -988,6 +1453,15 @@ impl<N: SimNode> ReferenceClusterSim<N> {
         self
     }
 
+    /// Attaches a fault-injection plan (see [`ClusterSim::with_faults`]).
+    /// The fault machinery lives in the shared [`Fleet`] core, so crash,
+    /// retry and slowdown scheduling exercise the byte-identity property
+    /// too.
+    pub fn with_faults(mut self, plan: FaultPlan, retry: RetryPolicy) -> ReferenceClusterSim<N> {
+        self.fleet.faults = Some(FaultState::new(plan, retry));
+        self
+    }
+
     /// Sets the merged report's throughput bin width (default 1 s).
     pub fn throughput_bin(mut self, bin: Dur) -> ReferenceClusterSim<N> {
         self.fleet.throughput_bin = bin;
@@ -1004,13 +1478,56 @@ impl<N: SimNode> ReferenceClusterSim<N> {
         }
     }
 
-    fn advance_to(&mut self, horizon: SimTime) {
-        while let Some(i) = self.fleet.earliest_linear() {
-            let t = self.fleet.next_event_of(i).expect("earliest implies event");
-            if t.as_secs() >= horizon.as_secs() {
-                break;
-            }
+    /// Steps the single globally earliest event — fault timer or node
+    /// event, timers first on ties (the mirror of
+    /// [`ClusterSim::step_event`]).
+    fn step_event(&mut self) -> bool {
+        let node = self.fleet.earliest_linear();
+        let node_t = node.and_then(|i| self.fleet.next_event_of(i));
+        let timer_first = match (self.fleet.next_timer_time(), node_t) {
+            (Some(_), None) => true,
+            (Some(tt), Some(nt)) => tt.as_secs().total_cmp(&nt.as_secs()).is_le(),
+            (None, _) => false,
+        };
+        if timer_first {
+            self.fleet.fire_next_timer();
+            return true;
+        }
+        if let Some(i) = node {
             self.step_node(i);
+            return true;
+        }
+        false
+    }
+
+    fn advance_to(&mut self, horizon: SimTime) {
+        if self.fleet.faults.is_none() {
+            while let Some(i) = self.fleet.earliest_linear() {
+                let t = self.fleet.next_event_of(i).expect("earliest implies event");
+                if t.as_secs() >= horizon.as_secs() {
+                    break;
+                }
+                self.step_node(i);
+            }
+            return;
+        }
+        loop {
+            let node = self.fleet.earliest_linear();
+            let node_t = node.and_then(|i| self.fleet.next_event_of(i));
+            if let Some(tt) = self.fleet.next_timer_time() {
+                let timer_first = match node_t {
+                    Some(nt) => tt.as_secs().total_cmp(&nt.as_secs()).is_le(),
+                    None => true,
+                };
+                if timer_first && tt.as_secs() <= horizon.as_secs() {
+                    self.fleet.fire_next_timer();
+                    continue;
+                }
+            }
+            match (node, node_t) {
+                (Some(i), Some(t)) if t.as_secs() < horizon.as_secs() => self.step_node(i),
+                _ => break,
+            }
         }
     }
 
@@ -1018,21 +1535,24 @@ impl<N: SimNode> ReferenceClusterSim<N> {
     /// [`ClusterSim::push_request`]).
     pub fn push_request(&mut self, req: Request) {
         self.advance_to(req.arrival);
-        self.fleet.pre_dispatch(req.arrival);
-        let slot = self.fleet.route(&req);
-        self.fleet.push_to(slot, req);
+        self.fleet.dispatch(req, req.arrival);
     }
 
-    /// Advances the globally earliest node by one scheduling event.
+    /// Advances the cluster by one event — node event or fault timer.
     pub fn step_once(&mut self) {
-        if let Some(i) = self.fleet.earliest_linear() {
-            self.step_node(i);
-        }
+        self.step_event();
     }
 
     /// Instant of the cluster's next event, or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.fleet.earliest_linear().and_then(|i| self.fleet.next_event_of(i))
+        let node = self.fleet.earliest_linear().and_then(|i| self.fleet.next_event_of(i));
+        match (self.fleet.next_timer_time(), node) {
+            (Some(tt), Some(nt)) => {
+                Some(if tt.as_secs().total_cmp(&nt.as_secs()).is_le() { tt } else { nt })
+            }
+            (Some(tt), None) => Some(tt),
+            (None, node) => node,
+        }
     }
 
     /// Finalizes an incremental run (see [`ClusterSim::take_report`]).
@@ -1052,10 +1572,17 @@ impl<N: SimNode> ReferenceClusterSim<N> {
             self.push_request(req);
         }
         let mut guard: u64 = 0;
-        while let Some(i) = self.fleet.earliest_linear() {
-            guard += 1;
-            assert!(guard < 400_000_000, "cluster simulation failed to terminate");
-            self.step_node(i);
+        if self.fleet.faults.is_none() {
+            while let Some(i) = self.fleet.earliest_linear() {
+                guard += 1;
+                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+                self.step_node(i);
+            }
+        } else {
+            while self.step_event() {
+                guard += 1;
+                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+            }
         }
         self.take_report()
     }
@@ -1084,6 +1611,19 @@ impl<N: SimNode> SimNode for ClusterSim<N> {
 
     fn take_report(&mut self) -> EngineReport {
         ClusterSim::take_report(self)
+    }
+
+    fn take_unfinished(&mut self) -> SalvagedWork {
+        let salvaged = self.fleet.take_unfinished_all();
+        for i in 0..self.fleet.slot_count() {
+            self.reschedule(i);
+        }
+        self.settle();
+        salvaged
+    }
+
+    fn set_slowdown(&mut self, factor: f64) {
+        self.fleet.set_slowdown_all(factor);
     }
 }
 
@@ -1552,5 +2092,273 @@ mod tests {
         assert!(tl.events().iter().all(
             |e| e.kind != ReplicaEventKind::DrainStarted && e.kind != ReplicaEventKind::Retired
         ));
+    }
+
+    fn crash_at(at: f64, replica: usize) -> FaultEvent {
+        FaultEvent { at: SimTime::from_secs(at), fault: Fault::Crash { replica } }
+    }
+
+    #[test]
+    fn crash_salvages_inflight_work_and_redispatches_with_full_reprefill() {
+        // A huge prompt lands on replica 0 and dies with it mid-prefill;
+        // the salvaged request must re-enter after its backoff, complete
+        // on the survivor, and the report must account the wasted
+        // prefill, the recovery time, and a TTFT that includes the
+        // backoff (arrival patched back to the true instant).
+        let mut trace: Vec<Request> = vec![req(0, 0.0, 100_000, 64)];
+        trace.extend((1..4).map(|i| req(i, 0.1 * i as f64, 256, 16)));
+        let plan = FaultPlan::new(vec![crash_at(0.5, 0)]);
+        let mut sim = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan, RetryPolicy::default());
+        let report = sim.run(&Trace::with_ids(trace));
+
+        assert_eq!(report.records().len(), 4, "every request completes exactly once");
+        let mut ids: Vec<u64> = report.records().iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        assert!(report.failed().is_empty());
+
+        let tl = report.fleet_timeline();
+        assert_eq!(tl.crash_count(), 1);
+        assert!(tl.wasted_prefill_tokens() > 0, "mid-prefill work died with the KV cache");
+        assert!(tl.recoveries() >= 1);
+        assert!(
+            tl.mean_recovery_secs() >= 1.0,
+            "recovery waits out at least the base backoff, got {}",
+            tl.mean_recovery_secs()
+        );
+        let redispatched: Vec<_> = tl
+            .request_faults()
+            .iter()
+            .filter(|e| matches!(e.kind, RequestFaultKind::Redispatched { .. }))
+            .collect();
+        assert!(!redispatched.is_empty());
+        assert!(redispatched.iter().any(|e| e.request_id == 0));
+
+        // Request 0's record keeps its true arrival, so its TTFT covers
+        // the crash wait + backoff + full re-prefill.
+        let r0 = report.records().iter().find(|r| r.request_id == 0).expect("completed");
+        assert_eq!(r0.arrival.as_secs(), 0.0, "arrival patched back to the true instant");
+        assert!(
+            r0.ttft().as_secs() >= 1.5,
+            "TTFT must include crash wait + backoff, got {}",
+            r0.ttft().as_secs()
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_terminal_failure_with_budget_attempts() {
+        // One replica, killed while serving the only request, never
+        // replaced: every backoff redelivery finds no routable replica
+        // and burns an attempt, so the request must fail terminally with
+        // exactly `max_retries` attempts on record.
+        let retry = RetryPolicy { max_retries: 2, base_backoff: Dur::from_secs(1.0) };
+        let plan = FaultPlan::new(vec![crash_at(0.5, 0)]);
+        let mut sim = ClusterSim::new(engines(1), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan, retry);
+        let report = sim.run(&Trace::with_ids(vec![req(0, 0.0, 50_000, 64)]));
+
+        assert!(report.records().is_empty(), "the only replica died and never came back");
+        assert_eq!(report.failed(), &[FailedRequest { request_id: 0, attempts: 2 }]);
+        let tl = report.fleet_timeline();
+        assert_eq!(tl.crash_count(), 1);
+        assert!(tl
+            .request_faults()
+            .iter()
+            .any(|e| e.kind == RequestFaultKind::Failed { attempts: 2 }));
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_on_first_fault() {
+        let retry = RetryPolicy { max_retries: 0, base_backoff: Dur::from_secs(1.0) };
+        let plan = FaultPlan::new(vec![crash_at(0.5, 0)]);
+        let mut sim = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan, retry);
+        let report = sim.run(&Trace::with_ids(vec![req(0, 0.0, 50_000, 64)]));
+        assert!(report.records().is_empty());
+        assert_eq!(report.failed(), &[FailedRequest { request_id: 0, attempts: 0 }]);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_the_run_then_recovers() {
+        // A compute-bound batch (everything arrives at t=0), so the
+        // makespan tracks iteration durations, not arrival spread.
+        let trace = Trace::with_ids((0..16).map(|i| req(i, 0.0, 8_000, 64)).collect::<Vec<_>>());
+        let run_with = |plan: FaultPlan| {
+            let mut sim =
+                ClusterSim::new(engines(1), RoutingKind::JoinShortestOutstanding.policy())
+                    .with_faults(plan, RetryPolicy::default());
+            sim.run(&trace).makespan().as_secs()
+        };
+        let base = run_with(FaultPlan::empty());
+        let slow = |duration: f64| {
+            FaultPlan::new(vec![FaultEvent {
+                at: SimTime::ZERO,
+                fault: Fault::Slowdown {
+                    replica: 0,
+                    factor: 4.0,
+                    duration: Dur::from_secs(duration),
+                },
+            }])
+        };
+        let slowed_throughout = run_with(slow(10_000.0));
+        let slowed_briefly = run_with(slow(0.05));
+        assert!(
+            slowed_throughout > base * 1.5,
+            "4x slowdown must stretch the run: base {base}, slowed {slowed_throughout}"
+        );
+        assert!(
+            slowed_briefly < slowed_throughout,
+            "recovering mid-run must beat staying slow: {slowed_briefly} vs {slowed_throughout}"
+        );
+    }
+
+    #[test]
+    fn route_timeout_consumes_an_attempt_and_redispatches() {
+        let plan =
+            FaultPlan::new(vec![FaultEvent { at: SimTime::ZERO, fault: Fault::RouteTimeout }]);
+        let mut sim = ClusterSim::new(engines(1), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan, RetryPolicy::default());
+        let report = sim.run(&Trace::with_ids(vec![req(0, 0.0, 512, 8)]));
+
+        assert_eq!(report.records().len(), 1);
+        assert!(report.failed().is_empty());
+        let r0 = &report.records()[0];
+        assert_eq!(r0.arrival.as_secs(), 0.0, "true arrival survives the timeout detour");
+        assert!(r0.ttft().as_secs() >= 1.0, "the backoff counts toward TTFT");
+        let tl = report.fleet_timeline();
+        assert_eq!(tl.crash_count(), 0);
+        assert!(tl
+            .request_faults()
+            .iter()
+            .any(|e| e.kind == RequestFaultKind::Redispatched { attempt: 1 }));
+        // The timed-out dispatch records no routing decision; the
+        // redelivery does.
+        assert_eq!(report.routing_decisions().len(), 1);
+        assert!(report.routing_decisions()[0].at.as_secs() >= 1.0);
+    }
+
+    #[test]
+    fn crash_while_warming_stops_billing_at_the_crash_instant() {
+        // Satellite regression: a replica dying inside its cold-start
+        // window must bill replica-seconds only up to the crash, not to
+        // its would-be Ready instant (nor the end of the run).
+        use crate::autoscale::AutoscaleConfig;
+        let config =
+            AutoscaleConfig { cold_start: Dur::from_secs(10.0), min_replicas: 1, max_replicas: 2 };
+        let script = vec![(1.0, ScaleAction::Spawn)];
+        let plan = FaultPlan::new(vec![crash_at(3.0, 1)]);
+        let trace = steady_trace(40, 0.5);
+        let mut sim = ClusterSim::new(engines(1), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scripted_scaler(config, script))
+            .with_faults(plan, RetryPolicy::default());
+        let report = sim.run(&trace);
+
+        assert_eq!(report.records().len(), 40, "the warming replica held no work to lose");
+        let tl = report.fleet_timeline();
+        let slot1: Vec<ReplicaEventKind> =
+            tl.events().iter().filter(|e| e.replica == 1).map(|e| e.kind).collect();
+        assert_eq!(slot1, vec![ReplicaEventKind::Spawned, ReplicaEventKind::Crashed]);
+        // Spawn fires at the first dispatch at/after t=1.0 (the arrival
+        // at exactly 1.0), crash at 3.0: slot 1 bills exactly 2 s.
+        let makespan = report.makespan();
+        let rs = tl.replica_seconds(makespan);
+        let expected = makespan.as_secs() + 2.0;
+        assert!(
+            (rs - expected).abs() < 1e-9,
+            "warming crash must bill to the crash instant: {rs} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_injection() {
+        let trace = steady_trace(40, 0.25);
+        let plain = ClusterSim::new(engines(2), RoutingKind::JsqByTtft.policy()).run(&trace);
+        let faulted = ClusterSim::new(engines(2), RoutingKind::JsqByTtft.policy())
+            .with_faults(FaultPlan::empty(), RetryPolicy::default())
+            .run(&trace);
+        assert_eq!(plain.routing_decisions(), faulted.routing_decisions());
+        assert_eq!(record_bits(&plain), record_bits(&faulted));
+        assert!(faulted.failed().is_empty());
+        assert_eq!(faulted.fleet_timeline().crash_count(), 0);
+
+        let reference = ReferenceClusterSim::new(engines(2), RoutingKind::JsqByTtft.policy())
+            .with_faults(FaultPlan::empty(), RetryPolicy::default())
+            .run(&trace);
+        assert_eq!(plain.routing_decisions(), reference.routing_decisions());
+        assert_eq!(record_bits(&plain), record_bits(&reference));
+    }
+
+    #[test]
+    fn heap_and_reference_stay_lockstep_under_a_mixed_fault_plan() {
+        let plan = || {
+            FaultPlan::new(vec![
+                crash_at(2.0, 0),
+                FaultEvent {
+                    at: SimTime::from_secs(4.0),
+                    fault: Fault::Slowdown {
+                        replica: 1,
+                        factor: 2.5,
+                        duration: Dur::from_secs(3.0),
+                    },
+                },
+                FaultEvent { at: SimTime::from_secs(5.0), fault: Fault::RouteTimeout },
+                crash_at(8.0, 1),
+            ])
+        };
+        let retry = RetryPolicy { max_retries: 3, base_backoff: Dur::from_secs(0.5) };
+        let trace = steady_trace(60, 0.25);
+        let heap = ClusterSim::new(engines(3), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan(), retry)
+            .run(&trace);
+        let reference =
+            ReferenceClusterSim::new(engines(3), RoutingKind::JoinShortestOutstanding.policy())
+                .with_faults(plan(), retry)
+                .run(&trace);
+
+        assert_eq!(heap.routing_decisions(), reference.routing_decisions());
+        assert_eq!(record_bits(&heap), record_bits(&reference));
+        assert_eq!(heap.failed(), reference.failed());
+        assert_eq!(
+            heap.fleet_timeline().request_faults(),
+            reference.fleet_timeline().request_faults()
+        );
+        assert_eq!(heap.fleet_timeline().crash_count(), 2);
+        // Conservation: completed + failed covers the whole trace.
+        assert_eq!(heap.records().len() + heap.failed().len(), 60);
+    }
+
+    #[test]
+    fn crash_deficit_autoscaling_replaces_lost_capacity() {
+        // LoadBandPolicy sees the crash deficit and respawns: after the
+        // crash, a fresh replica must appear (Spawned after Crashed) and
+        // every request must still complete.
+        use crate::autoscale::{AutoscaleConfig, LoadBandPolicy};
+        let config =
+            AutoscaleConfig { cold_start: Dur::from_secs(1.0), min_replicas: 2, max_replicas: 4 };
+        let policy = LoadBandPolicy::new(f64::MAX, 0.0).smoothing(1.0);
+        let scaler = Autoscaler::new(config, Box::new(policy), |_| engines(1).pop().unwrap());
+        let plan = FaultPlan::new(vec![crash_at(2.0, 0)]);
+        let trace = steady_trace(80, 0.25);
+        let mut sim = ClusterSim::new(engines(2), RoutingKind::JoinShortestOutstanding.policy())
+            .with_autoscaler(scaler)
+            .with_faults(plan, RetryPolicy::default());
+        let report = sim.run(&trace);
+
+        assert_eq!(report.records().len(), 80);
+        assert!(report.failed().is_empty());
+        let tl = report.fleet_timeline();
+        assert_eq!(tl.crash_count(), 1);
+        let crash_t = tl
+            .events()
+            .iter()
+            .find(|e| e.kind == ReplicaEventKind::Crashed)
+            .expect("crash recorded")
+            .at;
+        assert!(
+            tl.events().iter().any(|e| e.kind == ReplicaEventKind::Spawned && e.at >= crash_t),
+            "the deficit must trigger a replacement spawn"
+        );
     }
 }

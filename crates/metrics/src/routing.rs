@@ -213,6 +213,46 @@ pub enum ReplicaEventKind {
     DrainStarted,
     /// The replica drained dry and was removed; cost stops accruing.
     Retired,
+    /// The replica died abruptly (fault injection): cost stops accruing
+    /// at the crash instant — even mid-warmup — and its in-flight work
+    /// is lost (KV gone, requests re-dispatched from scratch).
+    Crashed,
+}
+
+/// A per-request fault-recovery transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestFaultKind {
+    /// The request was re-dispatched after losing its replica; `attempt`
+    /// counts retries consumed so far (1 = first re-dispatch).
+    Redispatched {
+        /// Retry attempts consumed, including this one.
+        attempt: u32,
+    },
+    /// The request exhausted its retry budget and was abandoned.
+    Failed {
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+/// One request-level fault event: `request_id` transitioned at `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestFaultEvent {
+    /// The affected request.
+    pub request_id: u64,
+    /// Transition instant.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: RequestFaultKind,
+}
+
+/// A request that exhausted its retry budget and was never served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailedRequest {
+    /// The abandoned request.
+    pub request_id: u64,
+    /// Retry attempts consumed (equals the configured budget).
+    pub attempts: u32,
 }
 
 /// One replica lifecycle event: `replica` transitioned at instant `at`.
@@ -254,6 +294,10 @@ pub struct ReplicaEvent {
 pub struct FleetTimeline {
     events: Vec<ReplicaEvent>,
     replica_count: usize,
+    request_faults: Vec<RequestFaultEvent>,
+    wasted_prefill_tokens: u64,
+    recovery_secs: f64,
+    recoveries: u64,
 }
 
 impl FleetTimeline {
@@ -293,7 +337,11 @@ impl FleetTimeline {
         for e in &self.events {
             match e.kind {
                 ReplicaEventKind::Spawned => open[e.replica] = Some(e.at),
-                ReplicaEventKind::Retired => {
+                // A crash closes the span at the crash instant exactly like
+                // a retire — in particular a replica that dies *mid-warmup*
+                // stops billing right there, not at its would-be Ready time
+                // (spans never look at Ready at all).
+                ReplicaEventKind::Retired | ReplicaEventKind::Crashed => {
                     if let Some(from) = open[e.replica].take() {
                         spans.push((e.replica, from, Some(e.at)));
                     }
@@ -338,11 +386,62 @@ impl FleetTimeline {
                     up += 1;
                     peak = peak.max(up);
                 }
-                ReplicaEventKind::Retired => up = up.saturating_sub(1),
+                ReplicaEventKind::Retired | ReplicaEventKind::Crashed => {
+                    up = up.saturating_sub(1);
+                }
                 ReplicaEventKind::Ready | ReplicaEventKind::DrainStarted => {}
             }
         }
         peak
+    }
+
+    /// Records one request-level fault transition (re-dispatch or terminal
+    /// failure). Like replica events, these arrive in time order.
+    pub fn record_request_fault(&mut self, request_id: u64, at: SimTime, kind: RequestFaultKind) {
+        self.request_faults.push(RequestFaultEvent { request_id, at, kind });
+    }
+
+    /// All request-level fault events in recording (time) order.
+    pub fn request_faults(&self) -> &[RequestFaultEvent] {
+        &self.request_faults
+    }
+
+    /// Adds prompt tokens whose prefill work was destroyed by a crash
+    /// (the KV is gone, so a re-dispatched request pays full re-prefill).
+    pub fn note_wasted_prefill(&mut self, tokens: u64) {
+        self.wasted_prefill_tokens += tokens;
+    }
+
+    /// Total prompt tokens prefilled and then lost to crashes.
+    pub fn wasted_prefill_tokens(&self) -> u64 {
+        self.wasted_prefill_tokens
+    }
+
+    /// Adds one recovery observation: the span from a request losing its
+    /// replica to its successful re-dispatch.
+    pub fn note_recovery(&mut self, took: Dur) {
+        self.recovery_secs += took.as_secs();
+        self.recoveries += 1;
+    }
+
+    /// Number of successful re-dispatches observed.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Mean crash-to-re-dispatch recovery time in seconds (0.0 when no
+    /// recovery happened).
+    pub fn mean_recovery_secs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_secs / self.recoveries as f64
+        }
+    }
+
+    /// Number of replica crashes recorded.
+    pub fn crash_count(&self) -> usize {
+        self.events.iter().filter(|e| e.kind == ReplicaEventKind::Crashed).count()
     }
 
     /// The replica-seconds *cost series*: provisioned replica-seconds per
@@ -366,6 +465,10 @@ impl FleetTimeline {
             self.replica_count = self.replica_count.max(e.replica + 1);
             self.events.push(e);
         }
+        self.request_faults.extend(other.request_faults);
+        self.wasted_prefill_tokens += other.wasted_prefill_tokens;
+        self.recovery_secs += other.recovery_secs;
+        self.recoveries += other.recoveries;
     }
 }
 
@@ -495,6 +598,60 @@ mod tests {
         // Horizon before the second spawn: only the first span counts.
         assert_eq!(t.replica_seconds(SimTime::from_secs(15.0)), 10.0);
         assert_eq!(t.peak_provisioned(), 1);
+    }
+
+    #[test]
+    fn crash_while_warming_stops_billing_at_the_crash_instant() {
+        // Regression: a replica spawned at 10 with a 10 s cold start dies
+        // at 15, *before* its would-be Ready at 20. Billing must stop at
+        // the crash instant (5 replica-seconds), not run on to Ready.
+        let mut t = FleetTimeline::new();
+        t.record(0, SimTime::from_secs(10.0), ReplicaEventKind::Spawned);
+        t.record(0, SimTime::from_secs(15.0), ReplicaEventKind::Crashed);
+        assert_eq!(t.replica_seconds(SimTime::from_secs(100.0)), 5.0);
+        assert_eq!(t.provisioned_at(SimTime::from_secs(12.0)), 1);
+        assert_eq!(t.provisioned_at(SimTime::from_secs(18.0)), 0);
+        assert_eq!(t.crash_count(), 1);
+    }
+
+    #[test]
+    fn crash_closes_spans_and_decrements_peak_like_retire() {
+        let mut t = FleetTimeline::new();
+        t.record(0, SimTime::ZERO, ReplicaEventKind::Spawned);
+        t.record(0, SimTime::ZERO, ReplicaEventKind::Ready);
+        t.record(1, SimTime::from_secs(5.0), ReplicaEventKind::Spawned);
+        t.record(1, SimTime::from_secs(5.0), ReplicaEventKind::Ready);
+        t.record(1, SimTime::from_secs(20.0), ReplicaEventKind::Crashed);
+        // Slot 1 respawns after the crash: peak stays 2, not 3.
+        t.record(1, SimTime::from_secs(30.0), ReplicaEventKind::Spawned);
+        assert_eq!(t.peak_provisioned(), 2);
+        let horizon = SimTime::from_secs(40.0);
+        assert_eq!(t.replica_seconds(horizon), 40.0 + 15.0 + 10.0);
+    }
+
+    #[test]
+    fn fault_accounting_accumulates_and_absorbs() {
+        let mut a = FleetTimeline::new();
+        a.record_request_fault(
+            7,
+            SimTime::from_secs(1.0),
+            RequestFaultKind::Redispatched { attempt: 1 },
+        );
+        a.note_wasted_prefill(500);
+        a.note_recovery(Dur::from_secs(2.0));
+        let mut b = FleetTimeline::new();
+        b.record_request_fault(
+            9,
+            SimTime::from_secs(3.0),
+            RequestFaultKind::Failed { attempts: 3 },
+        );
+        b.note_wasted_prefill(250);
+        b.note_recovery(Dur::from_secs(4.0));
+        a.absorb(b);
+        assert_eq!(a.request_faults().len(), 2);
+        assert_eq!(a.wasted_prefill_tokens(), 750);
+        assert_eq!(a.recoveries(), 2);
+        assert!((a.mean_recovery_secs() - 3.0).abs() < 1e-12);
     }
 
     #[test]

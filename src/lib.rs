@@ -58,13 +58,14 @@ pub mod prelude {
     pub use sp_cluster::{CollectiveModel, GpuSpec, InterconnectSpec, NodeSpec, Roofline};
     pub use sp_engine::{
         AdmissionMode, AutoscaleConfig, Autoscaler, ClusterSim, DataParallelCluster,
-        EarliestDeadlineFeasible, Engine, EngineConfig, EngineReport, FleetSignal, LoadBandPolicy,
-        NeverScale, QueuePolicy, ReferenceClusterSim, RoutingKind, ScaleAction, ScalePolicy,
-        SimNode, SpecDecode,
+        EarliestDeadlineFeasible, Engine, EngineConfig, EngineReport, Fault, FaultEvent, FaultPlan,
+        FleetSignal, LoadBandPolicy, NeverScale, QueuePolicy, ReferenceClusterSim, RetryPolicy,
+        RoutingKind, ScaleAction, ScalePolicy, SimNode, SpecDecode,
     };
     pub use sp_metrics::{
-        ClassSlo, ClassSloReport, Dur, FleetTimeline, LatencyRecorder, NodeLoad, Quantiles,
-        ReplicaEventKind, RequestRecord, SimTime, SloReport, SloTarget,
+        ClassSlo, ClassSloReport, Dur, FailedRequest, FleetTimeline, LatencyRecorder, NodeLoad,
+        Quantiles, ReplicaEventKind, RequestFaultEvent, RequestFaultKind, RequestRecord, SimTime,
+        SloReport, SloTarget,
     };
     pub use sp_model::{presets, ModelConfig, MoeConfig, Precision};
     pub use sp_parallel::{

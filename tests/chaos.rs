@@ -1,0 +1,164 @@
+//! Acceptance test for fault tolerance: on the bursty agentic trace, a
+//! seeded Poisson crash schedule with MTTF 120 s — 10x the mean burst
+//! length on the 240 s trace — must cost the autoscaled fleet almost
+//! nothing: goodput stays at 100% (every request completes; the retry
+//! budget is never exhausted) and interactive SLO attainment holds at
+//! least 95% of the no-fault run. Crashes are real: the victim's KV
+//! cache dies, salvaged requests pay full re-prefill after exponential
+//! backoff, and the autoscaler respawns the lost replica through the
+//! crash-deficit signal (cold start still applies). The `chaos` bench
+//! bin sweeps the same setup across MTTF values.
+
+use shift_parallelism::prelude::*;
+use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+use sp_workload::bursty::BurstyConfig;
+
+const KV_TOKENS: u64 = 60_000;
+const PEAK_REPLICAS: usize = 4;
+const MIN_REPLICAS: usize = 2;
+const HORIZON_SECS: f64 = 240.0;
+/// Same seed as the `chaos` bench, so the table and the gate agree.
+const CRASH_SEED: u64 = 0xC4A5;
+
+fn engine() -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig {
+            kv_capacity_tokens: KV_TOKENS,
+            class_slo: Some(ClassSlo::default()),
+            queue_policy: QueuePolicy::InteractiveFirst,
+            admission: AdmissionMode::PreemptRestart,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// The bursty agentic trace shared with `tests/autoscale.rs` and the
+/// `autoscale`/`chaos` bench bins.
+fn bursty_trace() -> Trace {
+    let trace = BurstyConfig {
+        duration: Dur::from_secs(HORIZON_SECS),
+        base_rate: 2.0,
+        bursts: 2,
+        burst_size: 60,
+        ..BurstyConfig::default()
+    }
+    .generate();
+    let fits: Vec<Request> =
+        trace.requests().iter().copied().filter(|r| r.total_tokens() <= KV_TOKENS).collect();
+    Trace::with_ids(fits)
+}
+
+fn run_with(plan: FaultPlan, trace: &Trace, slo: ClassSlo) -> EngineReport {
+    let scaler = Autoscaler::new(
+        AutoscaleConfig {
+            cold_start: Dur::from_secs(5.0),
+            min_replicas: MIN_REPLICAS,
+            max_replicas: PEAK_REPLICAS,
+        },
+        Box::new(LoadBandPolicy::new(2_000.0, 800.0).smoothing(1.0).cooldown(Dur::from_secs(1.0))),
+        |_| engine(),
+    );
+    let retry = RetryPolicy { max_retries: 3, base_backoff: Dur::from_secs(0.25) };
+    let mut sim = ClusterSim::new(
+        (0..MIN_REPLICAS).map(|_| engine()).collect(),
+        RoutingKind::EarliestDeadlineFeasible(slo).policy(),
+    )
+    .with_autoscaler(scaler)
+    .with_faults(plan, retry);
+    sim.run(trace)
+}
+
+#[test]
+fn crashes_at_mttf_10x_burst_length_cost_under_5_points_of_attainment() {
+    let trace = bursty_trace();
+    let slo = ClassSlo::default();
+
+    let baseline = run_with(FaultPlan::empty(), &trace, slo);
+    assert_eq!(baseline.records().len(), trace.len(), "no-fault run must complete everything");
+    let base_att = baseline.class_slo_report(&slo).interactive.attainment();
+
+    let plan = FaultPlan::crashes_poisson(
+        CRASH_SEED,
+        Dur::from_secs(120.0),
+        Dur::from_secs(HORIZON_SECS),
+        PEAK_REPLICAS,
+    );
+    let report = run_with(plan, &trace, slo);
+    let tl = report.fleet_timeline();
+    let att = report.class_slo_report(&slo).interactive.attainment();
+    eprintln!(
+        "MTTF 120s: crashes {} | goodput {}/{} | failed {} | attainment {att:.3} vs no-fault \
+         {base_att:.3} | wasted prefill {} | recoveries {} (mean {:.2}s)",
+        tl.crash_count(),
+        report.records().len(),
+        trace.len(),
+        report.failed().len(),
+        tl.wasted_prefill_tokens(),
+        tl.recoveries(),
+        tl.mean_recovery_secs(),
+    );
+
+    // The schedule actually injected a crash, and the crash actually
+    // displaced work (the KV cache died mid-request).
+    assert!(tl.crash_count() >= 1, "seeded schedule produced no crashes");
+    assert!(tl.wasted_prefill_tokens() > 0, "crash displaced no prefill work");
+    assert!(tl.recoveries() >= 1, "no salvaged request was re-dispatched");
+
+    // Goodput: every request still completes — the retry budget absorbs
+    // every displacement.
+    assert_eq!(
+        report.records().len(),
+        trace.len(),
+        "goodput dropped: {} failed, {} rejected",
+        report.failed().len(),
+        report.rejected().len()
+    );
+
+    // The headline: >= 95% of the no-fault interactive SLO attainment.
+    assert!(
+        att >= 0.95 * base_att,
+        "interactive attainment {att:.3} fell below 95% of no-fault {base_att:.3}"
+    );
+}
+
+#[test]
+fn repeated_crashes_degrade_latency_before_goodput() {
+    let trace = bursty_trace();
+    let slo = ClassSlo::default();
+
+    let baseline = run_with(FaultPlan::empty(), &trace, slo);
+    let base_att = baseline.class_slo_report(&slo).interactive.attainment();
+
+    // MTTF 60 s: multiple crashes across the horizon. Latency is allowed
+    // to sag, but the retry/respawn machinery must still complete every
+    // request.
+    let plan = FaultPlan::crashes_poisson(
+        CRASH_SEED,
+        Dur::from_secs(60.0),
+        Dur::from_secs(HORIZON_SECS),
+        PEAK_REPLICAS,
+    );
+    let report = run_with(plan, &trace, slo);
+    let tl = report.fleet_timeline();
+    let att = report.class_slo_report(&slo).interactive.attainment();
+    eprintln!(
+        "MTTF 60s: crashes {} | goodput {}/{} | attainment {att:.3} vs no-fault {base_att:.3}",
+        tl.crash_count(),
+        report.records().len(),
+        trace.len(),
+    );
+
+    assert!(tl.crash_count() >= 2, "MTTF 60s over 240s should crash more than once");
+    assert_eq!(report.records().len(), trace.len(), "goodput must survive repeated crashes");
+    assert!(
+        att >= 0.90 * base_att,
+        "attainment {att:.3} collapsed below 90% of no-fault {base_att:.3} at MTTF 60s"
+    );
+    // Every crash spawned a replacement: the fleet never shrinks for
+    // long. Crashed + retired events pair with spawns.
+    let spawns = tl.events().iter().filter(|e| e.kind == ReplicaEventKind::Spawned).count();
+    assert!(spawns > MIN_REPLICAS, "autoscaler never respawned after a crash (spawns {spawns})");
+}

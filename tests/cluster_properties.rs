@@ -396,9 +396,178 @@ proptest! {
                         alive = false;
                         draining = false;
                     }
+                    ReplicaEventKind::Crashed => {
+                        // A crash tears a replica down from any alive
+                        // state — no drain required.
+                        prop_assert!(alive, "replica {} crashed while empty", r);
+                        alive = false;
+                        draining = false;
+                    }
                 }
             }
         }
+    }
+}
+
+/// Randomized fault schedules over a small fleet: crashes dominate, with
+/// slowdown windows and route timeouts mixed in. Replica indices target
+/// slots `0..max_replicas` so plans stay meaningful for any fleet size in
+/// that range (crashing an empty slot is a defined no-op).
+fn arb_fault_plan(max_replicas: usize) -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((0.0f64..30.0, 0usize..max_replicas, 0u8..8), 0..6).prop_map(|faults| {
+        FaultPlan::new(
+            faults
+                .into_iter()
+                .map(|(at, replica, kind)| FaultEvent {
+                    at: SimTime::from_secs(at),
+                    fault: match kind {
+                        0..=3 => Fault::Crash { replica },
+                        4 | 5 => {
+                            Fault::Slowdown { replica, factor: 3.0, duration: Dur::from_secs(2.0) }
+                        }
+                        _ => Fault::RouteTimeout,
+                    },
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Request conservation under arbitrary seeded crash schedules — the
+    /// chaos analogue of `autoscaled_runs_conserve_requests`. Whatever
+    /// the fault plan does (crashes salvaging in-flight work, route
+    /// timeouts, slowdown windows), every pushed request must surface in
+    /// the report exactly once: completed, rejected, or terminally
+    /// `Failed` — and a failure must carry exactly the retry budget in
+    /// spent attempts. Nothing is lost, nothing is double-served.
+    #[test]
+    fn crash_schedules_conserve_requests(
+        reqs in prop::collection::vec((1u32..10_000, 1u32..60, 0.0f64..30.0, any::<bool>()), 1..10),
+        n in 1usize..3,
+        plan in arb_fault_plan(3),
+        budget in 0u32..3,
+    ) {
+        let trace = Trace::new(
+            reqs.into_iter()
+                .map(|(input, output, at, interactive)| Request {
+                    id: 0,
+                    arrival: SimTime::from_secs(at),
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: if interactive {
+                        RequestClass::Interactive
+                    } else {
+                        RequestClass::Batch
+                    },
+                    cached_prefix: 0,
+                    prefix_group: None,
+                })
+                .collect(),
+        );
+        let retry = RetryPolicy { max_retries: budget, base_backoff: Dur::from_secs(0.25) };
+        let mut sim = ClusterSim::new(engines(n, 30_000), RoutingKind::JoinShortestOutstanding.policy())
+            .with_faults(plan, retry);
+        let report = sim.run(&trace);
+
+        prop_assert_eq!(
+            report.records().len() + report.rejected().len() + report.failed().len(),
+            trace.len(),
+            "conservation: served {} + rejected {} + failed {} != pushed {}",
+            report.records().len(),
+            report.rejected().len(),
+            report.failed().len(),
+            trace.len()
+        );
+        let mut ids: Vec<u64> = report
+            .records()
+            .iter()
+            .map(|r| r.request_id)
+            .chain(report.rejected().iter().copied())
+            .chain(report.failed().iter().map(|f| f.request_id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len(), "a request was served or reported twice");
+        for f in report.failed() {
+            prop_assert_eq!(
+                f.attempts, retry.max_retries,
+                "request {} abandoned after {} attempts with budget {}",
+                f.request_id, f.attempts, retry.max_retries
+            );
+        }
+        prop_assert_eq!(sim.outstanding_tokens(), 0, "drained cluster holds no work");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The calendar/reference byte-identity property *under fault
+    /// injection*: both simulations consume the same `FaultPlan` through
+    /// their shared fleet core, so crashes (gen-bumped slots, salvaged
+    /// work), retry timers, slowdown windows, and route timeouts must
+    /// leave the heap loop and the linear rescan in lockstep — same
+    /// next-event instant at every step, byte-identical reports, fault
+    /// trails, and failure lists at the end.
+    #[test]
+    fn event_calendar_matches_reference_loop_under_faults(
+        trace in arb_trace(),
+        n in 1usize..4,
+        plan in arb_fault_plan(4),
+        budget in 0u32..3,
+        steps_between in prop::collection::vec(0usize..5, 0..32),
+    ) {
+        let retry = RetryPolicy { max_retries: budget, base_backoff: Dur::from_secs(0.5) };
+        let mut calendar =
+            ClusterSim::new(engines(n, 60_000), RoutingKind::JoinShortestOutstanding.policy())
+                .with_faults(plan.clone(), retry);
+        let mut naive = ReferenceClusterSim::new(
+            (0..n).map(|_| engine_with(60_000, None, true)).collect::<Vec<_>>(),
+            RoutingKind::JoinShortestOutstanding.policy(),
+        )
+        .with_faults(plan, retry);
+
+        let next_bits = |cal: &ClusterSim<Engine>, naive: &ReferenceClusterSim<Engine>| {
+            (
+                cal.next_event_time().map(|t| t.as_secs().to_bits()),
+                naive.next_event_time().map(|t| t.as_secs().to_bits()),
+            )
+        };
+        for (k, &req) in trace.requests().iter().enumerate() {
+            for _ in 0..steps_between.get(k).copied().unwrap_or(0) {
+                let (a, b) = next_bits(&calendar, &naive);
+                prop_assert_eq!(a, b, "next-event divergence before arrival {}", k);
+                calendar.step_once();
+                naive.step_once();
+            }
+            calendar.push_request(req);
+            naive.push_request(req);
+        }
+        let mut guard: u64 = 0;
+        while calendar.next_event_time().is_some() || naive.next_event_time().is_some() {
+            let (a, b) = next_bits(&calendar, &naive);
+            prop_assert_eq!(a, b, "next-event divergence while draining");
+            calendar.step_once();
+            naive.step_once();
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "drain failed to terminate");
+        }
+
+        let a = calendar.take_report();
+        let b = naive.take_report();
+        prop_assert_eq!(a.routing_decisions(), b.routing_decisions());
+        prop_assert_eq!(canonical_records(&a), canonical_records(&b));
+        prop_assert_eq!(sorted_rejects(&a), sorted_rejects(&b));
+        prop_assert_eq!(a.failed(), b.failed());
+        prop_assert_eq!(
+            a.fleet_timeline().request_faults(),
+            b.fleet_timeline().request_faults()
+        );
+        prop_assert_eq!(a.fleet_timeline().events(), b.fleet_timeline().events());
+        prop_assert_eq!(format!("{:?}", a.records()), format!("{:?}", b.records()));
     }
 }
 

@@ -40,6 +40,31 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         })
 }
 
+/// Randomized fault schedules overlapping the trace window: crashes
+/// dominate, with slowdown windows and route timeouts mixed in. Replica
+/// indices may exceed the live fleet (crashing an empty or out-of-range
+/// slot is a defined no-op).
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((0.0f64..120.0, 0usize..5, 0u8..8, 1.5f64..6.0, 0.5f64..8.0), 0..8)
+        .prop_map(|faults| {
+            FaultPlan::new(
+                faults
+                    .into_iter()
+                    .map(|(at, replica, kind, factor, dur)| FaultEvent {
+                        at: SimTime::from_secs(at),
+                        fault: match kind {
+                            0..=3 => Fault::Crash { replica },
+                            4 | 5 => {
+                                Fault::Slowdown { replica, factor, duration: Dur::from_secs(dur) }
+                            }
+                            _ => Fault::RouteTimeout,
+                        },
+                    })
+                    .collect(),
+            )
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -159,6 +184,24 @@ proptest! {
     ) {
         drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
     }
+
+    #[test]
+    fn faulted_cluster_sim_survives_arbitrary_interleavings(
+        trace in arb_trace(),
+        replicas in 1usize..4,
+        kind in prop_oneof![
+            Just(RoutingKind::JoinShortestOutstanding),
+            Just(RoutingKind::RoundRobin),
+            Just(RoutingKind::EarliestDeadlineFeasible(ClassSlo::default())),
+        ],
+        steps in prop::collection::vec(0usize..6, 40),
+        plan in arb_fault_plan(),
+        budget in 0u32..4,
+        scale in any::<bool>(),
+    ) {
+        let scale = scale.then_some((400.0, 60.0, 5.0));
+        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget);
+    }
 }
 
 proptest! {
@@ -200,6 +243,27 @@ proptest! {
         cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
     ) {
         drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
+    }
+
+    #[test]
+    #[ignore = "tier-2 long fuzz; run with --ignored"]
+    fn faulted_cluster_sim_survives_arbitrary_interleavings_long(
+        trace in arb_trace(),
+        replicas in 1usize..5,
+        kind in prop_oneof![
+            Just(RoutingKind::JoinShortestOutstanding),
+            Just(RoutingKind::RoundRobin),
+            Just(RoutingKind::JsqByTtft),
+            Just(RoutingKind::EarliestDeadlineFeasible(ClassSlo::default())),
+        ],
+        steps in prop::collection::vec(0usize..12, 60),
+        plan in arb_fault_plan(),
+        budget in 0u32..4,
+        scale in any::<bool>(),
+        cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
+    ) {
+        let scale = scale.then_some((400.0, 60.0, cold));
+        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget);
     }
 }
 
@@ -289,6 +353,103 @@ fn drive_interleaved(
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), trace.len());
+    for r in report.records() {
+        assert!(r.first_token >= r.arrival);
+        assert!(r.finish >= r.first_token);
+    }
+}
+
+/// The fault-injected cousin of [`drive_interleaved`]: the same explicit
+/// push/step interleaving with a `FaultPlan` firing crashes, slowdown
+/// windows and route timeouts between (and during) dispatches. The
+/// invariants shift accordingly: event times still never run backwards,
+/// but conservation now counts three terminal outcomes — completed,
+/// rejected, or `Failed` with exactly the retry budget in spent attempts.
+fn drive_interleaved_faulty(
+    trace: &Trace,
+    replicas: usize,
+    kind: RoutingKind,
+    steps: &[usize],
+    scale: Option<(f64, f64, f64)>,
+    plan: FaultPlan,
+    budget: u32,
+) {
+    let node = sp_cluster::NodeSpec::new(
+        sp_cluster::GpuSpec::h200(),
+        1,
+        sp_cluster::InterconnectSpec::nvswitch(),
+    );
+    let build = move || {
+        Engine::new(
+            ExecutionModel::new(node, presets::qwen_32b()),
+            Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+            EngineConfig {
+                kv_capacity_tokens: 40_000,
+                class_slo: matches!(kind, RoutingKind::EarliestDeadlineFeasible(_))
+                    .then(ClassSlo::default),
+                ..EngineConfig::default()
+            },
+        )
+    };
+    let retry = RetryPolicy { max_retries: budget, base_backoff: Dur::from_secs(0.5) };
+    let engines: Vec<Engine> = (0..replicas).map(|_| build()).collect();
+    let mut sim = ClusterSim::new(engines, kind.policy()).with_faults(plan, retry);
+    if let Some((hi, lo, cold)) = scale {
+        sim = sim.with_autoscaler(Autoscaler::new(
+            AutoscaleConfig { cold_start: Dur::from_secs(cold), min_replicas: 1, max_replicas: 5 },
+            Box::new(LoadBandPolicy::new(hi, lo).smoothing(1.0).cooldown(Dur::from_secs(1.0))),
+            move |_| build(),
+        ));
+    }
+
+    for (i, &req) in trace.requests().iter().enumerate() {
+        for _ in 0..steps[i % steps.len()] {
+            sim.step_once();
+        }
+        sim.push_request(req);
+    }
+
+    let mut guard = 0u64;
+    let mut last_event = SimTime::ZERO;
+    while let Some(t) = sim.next_event_time() {
+        assert!(
+            t.as_secs() >= last_event.as_secs(),
+            "event time ran backwards during faulted drain: {} < {}",
+            t.as_secs(),
+            last_event.as_secs()
+        );
+        last_event = t;
+        sim.step_once();
+        guard += 1;
+        assert!(guard < 100_000_000, "faulted interleaved drive failed to drain");
+    }
+    assert_eq!(sim.outstanding_tokens(), 0, "drained cluster still holds work");
+
+    let report = sim.take_report();
+    assert_eq!(
+        report.records().len() + report.rejected().len() + report.failed().len(),
+        trace.len(),
+        "requests lost or duplicated under fault injection"
+    );
+    let mut ids: Vec<u64> = report
+        .records()
+        .iter()
+        .map(|r| r.request_id)
+        .chain(report.rejected().iter().copied())
+        .chain(report.failed().iter().map(|f| f.request_id))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.len());
+    for f in report.failed() {
+        assert_eq!(
+            f.attempts, budget,
+            "request {} abandoned after {} attempts with budget {}",
+            f.request_id, f.attempts, budget
+        );
+    }
+    // Every completed or rejected request was routed at least once.
+    assert!(report.routing_decisions().len() >= report.records().len());
     for r in report.records() {
         assert!(r.first_token >= r.arrival);
         assert!(r.finish >= r.first_token);
