@@ -30,6 +30,11 @@
 //! [`sp_bench::harness::parallel_sweep`]; the headline and pricing
 //! pairs run sequentially afterwards so their ratios are measured
 //! without CPU contention.
+//!
+//! The `parallel_r64_t{1,2,8}` scenarios measure the horizon-parallel
+//! cluster engine at explicit fan-out widths on the 64-replica
+//! deep-burst fleet; every scenario line records the `threads` it ran
+//! at, and `parallel_scaling_t8` reports the t8/t1 events/sec ratio.
 
 use shift_core::ShiftPolicy;
 use sp_bench::harness::parallel_sweep;
@@ -56,6 +61,9 @@ const BOUND_KV: u64 = 24_576;
 struct Scenario {
     name: String,
     replicas: usize,
+    /// Horizon-parallel fan-out width the simulation ran at (1 for the
+    /// sequential reference and the non-cluster scenarios).
+    threads: usize,
     requests: usize,
     events: u64,
     wall_s: f64,
@@ -213,6 +221,7 @@ fn measure_calendar(
     Scenario {
         name: name.to_string(),
         replicas,
+        threads: sim.threads(),
         requests: trace.len(),
         events,
         wall_s,
@@ -266,6 +275,7 @@ fn measure_autoscaled(
     Scenario {
         name: name.to_string(),
         replicas: peak,
+        threads: sim.threads(),
         requests: trace.len(),
         events,
         wall_s,
@@ -296,6 +306,7 @@ fn measure_reference(
     Scenario {
         name: name.to_string(),
         replicas,
+        threads: 1,
         requests: trace.len(),
         events,
         wall_s,
@@ -393,6 +404,47 @@ fn measure_chaos(
     Scenario {
         name: name.to_string(),
         replicas: peak,
+        threads: sim.threads(),
+        requests: trace.len(),
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Calendar measurement at an explicit horizon-parallel fan-out width.
+/// The `parallel_r*_t*` scenarios run the same replica fleet and trace
+/// at widths 1, 2, and 8, so the JSON carries an events/sec column per
+/// thread count and the t8 point can be gated in CI. Reports are
+/// byte-identical across widths by construction (the horizon-parallel
+/// property suite pins this); only wall-clock differs.
+fn measure_parallel(
+    name: &str,
+    replicas: usize,
+    threads: usize,
+    slo: Option<ClassSlo>,
+    kv_capacity: u64,
+    trace: &Trace,
+) -> Scenario {
+    let mut sim = ClusterSim::new(
+        engines(replicas, slo, kv_capacity, false),
+        RoutingKind::default().policy(),
+    )
+    .with_threads(threads);
+    let start = Instant::now();
+    let report = sim.run(trace);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = report.iterations();
+    assert_eq!(
+        report.records().len() + report.rejected().len(),
+        trace.len(),
+        "every request must complete or be rejected"
+    );
+    Scenario {
+        name: name.to_string(),
+        replicas,
+        threads,
         requests: trace.len(),
         events,
         wall_s,
@@ -438,6 +490,7 @@ fn measure_pricing_evals(
     Scenario {
         name: name.to_string(),
         replicas,
+        threads: 1,
         requests: rounds,
         events: evals,
         wall_s,
@@ -466,6 +519,7 @@ fn measure_with_engines(
     Scenario {
         name: name.to_string(),
         replicas,
+        threads: sim.threads(),
         requests: trace.len(),
         events,
         wall_s,
@@ -474,7 +528,13 @@ fn measure_with_engines(
     }
 }
 
-fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64, pricing: (f64, f64)) -> String {
+fn render_json(
+    mode: &str,
+    scenarios: &[Scenario],
+    speedup: f64,
+    pricing: (f64, f64),
+    parallel_scaling_t8: f64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"simperf\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
@@ -483,10 +543,12 @@ fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64, pricing: (f64, 
     );
     for (i, s) in scenarios.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"replicas\": {}, \"requests\": {}, \"events\": {}, \
-             \"wall_s\": {:.4}, \"events_per_sec\": {:.0}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"replicas\": {}, \"threads\": {}, \"requests\": {}, \
+             \"events\": {}, \"wall_s\": {:.4}, \"events_per_sec\": {:.0}, \
+             \"peak_rss_kb\": {}}}{}\n",
             s.name,
             s.replicas,
+            s.threads,
             s.requests,
             s.events,
             s.wall_s,
@@ -497,6 +559,7 @@ fn render_json(mode: &str, scenarios: &[Scenario], speedup: f64, pricing: (f64, 
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"speedup_vs_reference\": {speedup:.2},\n"));
+    out.push_str(&format!("  \"parallel_scaling_t8\": {parallel_scaling_t8:.2},\n"));
     out.push_str(&format!("  \"pricing_evals_per_sec\": {:.0},\n", pricing.0));
     out.push_str(&format!("  \"pricing_speedup_vs_direct\": {:.2},\n", pricing.1));
     out.push_str(&format!("  \"peak_rss_kb\": {}\n}}\n", peak_rss_kb()));
@@ -596,6 +659,38 @@ fn main() {
         )
     }));
 
+    // Thread-scaling sweep: the 64-replica deep-burst headline fleet
+    // stepped through the horizon-parallel engine at explicit fan-out
+    // widths. All three widths produce byte-identical reports (pinned
+    // by the property suite and the CI determinism job); the ratio
+    // t8/t1 is the wall-clock payoff of parallel replica stepping on
+    // this machine. Runs sequentially after the sweep so each width is
+    // measured without cross-scenario CPU contention.
+    let par_r = 64;
+    let par_trace = bursty_trace(par_r, smoke, if smoke { 8 } else { 20 });
+    let mut t1_eps = 0.0f64;
+    let mut t8_eps = 0.0f64;
+    for &t in &[1usize, 2, 8] {
+        let s = best_of(runs, || {
+            measure_parallel(
+                &format!("parallel_r{par_r}_t{t}"),
+                par_r,
+                t,
+                None,
+                DEFAULT_KV,
+                &par_trace,
+            )
+        });
+        if t == 1 {
+            t1_eps = s.events_per_sec;
+        }
+        if t == 8 {
+            t8_eps = s.events_per_sec;
+        }
+        scenarios.push(s);
+    }
+    let parallel_scaling = t8_eps / t1_eps.max(1e-9);
+
     // Pricing pair: one-pass `price_all` over compiled plans vs the
     // per-config `try_iteration` re-fold, over the same batch stream
     // and candidate-layout sweep, back-to-back on a quiet process. For
@@ -652,11 +747,15 @@ fn main() {
     scenarios.push(memo);
     scenarios.push(direct_cluster);
 
-    let json = render_json(mode, &scenarios, speedup, (pricing_eps, pricing_speedup));
+    let json =
+        render_json(mode, &scenarios, speedup, (pricing_eps, pricing_speedup), parallel_scaling);
     std::fs::write("BENCH_simperf.json", &json).expect("write BENCH_simperf.json");
     println!("{json}");
     println!(
         "calendar vs linear-rescan reference at {headline_r} replicas: {speedup:.2}x events/sec"
+    );
+    println!(
+        "horizon-parallel stepping at {par_r} replicas: {parallel_scaling:.2}x events/sec at 8 threads vs 1"
     );
     println!(
         "compiled pricing vs direct try_iteration re-folds: {pricing_speedup:.2}x config evals/sec"

@@ -77,29 +77,28 @@ pub fn summarize(name: &str, report: &mut EngineReport) -> RunSummary {
     }
 }
 
-/// Runs `f` over every sweep point concurrently — one scoped thread per
-/// point — and returns the results in point order.
+/// Runs `f` over every sweep point concurrently on the shared
+/// [`sp_core`] executor and returns the results in point order.
 ///
 /// Figure sweeps are embarrassingly parallel: each point is an
 /// independent full simulation, so fanning them out across cores cuts a
 /// sweep's wall-clock to roughly its slowest point. Results come back in
 /// input order regardless of completion order, so tables render
-/// identically to a sequential sweep.
+/// identically to a sequential sweep. The fan-out width follows
+/// [`sp_core::default_threads`] (`SP_THREADS` or the machine's
+/// available parallelism) — the one threading code path the whole
+/// workspace shares.
 ///
 /// # Panics
 ///
-/// Panics if a sweep thread panics (the panic payload is propagated).
+/// Panics if a sweep task panics (the panic payload is propagated).
 pub fn parallel_sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = points.iter().map(|p| scope.spawn(move || f(p))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
-    })
+    sp_core::map(points, f)
 }
 
 /// Prints an aligned text table.

@@ -106,8 +106,10 @@ pub enum ScaleAction {
 /// Policies may keep state (smoothers, cooldown clocks), hence
 /// `&mut self`. They must be deterministic: the same signal sequence
 /// must yield the same actions, or runs stop being reproducible (and
-/// the calendar/reference equivalence property stops holding).
-pub trait ScalePolicy: fmt::Debug {
+/// the calendar/reference equivalence property stops holding). Policies
+/// are `Send` so autoscaled [`crate::ClusterSim`]s can be stepped from
+/// pool worker threads during horizon-parallel windows.
+pub trait ScalePolicy: fmt::Debug + Send {
     /// The policy's display name.
     fn name(&self) -> &str;
 
@@ -254,7 +256,7 @@ impl ScalePolicy for LoadBandPolicy {
 pub struct Autoscaler<N> {
     pub(crate) config: AutoscaleConfig,
     pub(crate) policy: Box<dyn ScalePolicy>,
-    pub(crate) spawner: Box<dyn FnMut(usize) -> N>,
+    pub(crate) spawner: Box<dyn FnMut(usize) -> N + Send>,
     pub(crate) spawned: usize,
     /// Scratch for per-dispatch decisions, reused to keep the dispatch
     /// hot path allocation-free.
@@ -271,7 +273,7 @@ impl<N> Autoscaler<N> {
     pub fn new(
         config: AutoscaleConfig,
         policy: Box<dyn ScalePolicy>,
-        spawner: impl FnMut(usize) -> N + 'static,
+        spawner: impl FnMut(usize) -> N + Send + 'static,
     ) -> Autoscaler<N> {
         config.validate();
         Autoscaler { config, policy, spawner: Box::new(spawner), spawned: 0, actions: Vec::new() }

@@ -65,8 +65,10 @@ impl Ord for EventKey {
 /// dispatch instant — outstanding tokens (the classic JSQ signal) plus
 /// the ingredients of a TTFT estimate for deadline-aware policies.
 /// Policies may keep state (round-robin cursors, cumulative assignment
-/// ledgers), hence `&mut self`.
-pub trait RoutingPolicy: std::fmt::Debug {
+/// ledgers), hence `&mut self`. Policies are `Send` so a whole
+/// [`ClusterSim`] can be stepped from a pool worker during
+/// horizon-parallel windows (see [`ClusterSim::set_threads`]).
+pub trait RoutingPolicy: std::fmt::Debug + Send {
     /// The policy's display name.
     fn name(&self) -> &str;
 
@@ -287,7 +289,12 @@ impl RoutingKind {
 
 /// The incremental stepping interface a cluster node exposes so
 /// [`ClusterSim`] can co-simulate many of them in global time order.
-pub trait SimNode {
+///
+/// Nodes are `Send`: between coordination events their states are
+/// disjoint, so [`ClusterSim`] steps them from pool worker threads
+/// during horizon-parallel windows (nothing is shared — each worker owns
+/// one slot's node exclusively for the window).
+pub trait SimNode: Send {
     /// Enqueues a request (dispatch) — requests arrive in nondecreasing
     /// arrival order.
     fn push_request(&mut self, req: Request);
@@ -1134,7 +1141,126 @@ pub struct ClusterSim<N: SimNode> {
     /// Invariant (holds between public calls): every live slot's current
     /// key is present, and the heap top is not stale — so read-only
     /// peeks need no cleanup.
-    calendar: BinaryHeap<Reverse<(EventKey, usize, u64)>>,
+    ///
+    /// `None` below [`LINEAR_SCAN_MAX_REPLICAS`] slots: at small fleet
+    /// sizes the heap's push/pop/settle traffic costs more than an O(R)
+    /// rescan (`Fleet::earliest_linear`, whose `total_cmp` + first-min
+    /// tie-break is the same total order as the heap key), so the
+    /// calendar degrades to the linear scan and upgrades to a heap the
+    /// moment a scale-out grows the slot vector past the threshold.
+    calendar: Option<BinaryHeap<Reverse<(EventKey, usize, u64)>>>,
+    /// Fan-out width for horizon-parallel windows (see
+    /// [`ClusterSim::set_threads`]); `1` steps windows inline.
+    threads: usize,
+    /// `false` pins the legacy one-event-at-a-time advance loop — kept
+    /// only so the property suite can compare the horizon-parallel
+    /// engine against the sequential calendar it must be byte-identical
+    /// to.
+    horizon_parallel: bool,
+    /// Scratch buffers for window stepping, reused across windows to
+    /// keep the hot path allocation-free.
+    window_pending: Vec<usize>,
+    window_outcomes: Vec<WindowOutcome>,
+    window_retires: Vec<(SimTime, usize)>,
+}
+
+/// Replica-count threshold below which [`ClusterSim`] uses the linear
+/// rescanning `earliest` query instead of the heap calendar. Measured
+/// crossover: at 1–4 replicas the heap's settle traffic loses to the
+/// rescan (simperf's smoke `speedup_vs_reference` dipped to 0.93); by
+/// 16 replicas the heap wins clearly.
+const LINEAR_SCAN_MAX_REPLICAS: usize = 8;
+
+/// What bounds one horizon-parallel window.
+#[derive(Clone, Copy)]
+enum WindowCap {
+    /// Drain: no bound — step until idle (NaN-keyed events included,
+    /// matching the sequential drain loops, which never compare against
+    /// a horizon).
+    Unbounded,
+    /// Fault-free advance: step while `t < cap`, but a NaN-keyed event
+    /// aborts the window for a sequential fallback — the sequential
+    /// loop's `t >= horizon` break is false for NaN, and whether it
+    /// steps a NaN node depends on *other* slots' keys (NaN sorts last
+    /// in the calendar order), which a per-slot worker cannot see.
+    FaultFree(f64),
+    /// Faulted advance: step while `t < cap` — NaN simply stops the
+    /// slot, exactly like the sequential faulted loop's
+    /// `t < horizon` guard.
+    Faulted(f64),
+}
+
+/// One slot's result for one horizon-parallel window.
+#[derive(Debug, Clone, Copy)]
+struct WindowOutcome {
+    slot: usize,
+    /// Instant of the last event stepped (retire candidates use it as
+    /// their retire instant, matching the sequential `after_step`).
+    last: SimTime,
+    /// Max event instant stepped — folded into the fault clock `f.now`
+    /// (per-slot max of maxes equals the sequential running max).
+    hi: SimTime,
+}
+
+/// Raw base pointer to the slot vector, handed to pool workers. Each
+/// worker dereferences only the slots assigned to it, so the `&mut`
+/// accesses are disjoint.
+struct SlotsPtr<N>(*mut Slot<N>);
+impl<N> Clone for SlotsPtr<N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N> Copy for SlotsPtr<N> {}
+// SAFETY: workers access disjoint slots (each index is claimed exactly
+// once per window), and `N: Send` via the `SimNode` supertrait.
+unsafe impl<N: Send> Send for SlotsPtr<N> {}
+unsafe impl<N: Send> Sync for SlotsPtr<N> {}
+
+/// Steps one slot's node up to the window cap. Runs on a pool worker
+/// (or inline); touches nothing but the node itself.
+fn step_slot<N: SimNode>(node: &mut N, cap: WindowCap) -> (Option<WindowOutcome>, bool) {
+    let mut last: Option<SimTime> = None;
+    let mut hi: Option<SimTime> = None;
+    let mut steps: u64 = 0;
+    while let Some(t) = node.next_event_time() {
+        let ts = t.as_secs();
+        match cap {
+            WindowCap::Unbounded => {}
+            WindowCap::FaultFree(cap) => {
+                if ts.is_nan() {
+                    return (outcome_of(last, hi), true);
+                }
+                if ts >= cap {
+                    break;
+                }
+            }
+            WindowCap::Faulted(cap) => {
+                // NaN fails `ts < cap` and stops the slot, matching the
+                // sequential faulted loop.
+                if ts.is_nan() || ts >= cap {
+                    break;
+                }
+            }
+        }
+        node.step_once();
+        last = Some(t);
+        hi = Some(match hi {
+            Some(h) => h.max(t),
+            None => t,
+        });
+        steps += 1;
+        // Mirrors the sequential loops' global progress guard, per slot.
+        assert!(steps < 400_000_000, "cluster simulation failed to terminate");
+    }
+    (outcome_of(last, hi), false)
+}
+
+fn outcome_of(last: Option<SimTime>, hi: Option<SimTime>) -> Option<WindowOutcome> {
+    match (last, hi) {
+        (Some(last), Some(hi)) => Some(WindowOutcome { slot: usize::MAX, last, hi }),
+        _ => None,
+    }
 }
 
 impl<N: SimNode> ClusterSim<N> {
@@ -1144,11 +1270,50 @@ impl<N: SimNode> ClusterSim<N> {
     ///
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<N>, policy: Box<dyn RoutingPolicy>) -> ClusterSim<N> {
-        let mut sim = ClusterSim { fleet: Fleet::new(nodes, policy), calendar: BinaryHeap::new() };
+        let calendar =
+            if nodes.len() > LINEAR_SCAN_MAX_REPLICAS { Some(BinaryHeap::new()) } else { None };
+        let mut sim = ClusterSim {
+            fleet: Fleet::new(nodes, policy),
+            calendar,
+            threads: sp_core::default_threads(),
+            horizon_parallel: true,
+            window_pending: Vec::new(),
+            window_outcomes: Vec::new(),
+            window_retires: Vec::new(),
+        };
         for i in 0..sim.fleet.slot_count() {
             sim.reschedule(i);
         }
         sim
+    }
+
+    /// Sets the fan-out width for horizon-parallel windows (clamped to
+    /// at least 1; `1` steps windows inline on the calling thread). The
+    /// default comes from [`sp_core::default_threads`] — `SP_THREADS`
+    /// or the machine's available parallelism. Reports are byte-identical
+    /// for every width.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Builder form of [`ClusterSim::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> ClusterSim<N> {
+        self.set_threads(threads);
+        self
+    }
+
+    /// The current horizon-parallel fan-out width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Pins the legacy one-event-at-a-time advance loop (`false`) or the
+    /// horizon-parallel window engine (`true`, the default). Exists so
+    /// the property suite can pin byte-identity between the two; not
+    /// part of the supported API.
+    #[doc(hidden)]
+    pub fn set_horizon_parallel(&mut self, on: bool) {
+        self.horizon_parallel = on;
     }
 
     /// Attaches an autoscaler: at every dispatch instant its
@@ -1199,20 +1364,30 @@ impl<N: SimNode> ClusterSim<N> {
         self.fleet.into_nodes()
     }
 
-    /// The slot's current calendar key, if it holds a node with a
-    /// pending event.
-    fn node_key(&self, i: usize) -> Option<EventKey> {
-        self.fleet.next_event_of(i).map(EventKey::of)
-    }
-
     /// Publishes slot `i`'s current next-event key on the calendar. Must
     /// be called after every operation that may change the slot's next
     /// event (stepping it, feeding it a request, installing or retiring
     /// a tenant); the key it superseded becomes stale and is lazily
     /// discarded by [`ClusterSim::settle`].
     fn reschedule(&mut self, i: usize) {
-        if let Some(key) = self.node_key(i) {
-            self.calendar.push(Reverse((key, i, self.fleet.gen(i))));
+        let Some(cal) = self.calendar.as_mut() else { return };
+        if let Some(key) = self.fleet.next_event_of(i).map(EventKey::of) {
+            cal.push(Reverse((key, i, self.fleet.gen(i))));
+        }
+    }
+
+    /// Upgrades the linear-scan `earliest` to the heap calendar once a
+    /// scale-out grows the slot vector past
+    /// [`LINEAR_SCAN_MAX_REPLICAS`]. Slots never shrink, so the upgrade
+    /// is one-way. Must run after any operation that can spawn (dispatch
+    /// and timer fires, both of which run autoscaler actions).
+    fn maybe_upgrade_calendar(&mut self) {
+        if self.calendar.is_some() || self.fleet.slot_count() <= LINEAR_SCAN_MAX_REPLICAS {
+            return;
+        }
+        self.calendar = Some(BinaryHeap::with_capacity(self.fleet.slot_count() * 2));
+        for i in 0..self.fleet.slot_count() {
+            self.reschedule(i);
         }
     }
 
@@ -1222,11 +1397,14 @@ impl<N: SimNode> ClusterSim<N> {
     /// public method ends with a settled calendar, so read-only peeks
     /// ([`ClusterSim::next_event_time`]) stay `&self`.
     fn settle(&mut self) {
-        while let Some(&Reverse((key, i, gen))) = self.calendar.peek() {
-            if self.fleet.gen(i) == gen && self.node_key(i) == Some(key) {
+        let Some(cal) = self.calendar.as_mut() else { return };
+        while let Some(&Reverse((key, i, gen))) = cal.peek() {
+            if self.fleet.gen(i) == gen
+                && self.fleet.next_event_of(i).map(EventKey::of) == Some(key)
+            {
                 break;
             }
-            self.calendar.pop();
+            cal.pop();
         }
     }
 
@@ -1237,8 +1415,11 @@ impl<N: SimNode> ClusterSim<N> {
     /// deterministic and identical to the reference linear rescanning
     /// loop's `min_by` tie-break.
     fn earliest(&mut self) -> Option<usize> {
+        if self.calendar.is_none() {
+            return self.fleet.earliest_linear();
+        }
         self.settle();
-        self.calendar.peek().map(|&Reverse((_, i, _))| i)
+        self.calendar.as_ref().and_then(|cal| cal.peek().map(|&Reverse((_, i, _))| i))
     }
 
     /// Steps slot `i` by one event, runs the post-step lifecycle hook
@@ -1285,12 +1466,148 @@ impl<N: SimNode> ClusterSim<N> {
         false
     }
 
-    /// Steps slots in global time order until every pending event is at
-    /// or after `horizon`. Fault timers interleave: a timer fires before
-    /// any node event at the same instant, and — unlike node events —
-    /// fires *at* the horizon too, so a crash scheduled exactly at an
-    /// arrival instant lands before that dispatch.
+    /// Steps every slot up to `horizon` (see [`WindowCap`] for the exact
+    /// boundary semantics per mode). Dispatches to the horizon-parallel
+    /// window engine or the legacy per-event loop.
     fn advance_to(&mut self, horizon: SimTime) {
+        if self.horizon_parallel {
+            self.advance_to_windowed(horizon);
+        } else {
+            self.advance_to_sequential(horizon);
+        }
+    }
+
+    /// Horizon-parallel advance: within one window no coordination event
+    /// (dispatch arrival, fault timer) can fire, so the slots share no
+    /// state and step concurrently; fault windows are additionally cut
+    /// at each pending timer, which fires between windows on the
+    /// coordinator. Byte-identical to
+    /// [`ClusterSim::advance_to_sequential`] for any thread count.
+    fn advance_to_windowed(&mut self, horizon: SimTime) {
+        if self.fleet.faults.is_none() {
+            if self.step_window(WindowCap::FaultFree(horizon.as_secs())) {
+                // A NaN-keyed event surfaced: whether the sequential
+                // loop steps it depends on the *global* calendar order,
+                // so replay the remainder sequentially.
+                self.advance_to_sequential(horizon);
+            }
+            return;
+        }
+        loop {
+            // The timer set is stable within a window: plan cursors,
+            // slowdown ends and retry redeliveries only change when a
+            // timer fires or a dispatch runs, and the clamped redelivery
+            // instant `max(at, f.now)` cannot move while every stepped
+            // event is earlier than it. So one query per window suffices.
+            match self.fleet.next_timer_time() {
+                Some(tt) if tt.as_secs() <= horizon.as_secs() => {
+                    self.step_window(WindowCap::Faulted(tt.as_secs()));
+                    self.fire_timer();
+                    self.maybe_upgrade_calendar();
+                }
+                _ => {
+                    self.step_window(WindowCap::Faulted(horizon.as_secs()));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs one horizon window: steps every pending slot up to `cap`
+    /// (concurrently when `threads > 1`), then merges the per-slot
+    /// results back into the global order — drained-dry draining slots
+    /// retire sorted by (instant, slot), exactly the order the
+    /// sequential loop would have retired them in; the fault clock
+    /// advances to the max stepped instant; stepped slots republish
+    /// their calendar keys. Returns whether a NaN-keyed event aborted a
+    /// [`WindowCap::FaultFree`] window.
+    fn step_window(&mut self, cap: WindowCap) -> bool {
+        let mut outcomes = std::mem::take(&mut self.window_outcomes);
+        outcomes.clear();
+        let mut saw_nan = false;
+        if self.threads <= 1 {
+            for i in 0..self.fleet.slots.len() {
+                let Some(node) = self.fleet.slots[i].node.as_mut() else { continue };
+                let (outcome, nan) = step_slot(node, cap);
+                saw_nan |= nan;
+                if let Some(mut o) = outcome {
+                    o.slot = i;
+                    outcomes.push(o);
+                }
+            }
+        } else {
+            let mut pending = std::mem::take(&mut self.window_pending);
+            pending.clear();
+            pending.extend(
+                (0..self.fleet.slots.len()).filter(|&i| self.fleet.next_event_of(i).is_some()),
+            );
+            let base = SlotsPtr(self.fleet.slots.as_mut_ptr());
+            let results = sp_core::map_with(self.threads, &pending, |&i| {
+                // Not redundant: edition-2021 precise capture would
+                // otherwise capture the raw-pointer *field* (not Sync);
+                // rebinding forces capture of the whole `Send + Sync`
+                // wrapper.
+                #[allow(clippy::redundant_locals)]
+                let base = base;
+                // SAFETY: `pending` holds each slot index at most once
+                // and only this closure invocation touches slot `i`, so
+                // the `&mut` access is unaliased; the pointer stays
+                // valid for the whole fan-out (`self` is borrowed).
+                let slot = unsafe { &mut *base.0.add(i) };
+                let node = slot.node.as_mut().expect("pending slot holds a node");
+                step_slot(node, cap)
+            });
+            for (&i, (outcome, nan)) in pending.iter().zip(results) {
+                saw_nan |= nan;
+                if let Some(mut o) = outcome {
+                    o.slot = i;
+                    outcomes.push(o);
+                }
+            }
+            self.window_pending = pending;
+        }
+
+        // Merge: fault clock first (retires and timer clamps read it),
+        // then retires in (instant, slot) order — the global order the
+        // sequential loop's `after_step` would have used.
+        let mut hi: Option<SimTime> = None;
+        for o in &outcomes {
+            hi = Some(match hi {
+                Some(h) => h.max(o.hi),
+                None => o.hi,
+            });
+        }
+        if let (Some(f), Some(hi)) = (self.fleet.faults.as_mut(), hi) {
+            f.now = f.now.max(hi);
+        }
+        let mut retires = std::mem::take(&mut self.window_retires);
+        retires.clear();
+        for o in &outcomes {
+            let slot = &self.fleet.slots[o.slot];
+            if slot.state == SlotState::Draining {
+                retires.push((o.last, o.slot));
+            }
+        }
+        retires.sort_by(sp_metrics::window_event_order);
+        for &(t, i) in &retires {
+            self.fleet.maybe_retire(i, t);
+        }
+        self.window_retires = retires;
+        for o in &outcomes {
+            self.reschedule(o.slot);
+        }
+        self.window_outcomes = outcomes;
+        self.settle();
+        saw_nan
+    }
+
+    /// The legacy one-event-at-a-time advance: steps slots in global
+    /// time order until every pending event is at or after `horizon`.
+    /// Fault timers interleave: a timer fires before any node event at
+    /// the same instant, and — unlike node events — fires *at* the
+    /// horizon too, so a crash scheduled exactly at an arrival instant
+    /// lands before that dispatch.
+    fn advance_to_sequential(&mut self, horizon: SimTime) {
         if self.fleet.faults.is_none() {
             while let Some(i) = self.earliest() {
                 let t = self.fleet.next_event_of(i).expect("earliest implies event");
@@ -1336,6 +1653,7 @@ impl<N: SimNode> ClusterSim<N> {
         if let Some(slot) = self.fleet.dispatch(req, req.arrival) {
             self.reschedule(slot);
         }
+        self.maybe_upgrade_calendar();
         self.settle();
     }
 
@@ -1350,8 +1668,12 @@ impl<N: SimNode> ClusterSim<N> {
     /// fault timer), or `None` when all idle.
     pub fn next_event_time(&self) -> Option<SimTime> {
         // The calendar is settled at rest, so its top (when present) is a
-        // live `(key, slot, gen)` triple.
-        let node = self.calendar.peek().and_then(|&Reverse((_, i, _))| self.fleet.next_event_of(i));
+        // live `(key, slot, gen)` triple; below the linear-scan
+        // threshold there is no calendar and the rescan answers directly.
+        let node = match &self.calendar {
+            Some(cal) => cal.peek().and_then(|&Reverse((_, i, _))| self.fleet.next_event_of(i)),
+            None => self.fleet.earliest_linear().and_then(|i| self.fleet.next_event_of(i)),
+        };
         match (self.fleet.next_timer_time(), node) {
             (Some(tt), Some(nt)) => {
                 Some(if tt.as_secs().total_cmp(&nt.as_secs()).is_le() { tt } else { nt })
@@ -1397,22 +1719,44 @@ impl<N: SimNode> ClusterSim<N> {
             self.push_request(req);
         }
 
-        // Drain: keep stepping the globally earliest event until all
-        // idle. The fault-free fleet keeps the tight node-only loop;
-        // with faults attached, remaining timers (backoffs, trailing
-        // plan events) interleave and fire too, so salvaged requests
-        // finish — or fail terminally — before the report is cut.
+        // Drain: keep stepping until all idle. The fault-free fleet
+        // drains in one unbounded window; with faults attached,
+        // remaining timers (backoffs, trailing plan events) cut the
+        // windows and fire between them, so salvaged requests finish —
+        // or fail terminally — before the report is cut.
         let mut guard: u64 = 0;
-        if self.fleet.faults.is_none() {
-            while let Some(i) = self.earliest() {
-                guard += 1;
-                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
-                self.step_node(i);
+        if !self.horizon_parallel {
+            if self.fleet.faults.is_none() {
+                while let Some(i) = self.earliest() {
+                    guard += 1;
+                    assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+                    self.step_node(i);
+                }
+            } else {
+                while self.step_event() {
+                    guard += 1;
+                    assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+                }
             }
+        } else if self.fleet.faults.is_none() {
+            self.step_window(WindowCap::Unbounded);
         } else {
-            while self.step_event() {
-                guard += 1;
-                assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+            loop {
+                match self.fleet.next_timer_time() {
+                    Some(tt) => {
+                        self.step_window(WindowCap::Faulted(tt.as_secs()));
+                        self.fire_timer();
+                        self.maybe_upgrade_calendar();
+                        guard += 1;
+                        assert!(guard < 400_000_000, "cluster simulation failed to terminate");
+                    }
+                    None => {
+                        // No timer can appear while only node events
+                        // fire, so one unbounded window finishes it.
+                        self.step_window(WindowCap::Unbounded);
+                        break;
+                    }
+                }
             }
         }
 

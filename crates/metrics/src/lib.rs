@@ -42,8 +42,8 @@ pub use histogram::LogHistogram;
 pub use latency::{LatencyRecorder, RequestRecord};
 pub use percentile::Quantiles;
 pub use routing::{
-    FailedRequest, FleetTimeline, NodeLoad, ReplicaEvent, ReplicaEventKind, ReplicaLoadSample,
-    ReplicaLoadSeries, RequestFaultEvent, RequestFaultKind, RoutingDecision,
+    window_event_order, FailedRequest, FleetTimeline, NodeLoad, ReplicaEvent, ReplicaEventKind,
+    ReplicaLoadSample, ReplicaLoadSeries, RequestFaultEvent, RequestFaultKind, RoutingDecision,
 };
 pub use slo::{ClassSlo, ClassSloReport, RequestClass, SloReport, SloTarget};
 pub use summary::StreamingSummary;

@@ -290,6 +290,18 @@ pub struct ReplicaEvent {
 /// assert_eq!(t.replica_seconds(SimTime::from_secs(100.0)), 100.0 + 20.0);
 /// assert_eq!(t.peak_provisioned(), 2);
 /// ```
+/// The canonical total order for merging same-window fleet events back
+/// into the global event order: ascending instant (`total_cmp`, so NaN
+/// sorts last — the same order the event calendar uses) with ties
+/// broken by replica slot index, matching the calendar's
+/// lowest-slot-first tie-break. Horizon-parallel simulations sort
+/// concurrently-collected per-replica events with this order before
+/// folding them into reports, which is what keeps merged reports
+/// byte-identical across thread counts.
+pub fn window_event_order(a: &(SimTime, usize), b: &(SimTime, usize)) -> std::cmp::Ordering {
+    a.0.as_secs().total_cmp(&b.0.as_secs()).then(a.1.cmp(&b.1))
+}
+
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetTimeline {
     events: Vec<ReplicaEvent>,
@@ -311,6 +323,18 @@ impl FleetTimeline {
     pub fn record(&mut self, replica: usize, at: SimTime, kind: ReplicaEventKind) {
         self.replica_count = self.replica_count.max(replica + 1);
         self.events.push(ReplicaEvent { replica, at, kind });
+    }
+
+    /// Records a batch of same-window transitions in the canonical merge
+    /// order ([`window_event_order`]): a horizon-parallel simulation
+    /// collects events from concurrently-stepped replicas and must
+    /// append them exactly as the sequential event order would have, or
+    /// timelines stop being byte-identical across thread counts.
+    pub fn record_batch(&mut self, batch: &mut [(SimTime, usize, ReplicaEventKind)]) {
+        batch.sort_by(|a, b| window_event_order(&(a.0, a.1), &(b.0, b.1)));
+        for &(at, replica, kind) in batch.iter() {
+            self.record(replica, at, kind);
+        }
     }
 
     /// All events in recording (time) order.
@@ -475,6 +499,38 @@ impl FleetTimeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn window_event_order_sorts_by_instant_then_slot_with_nan_last() {
+        let t = |s: f64| SimTime::from_secs(s);
+        let mut evs = vec![(t(2.0), 0), (t(1.0), 3), (t(1.0), 1), (t(0.5), 9)];
+        evs.sort_by(window_event_order);
+        assert_eq!(
+            evs.iter().map(|&(at, r)| (at.as_secs(), r)).collect::<Vec<_>>(),
+            vec![(0.5, 9), (1.0, 1), (1.0, 3), (2.0, 0)]
+        );
+        // Positive NaN (total_cmp) sorts after every finite instant,
+        // matching the event calendar's key order.
+        let nan = SimTime::from_secs(0.0) + Dur::from_secs(1.0) * f64::NAN;
+        assert!(window_event_order(&(t(1e12), 7), &(nan, 0)).is_lt());
+    }
+
+    #[test]
+    fn record_batch_appends_in_canonical_merge_order() {
+        let t = |s: f64| SimTime::from_secs(s);
+        let mut sequential = FleetTimeline::new();
+        sequential.record(1, t(1.0), ReplicaEventKind::Retired);
+        sequential.record(4, t(1.0), ReplicaEventKind::Retired);
+        sequential.record(0, t(3.0), ReplicaEventKind::Retired);
+        let mut merged = FleetTimeline::new();
+        let mut batch = vec![
+            (t(3.0), 0, ReplicaEventKind::Retired),
+            (t(1.0), 4, ReplicaEventKind::Retired),
+            (t(1.0), 1, ReplicaEventKind::Retired),
+        ];
+        merged.record_batch(&mut batch);
+        assert_eq!(merged, sequential);
+    }
 
     #[test]
     fn empty_series_reports_zero() {

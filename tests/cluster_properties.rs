@@ -571,6 +571,128 @@ proptest! {
     }
 }
 
+/// Everything the byte-identity properties compare, in owned form: the
+/// decision trail, bit-exact record fields, reject/failure lists, the
+/// lifecycle timeline, the fault trail, and the debug rendering of the
+/// full record set (which captures every remaining field bit-exactly —
+/// f64 debug formatting is shortest-roundtrip).
+type Fingerprint = (String, Vec<(u64, u64, u64, u64, u32, u32)>, Vec<u64>, u64);
+
+fn full_fingerprint(r: &EngineReport) -> Fingerprint {
+    (
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            r.routing_decisions(),
+            r.records(),
+            r.failed(),
+            r.fleet_timeline().events(),
+            r.fleet_timeline().request_faults(),
+        ),
+        canonical_records(r),
+        sorted_rejects(r),
+        r.iterations(),
+    )
+}
+
+/// Runs `sim` over `trace` as the sequential calendar (`threads` of
+/// `None`) or the horizon-parallel engine at the given fan-out width.
+fn run_mode(mut sim: ClusterSim<Engine>, threads: Option<usize>, trace: &Trace) -> EngineReport {
+    match threads {
+        None => sim.set_horizon_parallel(false),
+        Some(t) => sim.set_threads(t),
+    }
+    sim.run(trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole property: horizon-parallel execution (windows of
+    /// independent replica stepping between coordination events, merged
+    /// in slot order) is byte-identical to the sequential calendar for
+    /// every thread count — same decision trail, bit-exact records,
+    /// same timelines. `n = 12` cases cross the linear-scan threshold,
+    /// so both calendar representations (linear rescan and heap) are
+    /// covered.
+    #[test]
+    fn horizon_parallel_matches_sequential_calendar(
+        trace in arb_trace(),
+        n_sel in 0usize..6,
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+    ) {
+        let n = if n_sel == 5 { 12 } else { n_sel + 1 };
+        let build = || ClusterSim::new(engines(n, kv), RoutingKind::JoinShortestOutstanding.policy());
+        let sequential = full_fingerprint(&run_mode(build(), None, &trace));
+        for threads in [1usize, 2, 8] {
+            let parallel = full_fingerprint(&run_mode(build(), Some(threads), &trace));
+            prop_assert_eq!(&parallel, &sequential, "divergence at {} threads", threads);
+        }
+    }
+
+    /// Byte-identity under fault injection: crash salvage, retry
+    /// backoff timers, slowdown windows and route timeouts all cut or
+    /// interleave with the horizon windows, and the merged result must
+    /// still match the sequential calendar exactly at every width.
+    #[test]
+    fn horizon_parallel_matches_sequential_under_faults(
+        trace in arb_trace(),
+        n in 1usize..4,
+        plan in arb_fault_plan(4),
+        budget in 0u32..3,
+    ) {
+        let retry = RetryPolicy { max_retries: budget, base_backoff: Dur::from_secs(0.25) };
+        let build = || {
+            ClusterSim::new(engines(n, 60_000), RoutingKind::JoinShortestOutstanding.policy())
+                .with_faults(plan.clone(), retry)
+        };
+        let sequential = full_fingerprint(&run_mode(build(), None, &trace));
+        for threads in [1usize, 2, 8] {
+            let parallel = full_fingerprint(&run_mode(build(), Some(threads), &trace));
+            prop_assert_eq!(&parallel, &sequential, "divergence at {} threads", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Byte-identity under autoscaler churn: warmup promotions, drains
+    /// and retires are coordination events (they only happen at dispatch
+    /// or timer instants), so windows never straddle them — spawn/retire
+    /// order, slot reuse and the lifecycle timeline must come out
+    /// identical to the sequential calendar at every width.
+    #[test]
+    fn horizon_parallel_matches_sequential_with_autoscaling(
+        trace in arb_dense_trace(),
+        n in 1usize..4,
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+        cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
+    ) {
+        let kv = 60_000u64;
+        let build = || {
+            let scaler = Autoscaler::new(
+                AutoscaleConfig {
+                    cold_start: Dur::from_secs(cold),
+                    min_replicas: 1,
+                    max_replicas: 4,
+                },
+                Box::new(
+                    LoadBandPolicy::new(hi, lo).smoothing(0.5).cooldown(Dur::from_secs(2.0)),
+                ),
+                move |_| engine(kv),
+            );
+            ClusterSim::new(engines(n, kv), RoutingKind::JoinShortestOutstanding.policy())
+                .with_autoscaler(scaler)
+        };
+        let sequential = full_fingerprint(&run_mode(build(), None, &trace));
+        for threads in [1usize, 2, 8] {
+            let parallel = full_fingerprint(&run_mode(build(), Some(threads), &trace));
+            prop_assert_eq!(&parallel, &sequential, "divergence at {} threads", threads);
+        }
+    }
+}
+
 /// Minimal hand-rolled node for exercising `ClusterSim` against
 /// pathological `next_event_time` values real engines never report.
 #[derive(Debug)]
@@ -633,6 +755,53 @@ fn nan_next_event_time_is_ordered_not_a_panic() {
     sim.step_once();
     assert_eq!(sim.outstanding_tokens(), 0);
     assert!(sim.next_event_time().is_none());
+}
+
+/// A NaN-keyed event aborts a fault-free horizon window for a
+/// sequential replay: whether the sequential loop steps a NaN node
+/// before the horizon depends on the *other* slots' keys (NaN sorts
+/// last), which a per-slot worker cannot observe. The windowed engine
+/// must land in exactly the sequential state either way.
+#[test]
+fn nan_next_event_time_windowed_advance_matches_sequential() {
+    let nan_time = SimTime::ZERO + Dur::from_secs(1.0) * f64::NAN;
+    let build = || {
+        vec![
+            StubNode { time: SimTime::from_secs(1.0), remaining: 3 },
+            StubNode { time: nan_time, remaining: 2 },
+            StubNode { time: SimTime::from_secs(9.0), remaining: 4 },
+        ]
+    };
+    let arrival = Request {
+        id: 0,
+        arrival: SimTime::from_secs(5.0),
+        input_tokens: 1,
+        output_tokens: 1,
+        class: RequestClass::Interactive,
+        cached_prefix: 0,
+        prefix_group: None,
+    };
+    let mut results = Vec::new();
+    for threads in [None, Some(1usize), Some(8)] {
+        let mut sim = ClusterSim::new(build(), RoutingKind::JoinShortestOutstanding.policy());
+        match threads {
+            None => sim.set_horizon_parallel(false),
+            Some(t) => sim.set_threads(t),
+        }
+        // Advancing to the arrival drains the 1.0 s node; the NaN node
+        // holds, because the sequential loop breaks on the 9.0 s node's
+        // key first (finite keys sort before NaN, and `NaN >= horizon`
+        // is false only when NaN reaches the top). The windowed engine
+        // must reproduce exactly that — its NaN fallback replays the
+        // window sequentially rather than letting a per-slot worker
+        // guess at the global order.
+        sim.push_request(arrival);
+        let remaining: Vec<u32> = sim.into_nodes().iter().map(|n| n.remaining).collect();
+        results.push(remaining);
+    }
+    assert_eq!(results[0], results[1], "1-thread windowed diverged from sequential");
+    assert_eq!(results[0], results[2], "8-thread windowed diverged from sequential");
+    assert_eq!(results[0], vec![0, 2, 4], "1.0 s node drains; NaN and 9.0 s nodes hold");
 }
 
 #[test]
