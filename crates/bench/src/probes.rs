@@ -55,6 +55,22 @@ pub fn probe_node() -> sp_cluster::NodeSpec {
     node()
 }
 
+/// Prints the per-phase wall breakdown accumulated by
+/// [`sp_core::profile`] (batch build / pricing / calendar / merge) when
+/// `SP_PROFILE=1`; no-op — and no output — otherwise. Benches call this
+/// at the end of a run so future perf work can see where time goes
+/// without external tooling.
+pub fn print_profile() {
+    if !sp_core::profile::enabled() {
+        return;
+    }
+    eprintln!("SP_PROFILE phase breakdown (wall seconds; phases nest, columns overlap):");
+    for (name, secs, calls) in sp_core::profile::snapshot() {
+        let per_call_us = if calls > 0 { secs * 1e6 / calls as f64 } else { 0.0 };
+        eprintln!("  {name:<12} {secs:>9.3}s  {calls:>12} calls  {per_call_us:>8.2} us/call");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

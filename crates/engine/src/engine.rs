@@ -238,6 +238,14 @@ pub struct Engine {
     /// (1.0 = healthy). Applied *outside* the pricing memo, which keeps
     /// storing base durations, so a slowdown window never poisons it.
     slowdown: f64,
+    /// Enables the decode fast-forward macro-step (see
+    /// [`Engine::step_run`]). On by default; benches and equivalence
+    /// tests turn it off to measure the per-iteration path.
+    fast_forward: bool,
+    /// Reusable base-context buffer for [`Engine::step_run`]: the
+    /// running batch's context lengths in decode-scan order at run
+    /// start, from which every rotated iteration shape is derived.
+    scratch_run_pasts: Vec<u64>,
 }
 
 /// A running sequence's contribution to the outstanding-token load
@@ -319,6 +327,8 @@ impl Engine {
             plans,
             price_memo: HashMap::new(),
             slowdown: 1.0,
+            fast_forward: true,
+            scratch_run_pasts: Vec::new(),
         }
     }
 
@@ -344,6 +354,7 @@ impl Engine {
     /// prices through `try_iteration` directly, preserving the
     /// pre-compilation path as an executable specification.
     fn price_iteration(&mut self, config: &ParallelConfig, work: &BatchWork) -> Dur {
+        let _price_span = sp_core::profile::start(sp_core::profile::Phase::Pricing);
         let base = self.price_iteration_base(config, work);
         if self.slowdown == 1.0 {
             base
@@ -413,6 +424,290 @@ impl Engine {
     pub fn set_direct_pricing(&mut self, direct: bool) {
         self.direct_pricing = direct;
         self.price_memo.clear();
+    }
+
+    /// Disables (or re-enables) the decode fast-forward macro-step, so
+    /// benches and equivalence tests can force every iteration through
+    /// the per-iteration scheduler. Scheduling and reports are
+    /// bit-identical either way — only the cost differs. Not part of
+    /// the supported API.
+    #[doc(hidden)]
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Attempts a decode fast-forward: when the engine is in steady
+    /// state — nothing waiting or arriving now, every running sequence
+    /// mid-decode, no spec-decode or preemption machinery armed —
+    /// advances up to the *run length* (the minimum remaining decode
+    /// tokens over the batch, i.e. the iteration count until the next
+    /// schedulable change) in one tight loop that skips batch
+    /// rebuilding and queue scans, accumulating time and metrics in the
+    /// exact same float-op order as the per-iteration path.
+    ///
+    /// `cap` is the caller's window bound (a [`crate::WindowCap`]
+    /// instant): the run stops before any iteration whose event instant
+    /// is not strictly below it, exactly as the per-event window loop
+    /// would. Returns `None` — with zero state change — whenever the
+    /// steady-state gates fail or the first iteration is already outside
+    /// the cap, so callers fall back to [`Engine::step_once`].
+    pub fn step_run(&mut self, cap: Option<f64>) -> Option<crate::routing::RunAdvance> {
+        // Cheap gates first; the O(batch) scan only runs once they pass.
+        if !self.fast_forward
+            || self.reference_mode
+            || self.direct_pricing
+            || self.config.spec_decode.is_some()
+            || self.config.admission == AdmissionMode::PreemptRestart
+            || !self.waiting.is_empty()
+            || self.running.is_empty()
+            || self.running_prefill_tokens != 0
+        {
+            return None;
+        }
+        let mut report = self.report.take().unwrap_or_else(|| self.fresh_report());
+        let advanced = self.decode_run(cap, &mut report);
+        self.report = Some(report);
+        advanced
+    }
+
+    /// The fast-forward loop itself. Every observable effect — policy
+    /// `choose` calls, memo lookups and inserts, clock advances, report
+    /// accumulation, retirement — happens at the same iteration and in
+    /// the same order as `run_limit` calls of [`Engine::step`] would
+    /// produce; see DESIGN.md decision 13 for the equivalence argument.
+    fn decode_run(
+        &mut self,
+        cap: Option<f64>,
+        report: &mut EngineReport,
+    ) -> Option<crate::routing::RunAdvance> {
+        let n = self.running.len();
+        if n as u64 > self.config.max_batched_tokens {
+            return None; // budget-starved decode rotates batch membership per step
+        }
+        if let Some(front) = self.arrivals.front() {
+            if front.arrival <= self.clock {
+                return None; // this step ingests (and may admit)
+            }
+        }
+        // Run length: no sequence can finish before the earliest
+        // completion, and nothing else can change the batch.
+        let mut run_limit = u32::MAX;
+        for seq in &self.running {
+            if !seq.in_decode() || seq.first_token.is_none() || seq.finished() {
+                return None;
+            }
+            run_limit = run_limit.min(seq.decode_remaining());
+        }
+        debug_assert!(run_limit >= 1);
+
+        // Base decode order: the per-iteration scan starts at the
+        // cursor, so at run iteration k the chunk order is this base
+        // rotated left by k with every context k tokens longer. The
+        // rotation matters: the pricing fold over chunks is
+        // order-sensitive in f64.
+        let mut base_pasts = std::mem::take(&mut self.scratch_run_pasts);
+        base_pasts.clear();
+        let mut past_total = 0u64;
+        for k in 0..n {
+            let ctx = self.running[(self.decode_cursor + k) % n].context_len();
+            base_pasts.push(ctx);
+            past_total += ctx;
+        }
+
+        // A pure-decode batch's stats are constant across the run.
+        let stats = BatchStats { total_new_tokens: n as u64, num_seqs: n };
+        let bin_w = self.config.throughput_bin.as_secs();
+        let timeline = report.timeline_enabled();
+        let kv_util = self.kv.utilization();
+
+        // Last priced (config, memo bucket) → base duration. Valid only
+        // while the memo is on (a per-iteration repeat would hit the
+        // memo and return the stored value); with the memo off every
+        // iteration re-prices its own rotation, as the slow path does.
+        let mut cached: Option<(ParallelConfig, u64, Dur)> = None;
+        let mut cur_config: Option<ParallelConfig> = None;
+        let mut config_count = 0u64;
+        // Throughput segment: iterations sharing a bin flush closed-form.
+        let mut seg_bin = usize::MAX;
+        let mut seg_count = 0u64;
+        let mut seg_t = SimTime::ZERO;
+        let mut run_max = Dur::ZERO;
+        let mut last_t = SimTime::ZERO;
+        let mut done = 0u32;
+
+        for k in 0..run_limit {
+            let t = self.clock;
+            if let Some(c) = cap {
+                // NaN-safe: `!(t < c)` breaks exactly where the
+                // per-event window breaks (`t >= c`, or NaN under
+                // either cap flavor — fault-free windows then abort to
+                // the sequential replay upstream). The negated operator
+                // is the point: `t >= c` would step past a NaN cap.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(t.as_secs() < c) {
+                    break;
+                }
+            }
+            if k > 0 {
+                // An arrival due now means the next step ingests (and
+                // may admit): the steady state ends here.
+                if let Some(front) = self.arrivals.front() {
+                    if front.arrival <= t {
+                        break;
+                    }
+                }
+            }
+
+            let config = self.policy.choose(&stats);
+            if cur_config != Some(config) {
+                if let Some(prev) = cur_config {
+                    report.note_config_usage(prev, config_count);
+                }
+                cur_config = Some(config);
+                config_count = 0;
+            }
+            config_count += 1;
+
+            let memo_bucket = self.config.decode_memo_tokens.map(|b| past_total / b.max(1));
+            let base = match (memo_bucket, cached) {
+                (Some(bi), Some((c, cbi, d))) if c == config && cbi == bi => d,
+                _ => {
+                    let d = self.price_run_iteration(&config, k as usize, &base_pasts, past_total);
+                    if let Some(bi) = memo_bucket {
+                        cached = Some((config, bi, d));
+                    }
+                    d
+                }
+            };
+            let duration = if self.slowdown == 1.0 { base } else { base * self.slowdown };
+            self.clock += duration;
+            run_max = run_max.max(duration);
+            last_t = t;
+            done = k + 1;
+
+            let idx = (self.clock.as_secs() / bin_w) as usize;
+            if idx == seg_bin {
+                seg_count += 1;
+                seg_t = self.clock;
+            } else {
+                if seg_count > 0 {
+                    report.observe_tokens_run(seg_t, n as f64, seg_count);
+                }
+                seg_bin = idx;
+                seg_count = 1;
+                seg_t = self.clock;
+            }
+            if timeline {
+                report.note_event(crate::report::IterationEvent {
+                    end: self.clock,
+                    duration,
+                    config,
+                    tokens: n as u64,
+                    num_seqs: n,
+                    kv_utilization: kv_util,
+                });
+            }
+            past_total += n as u64;
+        }
+        self.scratch_run_pasts = base_pasts;
+        if done == 0 {
+            // The cap closed the window before the first iteration (the
+            // per-event loop would not have stepped either).
+            return None;
+        }
+
+        // Flush the closed-form accumulators. Ends are monotone and the
+        // folds are exact (see the report/metrics helpers), so this is
+        // bit-identical to `done` per-iteration notes.
+        if seg_count > 0 {
+            report.observe_tokens_run(seg_t, n as f64, seg_count);
+        }
+        if let Some(cfg) = cur_config {
+            report.note_config_usage(cfg, config_count);
+        }
+        report.note_kv_utilization(kv_util);
+        report.note_run(u64::from(done), self.clock, run_max);
+
+        // Apply the run to scheduler state: each sequence emitted one
+        // token per iteration.
+        for seq in &mut self.running {
+            seq.generated += done;
+        }
+        self.running_outstanding_tokens -= n as u64 * u64::from(done);
+        self.decode_cursor = self.decode_cursor.wrapping_add(done as usize);
+
+        // Retire finished sequences exactly as the per-iteration step
+        // does (completions can only land on the run's final iteration,
+        // after all of its token attribution — same order as the slow
+        // path).
+        let clock = self.clock;
+        let kv = &mut self.kv;
+        self.running.retain(|seq| {
+            if seq.finished() {
+                kv.release(seq.request.id);
+                report.note_completion(RequestRecord {
+                    request_id: seq.request.id,
+                    class: seq.request.class,
+                    arrival: seq.request.arrival,
+                    first_token: seq.first_token.expect("finished implies first token"),
+                    finish: clock,
+                    input_tokens: seq.request.input_tokens,
+                    output_tokens: seq.request.output_tokens,
+                });
+                false
+            } else {
+                true
+            }
+        });
+
+        Some(crate::routing::RunAdvance { events: u64::from(done), last: last_t })
+    }
+
+    /// Prices run iteration `k` by materializing the rotated decode
+    /// batch and walking the exact branch structure of
+    /// [`Engine::price_iteration_base`] (plan lookup, memo get/insert
+    /// with the cap-clear, direct fallback for out-of-set configs), so
+    /// memo state after the run matches the per-iteration path's.
+    fn price_run_iteration(
+        &mut self,
+        config: &ParallelConfig,
+        k: usize,
+        base_pasts: &[u64],
+        past_total: u64,
+    ) -> Dur {
+        let _price_span = sp_core::profile::start(sp_core::profile::Phase::Pricing);
+        let n = base_pasts.len();
+        let mut chunks = std::mem::take(&mut self.scratch_chunks);
+        chunks.clear();
+        for j in 0..n {
+            chunks.push(ChunkWork::decode(base_pasts[(j + k) % n] + k as u64));
+        }
+        let work = BatchWork::new(chunks);
+        debug_assert_eq!(work.decode_only_shape(), Some((n, past_total)));
+        let dur = match self.plans.iter().position(|p| p.config() == *config) {
+            Some(pi) => {
+                if let Some(bucket) = self.config.decode_memo_tokens {
+                    let key = (n, past_total / bucket.max(1), *config);
+                    if let Some(&d) = self.price_memo.get(&key) {
+                        d
+                    } else {
+                        let d = self.exec.price_planned(&self.plans[pi], &work).total();
+                        if self.price_memo.len() >= PRICE_MEMO_CAP {
+                            self.price_memo.clear();
+                        }
+                        self.price_memo.insert(key, d);
+                        d
+                    }
+                } else {
+                    self.exec.price_planned(&self.plans[pi], &work).total()
+                }
+            }
+            // The policy chose a config outside `configurations()`;
+            // price directly, unmemoized, like the slow path.
+            None => self.exec.iteration(config, &work).total(),
+        };
+        self.scratch_chunks = work.into_chunks();
+        dur
     }
 
     /// Recomputes the incremental load counters from the actual queue
@@ -525,7 +820,11 @@ impl Engine {
         while !self.is_idle() {
             guard += 1;
             assert!(guard < max_iterations, "simulation failed to terminate");
-            self.step_once();
+            // Fast-forward steady-state decode runs; fall back to the
+            // per-iteration step everywhere else.
+            if self.step_run(None).is_none() {
+                self.step_once();
+            }
         }
         self.take_report()
     }
@@ -674,8 +973,7 @@ impl Engine {
                         }
                         _ => 1,
                     };
-                    let remaining = seq.request.output_tokens.saturating_sub(seq.generated);
-                    let emitted = emitted.min(remaining);
+                    let emitted = emitted.min(seq.decode_remaining());
                     seq.generated += emitted;
                     self.running_outstanding_tokens -= u64::from(emitted);
                     ledger_tokens += u64::from(emitted);
@@ -960,6 +1258,7 @@ impl Engine {
     /// reuse); all three scratch buffers are engine-owned so steady-state
     /// iterations allocate nothing here.
     fn build_batch(&mut self) -> Option<(BatchWork, u64)> {
+        let _build_span = sp_core::profile::start(sp_core::profile::Phase::BatchBuild);
         let mut budget = self.config.max_batched_tokens;
         let mut assignments = std::mem::take(&mut self.scratch_assignments);
         assignments.clear();

@@ -58,5 +58,5 @@ pub use fault::{Fault, FaultEvent, FaultPlan, RetryPolicy, SalvagedWork};
 pub use report::{EngineReport, IterationEvent};
 pub use routing::{
     ClusterSim, EarliestDeadlineFeasible, JoinShortestOutstanding, ReferenceClusterSim, RoundRobin,
-    RoutingKind, RoutingPolicy, SimNode, StaticSplit,
+    RoutingKind, RoutingPolicy, RunAdvance, SimNode, StaticSplit,
 };

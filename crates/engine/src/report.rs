@@ -108,6 +108,32 @@ impl EngineReport {
         self.max_iteration = self.max_iteration.max(duration);
     }
 
+    /// Closed-form accumulation of `count` fast-forwarded iterations
+    /// ending at `end`, whose longest iteration was `max_duration`.
+    /// Iteration ends are monotone within a run, so one max-fold of the
+    /// final instant (and of the pre-folded duration max) is
+    /// bit-identical to `count` per-iteration folds. Throughput is
+    /// flushed separately per bin segment via
+    /// [`EngineReport::observe_tokens_run`], and config usage via
+    /// [`EngineReport::note_config_usage`].
+    pub(crate) fn note_run(&mut self, count: u64, end: SimTime, max_duration: Dur) {
+        self.iterations += count;
+        self.makespan = self.makespan.max(end);
+        self.max_iteration = self.max_iteration.max(max_duration);
+    }
+
+    pub(crate) fn note_config_usage(&mut self, config: ParallelConfig, count: u64) {
+        *self.config_usage.entry(config).or_default() += count;
+    }
+
+    pub(crate) fn observe_tokens_run(&mut self, t: SimTime, per_event: f64, count: u64) {
+        self.recorder.observe_tokens_run(t, per_event, count);
+    }
+
+    pub(crate) fn timeline_enabled(&self) -> bool {
+        self.timeline.is_some()
+    }
+
     pub(crate) fn note_completion(&mut self, record: RequestRecord) {
         self.recorder.observe_latency_only(&record);
         self.records.push(record);

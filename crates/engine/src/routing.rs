@@ -330,6 +330,29 @@ pub trait SimNode: Send {
     /// Applies a duration multiplier to the node's subsequent work
     /// (`1.0` restores full speed). The default ignores it.
     fn set_slowdown(&mut self, _factor: f64) {}
+
+    /// Advances this node through a *run* of steady-state events in one
+    /// call — the decode fast-forward. `cap` bounds the run: no event
+    /// at an instant not strictly below it may be stepped (`None` is
+    /// unbounded, for drain loops). Implementations must either advance
+    /// at least one event and return its summary, or return `None`
+    /// having changed nothing, so callers can fall back to
+    /// [`SimNode::step_once`]. The default never fast-forwards.
+    fn step_run(&mut self, _cap: Option<f64>) -> Option<RunAdvance> {
+        None
+    }
+}
+
+/// Summary of a fast-forwarded run of events (see
+/// [`SimNode::step_run`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RunAdvance {
+    /// Number of events advanced (≥ 1).
+    pub events: u64,
+    /// Instant of the final event stepped — what the per-event loop's
+    /// `last` would hold. Run instants are nondecreasing, so this is
+    /// also their max.
+    pub last: SimTime,
 }
 
 impl SimNode for Engine {
@@ -363,6 +386,10 @@ impl SimNode for Engine {
 
     fn set_slowdown(&mut self, factor: f64) {
         Engine::set_slowdown(self, factor);
+    }
+
+    fn step_run(&mut self, cap: Option<f64>) -> Option<RunAdvance> {
+        Engine::step_run(self, cap)
     }
 }
 
@@ -1162,6 +1189,10 @@ pub struct ClusterSim<N: SimNode> {
     window_pending: Vec<usize>,
     window_outcomes: Vec<WindowOutcome>,
     window_retires: Vec<(SimTime, usize)>,
+    /// Fan-out result buffer for [`sp_core::map_into`], reused across
+    /// windows like the other scratch — the per-window allocation was
+    /// the last one on the horizon-parallel hot path.
+    window_results: Vec<(Option<WindowOutcome>, bool)>,
 }
 
 /// Replica-count threshold below which [`ClusterSim`] uses the linear
@@ -1243,13 +1274,32 @@ fn step_slot<N: SimNode>(node: &mut N, cap: WindowCap) -> (Option<WindowOutcome>
                 }
             }
         }
-        node.step_once();
-        last = Some(t);
+        // Try a fast-forward run first: the node advances a whole
+        // steady-state stretch in one call (re-checking the cap per
+        // event internally), and the calendar republishes once per run
+        // instead of once per event. Run instants are nondecreasing, so
+        // folding the run's final instant equals folding each one.
+        let capf = match cap {
+            WindowCap::Unbounded => None,
+            WindowCap::FaultFree(c) | WindowCap::Faulted(c) => Some(c),
+        };
+        let advanced = match node.step_run(capf) {
+            Some(run) => {
+                last = Some(run.last);
+                steps += run.events;
+                run.last
+            }
+            None => {
+                node.step_once();
+                last = Some(t);
+                steps += 1;
+                t
+            }
+        };
         hi = Some(match hi {
-            Some(h) => h.max(t),
-            None => t,
+            Some(h) => h.max(advanced),
+            None => advanced,
         });
-        steps += 1;
         // Mirrors the sequential loops' global progress guard, per slot.
         assert!(steps < 400_000_000, "cluster simulation failed to terminate");
     }
@@ -1280,6 +1330,7 @@ impl<N: SimNode> ClusterSim<N> {
             window_pending: Vec::new(),
             window_outcomes: Vec::new(),
             window_retires: Vec::new(),
+            window_results: Vec::new(),
         };
         for i in 0..sim.fleet.slot_count() {
             sim.reschedule(i);
@@ -1371,6 +1422,7 @@ impl<N: SimNode> ClusterSim<N> {
     /// discarded by [`ClusterSim::settle`].
     fn reschedule(&mut self, i: usize) {
         let Some(cal) = self.calendar.as_mut() else { return };
+        let _cal_span = sp_core::profile::start(sp_core::profile::Phase::Calendar);
         if let Some(key) = self.fleet.next_event_of(i).map(EventKey::of) {
             cal.push(Reverse((key, i, self.fleet.gen(i))));
         }
@@ -1398,6 +1450,7 @@ impl<N: SimNode> ClusterSim<N> {
     /// ([`ClusterSim::next_event_time`]) stay `&self`.
     fn settle(&mut self) {
         let Some(cal) = self.calendar.as_mut() else { return };
+        let _cal_span = sp_core::profile::start(sp_core::profile::Phase::Calendar);
         while let Some(&Reverse((key, i, gen))) = cal.peek() {
             if self.fleet.gen(i) == gen
                 && self.fleet.next_event_of(i).map(EventKey::of) == Some(key)
@@ -1542,34 +1595,43 @@ impl<N: SimNode> ClusterSim<N> {
                 (0..self.fleet.slots.len()).filter(|&i| self.fleet.next_event_of(i).is_some()),
             );
             let base = SlotsPtr(self.fleet.slots.as_mut_ptr());
-            let results = sp_core::map_with(self.threads, &pending, |&i| {
-                // Not redundant: edition-2021 precise capture would
-                // otherwise capture the raw-pointer *field* (not Sync);
-                // rebinding forces capture of the whole `Send + Sync`
-                // wrapper.
-                #[allow(clippy::redundant_locals)]
-                let base = base;
-                // SAFETY: `pending` holds each slot index at most once
-                // and only this closure invocation touches slot `i`, so
-                // the `&mut` access is unaliased; the pointer stays
-                // valid for the whole fan-out (`self` is borrowed).
-                let slot = unsafe { &mut *base.0.add(i) };
-                let node = slot.node.as_mut().expect("pending slot holds a node");
-                step_slot(node, cap)
-            });
-            for (&i, (outcome, nan)) in pending.iter().zip(results) {
+            let mut results = std::mem::take(&mut self.window_results);
+            sp_core::map_into(
+                self.threads,
+                &pending,
+                |&i| {
+                    // Not redundant: edition-2021 precise capture would
+                    // otherwise capture the raw-pointer *field* (not
+                    // Sync); rebinding forces capture of the whole
+                    // `Send + Sync` wrapper.
+                    #[allow(clippy::redundant_locals)]
+                    let base = base;
+                    // SAFETY: `pending` holds each slot index at most
+                    // once and only this closure invocation touches
+                    // slot `i`, so the `&mut` access is unaliased; the
+                    // pointer stays valid for the whole fan-out (`self`
+                    // is borrowed).
+                    let slot = unsafe { &mut *base.0.add(i) };
+                    let node = slot.node.as_mut().expect("pending slot holds a node");
+                    step_slot(node, cap)
+                },
+                &mut results,
+            );
+            for (&i, &(outcome, nan)) in pending.iter().zip(&results) {
                 saw_nan |= nan;
                 if let Some(mut o) = outcome {
                     o.slot = i;
                     outcomes.push(o);
                 }
             }
+            self.window_results = results;
             self.window_pending = pending;
         }
 
         // Merge: fault clock first (retires and timer clamps read it),
         // then retires in (instant, slot) order — the global order the
         // sequential loop's `after_step` would have used.
+        let _merge_span = sp_core::profile::start(sp_core::profile::Phase::Merge);
         let mut hi: Option<SimTime> = None;
         for o in &outcomes {
             hi = Some(match hi {

@@ -45,6 +45,13 @@ impl RunningSeq {
     pub fn finished(&self) -> bool {
         self.first_token.is_some() && self.generated >= self.request.output_tokens
     }
+
+    /// Output tokens still to generate (0 once all are emitted). The
+    /// decode fast-forward uses the minimum of this over the running
+    /// batch as its run length: no sequence can complete earlier.
+    pub fn decode_remaining(&self) -> u32 {
+        self.request.output_tokens.saturating_sub(self.generated)
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,18 @@ impl LatencyRecorder {
         self.last_finish = self.last_finish.max(t);
     }
 
+    /// Attributes `count` iterations of `per_event` tokens each, all
+    /// landing in the same throughput bin, with `t` the instant of the
+    /// latest iteration in the segment. Bit-identical to `count` calls
+    /// of [`LatencyRecorder::observe_tokens`] at instants sharing `t`'s
+    /// bin (see [`BinnedSeries::record_repeated`] for the exactness
+    /// argument); the caller owns the same-bin guarantee.
+    pub fn observe_tokens_run(&mut self, t: SimTime, per_event: f64, count: u64) {
+        self.throughput.record_repeated(t, per_event, count);
+        self.total_tokens += (per_event as u64) * count;
+        self.last_finish = self.last_finish.max(t);
+    }
+
     /// Ingests a request's latencies without adding its tokens to the
     /// throughput series (pair with [`LatencyRecorder::observe_tokens`]).
     pub fn observe_latency_only(&mut self, r: &RequestRecord) {

@@ -47,6 +47,46 @@ impl BinnedSeries {
         self.bins[idx] += weight;
     }
 
+    /// Adds `count` repetitions of weight `weight`, all landing in the
+    /// bin of instant `t` — the closed-form equivalent of calling
+    /// [`BinnedSeries::record`] `count` times with instants that share
+    /// `t`'s bin. The caller owns that same-bin guarantee (the engine's
+    /// decode fast-forward segments its runs at bin boundaries).
+    ///
+    /// Bit-identity with the per-event loop is load-bearing: when the
+    /// bin and the weight are both non-negative integers and the final
+    /// total stays at or below 2^53, every partial sum of the per-event
+    /// loop is an exactly-representable integer, so one fused add of
+    /// `weight × count` produces the same bits. Outside that regime
+    /// (fractional weights, giant totals) the method falls back to the
+    /// literal per-event loop rather than re-associate inexact sums.
+    pub fn record_repeated(&mut self, t: SimTime, weight: f64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = (t.as_secs() / self.bin_width.as_secs()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        /// Largest integer up to which every f64 add of integers is exact.
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let bin = &mut self.bins[idx];
+        let total = weight * count as f64;
+        let exact = weight >= 0.0
+            && weight.fract() == 0.0
+            && *bin >= 0.0
+            && bin.fract() == 0.0
+            && count as f64 <= EXACT
+            && *bin + total <= EXACT;
+        if exact {
+            *bin += total;
+        } else {
+            for _ in 0..count {
+                *bin += weight;
+            }
+        }
+    }
+
     /// Adds weight accruing at `rate` per second uniformly over the
     /// half-open interval `[from, to)`, split across bins by overlap —
     /// the span analogue of [`BinnedSeries::record`], used for cost

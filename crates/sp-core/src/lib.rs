@@ -22,8 +22,10 @@
 //! spawning per call would dominate the work. Workers live for the
 //! process lifetime (they are parked on a condvar when idle).
 
+pub mod profile;
+
 use std::any::Any;
-use std::mem::{ManuallyDrop, MaybeUninit};
+use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock, TryLockError};
@@ -73,13 +75,38 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let mut out = Vec::new();
+    map_into(threads, items, f, &mut out);
+    out
+}
+
+/// [`map_with`] into a caller-owned buffer: `out` is cleared and filled
+/// with `f(&items[i])` in input order, reusing its existing capacity.
+/// Hot callers (the `ClusterSim` horizon windows fan out once per
+/// window) keep one buffer alive across calls so the steady state
+/// allocates nothing.
+///
+/// # Panics
+///
+/// If `f` panics for some element, the first such payload is re-raised
+/// on the calling thread once every claimed element has finished; `out`
+/// is left empty (already-written results leak rather than risk a
+/// double drop — a fan-out panic is fatal to the run anyway).
+pub fn map_into<T, R, F>(threads: usize, items: &[T], f: F, out: &mut Vec<R>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    out.clear();
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let threads = threads.min(n).min(MAX_WORKERS + 1);
     if threads <= 1 || IN_WORKER.with(|w| w.get()) {
-        return items.iter().map(f).collect();
+        out.extend(items.iter().map(f));
+        return;
     }
     let pool = pool();
     let _submit = match pool.submit.try_lock() {
@@ -89,15 +116,18 @@ where
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         // Another fan-out is mid-flight (a sibling call from a different
         // thread): run inline rather than interleave two jobs.
-        Err(TryLockError::WouldBlock) => return items.iter().map(f).collect(),
+        Err(TryLockError::WouldBlock) => {
+            out.extend(items.iter().map(f));
+            return;
+        }
     };
     pool.ensure_workers(threads - 1);
 
-    // Output slots, each written exactly once by whichever participant
-    // claims that index, then assembled into the result Vec.
-    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
-    out.resize_with(n, MaybeUninit::uninit);
-    let out_ptr = SendPtr(out.as_mut_ptr());
+    // Output slots in `out`'s spare capacity, each written exactly once
+    // by whichever participant claims that index; the length is only
+    // raised once every slot is initialized.
+    out.reserve(n);
+    let out_ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
     let task = move |i: usize| {
         // Rebind the wrapper so edition-2021 precise capture takes the
         // `Send + Sync` wrapper, not the bare raw pointer inside it.
@@ -151,16 +181,15 @@ where
     }
 
     if let Some(payload) = lock(&job.panic).take() {
-        // Leak the slots that were written rather than guess which ones
-        // are initialized; a fan-out panic is fatal to the run anyway.
-        std::mem::forget(out);
+        // Leak the slots that were written (len stays 0) rather than
+        // guess which ones are initialized; a fan-out panic is fatal to
+        // the run anyway.
         resume_unwind(payload);
     }
     // SAFETY: `done == n` with Release increments paired by the Acquire
     // load above, so every slot write happens-before this point, and
     // each of the n slots was written exactly once.
-    let mut out = ManuallyDrop::new(out);
-    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, n) }
+    unsafe { out.set_len(n) };
 }
 
 thread_local! {
@@ -359,6 +388,27 @@ mod tests {
             let par = map_with(threads, &items, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
             assert_eq!(par, seq);
         }
+    }
+
+    #[test]
+    fn map_into_reuses_the_callers_buffer() {
+        let items: Vec<u64> = (0..300).collect();
+        let mut out: Vec<u64> = Vec::new();
+        map_into(8, &items, |&x| x + 1, &mut out);
+        let expect: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        assert_eq!(out, expect);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        // Refilling an equal-or-smaller fan-out must not reallocate.
+        for threads in [1, 2, 8] {
+            map_into(threads, &items, |&x| x * 2, &mut out);
+            assert_eq!(out.capacity(), cap, "buffer reallocated at {threads} threads");
+            assert_eq!(out.as_ptr(), ptr, "buffer moved at {threads} threads");
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        map_into(4, &items[..10], |&x| x, &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Byte-identity properties and edge cases for the decode fast-forward
+//! path (`Engine::step_run` macro-stepping steady-state decode runs).
+//!
+//! The fast path is an *optimization*, never a behavior change: with
+//! `set_fast_forward(false)` every engine walks the per-iteration
+//! scheduler (build batch, price, advance one iteration), and the
+//! fast-forwarded run must reproduce that loop's report bit-for-bit —
+//! not just records and rejects, but throughput bins, makespan,
+//! max-iteration time, config usage, KV peaks, and the per-iteration
+//! timeline when capture is on. The properties here compare a deep
+//! fingerprint across fast-forward on/off, sequential and
+//! horizon-parallel widths {1, 2, 8}, under no faults, seeded fault
+//! plans, and autoscaler churn; the edge-case tests pin the run-length
+//! boundaries (length-1 runs, caps landing mid-run, memo-bucket
+//! crossings) individually.
+
+use proptest::prelude::*;
+use shift_parallelism::prelude::*;
+use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+
+/// An engine with the decode fast-forward either live or forced off,
+/// optional decode-shape memo, optional SLO admission, and timeline
+/// capture (so the fingerprint pins per-iteration events bit-exactly).
+fn engine_ff(kv: u64, memo: Option<u64>, slo: Option<ClassSlo>, fast_forward: bool) -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let mut e = Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig {
+            kv_capacity_tokens: kv,
+            decode_memo_tokens: memo,
+            class_slo: slo,
+            record_timeline: true,
+            ..EngineConfig::default()
+        },
+    );
+    e.set_fast_forward(fast_forward);
+    e
+}
+
+fn engines_ff(n: usize, kv: u64, memo: Option<u64>, fast_forward: bool) -> Vec<Engine> {
+    (0..n).map(|_| engine_ff(kv, memo, None, fast_forward)).collect()
+}
+
+/// Everything observable about a report, in owned, bit-exact form. This
+/// deliberately goes beyond the routing-equivalence fingerprint in
+/// `cluster_properties.rs`: the fast-forward path recomputes iteration
+/// counters, throughput bins, duration folds, and config usage in
+/// closed form, so exactly those aggregates are what the comparison
+/// must pin. f64s are compared via `to_bits` or their Debug rendering
+/// (shortest-roundtrip, hence bit-exact).
+fn deep_fingerprint(r: &EngineReport) -> (String, String, Vec<(u64, u64)>, u64) {
+    let m = r.metrics();
+    let bins: Vec<(u64, u64)> =
+        m.throughput().totals().map(|(t, w)| (t.as_secs().to_bits(), w.to_bits())).collect();
+    let mut usage: Vec<(String, u64)> =
+        r.config_usage().iter().map(|(c, n)| (format!("{c:?}"), *n)).collect();
+    usage.sort();
+    let head = format!(
+        "records={:?}|decisions={:?}|rejected={:?}|failed={:?}|fleet={:?}|faults={:?}|timeline={:?}",
+        r.records(),
+        r.routing_decisions(),
+        r.rejected(),
+        r.failed(),
+        r.fleet_timeline().events(),
+        r.fleet_timeline().request_faults(),
+        r.timeline(),
+    );
+    let aggregates = format!(
+        "iters={}|usage={usage:?}|makespan={}|max_iter={}|peak_kv={}|completed={}|tokens={}|last={}|preempt={}|sheds={}|defer={}",
+        r.iterations(),
+        r.makespan().as_secs().to_bits(),
+        r.max_iteration_time().as_secs().to_bits(),
+        r.peak_kv_utilization().to_bits(),
+        m.completed(),
+        m.total_tokens(),
+        m.last_finish().as_secs().to_bits(),
+        r.preemptions(),
+        r.batch_sheds(),
+        r.batch_deferrals(),
+    );
+    (head, aggregates, bins, r.iterations())
+}
+
+fn request(id: u64, at: f64, input: u32, output: u32) -> Request {
+    Request {
+        id,
+        arrival: SimTime::from_secs(at),
+        input_tokens: input,
+        output_tokens: output,
+        class: RequestClass::Batch,
+        cached_prefix: 0,
+        prefix_group: None,
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (prop::collection::vec((1u32..12_000, 1u32..300, 0.0f64..40.0, any::<bool>()), 1..24),)
+        .prop_map(|(reqs,)| {
+            reqs.into_iter()
+                .map(|(input, output, at, interactive)| Request {
+                    id: 0, // Trace::new renumbers in arrival order
+                    arrival: SimTime::from_secs(at),
+                    input_tokens: input,
+                    output_tokens: output,
+                    class: if interactive {
+                        RequestClass::Interactive
+                    } else {
+                        RequestClass::Batch
+                    },
+                    cached_prefix: 0,
+                    prefix_group: None,
+                })
+                .collect()
+        })
+        .prop_map(Trace::new)
+}
+
+fn arb_memo() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), Just(Some(64u64)), Just(Some(4096))]
+}
+
+fn arb_fault_plan(max_replicas: usize) -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((0.0f64..30.0, 0usize..max_replicas, 0u8..8), 0..6).prop_map(|faults| {
+        FaultPlan::new(
+            faults
+                .into_iter()
+                .map(|(at, replica, kind)| FaultEvent {
+                    at: SimTime::from_secs(at),
+                    fault: match kind {
+                        0..=3 => Fault::Crash { replica },
+                        4 | 5 => {
+                            Fault::Slowdown { replica, factor: 3.0, duration: Dur::from_secs(2.0) }
+                        }
+                        _ => Fault::RouteTimeout,
+                    },
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Runs a cluster as the sequential calendar (`None`) or the
+/// horizon-parallel engine at the given width, fingerprinting the
+/// merged report.
+fn run_cluster(
+    mut sim: ClusterSim<Engine>,
+    threads: Option<usize>,
+    trace: &Trace,
+) -> (String, String, Vec<(u64, u64)>, u64) {
+    match threads {
+        None => sim.set_horizon_parallel(false),
+        Some(t) => sim.set_threads(t),
+    }
+    deep_fingerprint(&sim.run(trace))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The core equivalence: a lone engine with fast-forward live must
+    /// produce a bit-identical report to the same engine walking every
+    /// iteration, across randomized traces, memo granularities, and SLO
+    /// admission — including the captured per-iteration timeline, so a
+    /// run that mis-attributed even one iteration's end instant,
+    /// duration, config, or KV reading fails here.
+    #[test]
+    fn fastforward_engine_matches_per_iteration(
+        trace in arb_trace(),
+        memo in arb_memo(),
+        use_slo in any::<bool>(),
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+    ) {
+        let slo = use_slo.then(ClassSlo::default);
+        let fast = deep_fingerprint(&engine_ff(kv, memo, slo, true).run(&trace));
+        let slow = deep_fingerprint(&engine_ff(kv, memo, slo, false).run(&trace));
+        prop_assert_eq!(&fast, &slow, "fast-forward diverged from the per-iteration engine");
+    }
+
+    /// Cluster-level equivalence, no faults: fast-forward on, at the
+    /// sequential calendar and horizon widths {1, 2, 8}, must match the
+    /// per-iteration sequential calendar bit-for-bit. Runs here are cut
+    /// by dispatch horizons (`WindowCap::FaultFree`), so the cap-clamp
+    /// path is exercised on every arrival.
+    #[test]
+    fn fastforward_cluster_matches_per_iteration(
+        trace in arb_trace(),
+        n in 1usize..4,
+        memo in arb_memo(),
+        kv in prop_oneof![Just(30_000u64), Just(200_000)],
+    ) {
+        let build = |ff: bool| {
+            ClusterSim::new(engines_ff(n, kv, memo, ff), RoutingKind::JoinShortestOutstanding.policy())
+        };
+        let baseline = run_cluster(build(false), None, &trace);
+        prop_assert_eq!(
+            &run_cluster(build(true), None, &trace),
+            &baseline,
+            "sequential fast-forward diverged"
+        );
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run_cluster(build(true), Some(threads), &trace),
+                &baseline,
+                "fast-forward divergence at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Cluster-level equivalence under seeded fault plans: crashes,
+    /// slowdown windows, and route timeouts cut horizon windows at
+    /// timer instants (`WindowCap::Faulted`), so decode runs clamp at
+    /// fault timers and re-enter after salvage/redelivery — all of it
+    /// bit-identical to the per-iteration loop at every width.
+    #[test]
+    fn fastforward_cluster_matches_per_iteration_under_faults(
+        trace in arb_trace(),
+        n in 1usize..4,
+        plan in arb_fault_plan(4),
+        memo in arb_memo(),
+        budget in 0u32..3,
+    ) {
+        let retry = RetryPolicy { max_retries: budget, base_backoff: Dur::from_secs(0.25) };
+        let build = |ff: bool| {
+            ClusterSim::new(engines_ff(n, 60_000, memo, ff), RoutingKind::JoinShortestOutstanding.policy())
+                .with_faults(plan.clone(), retry)
+        };
+        let baseline = run_cluster(build(false), None, &trace);
+        prop_assert_eq!(
+            &run_cluster(build(true), None, &trace),
+            &baseline,
+            "sequential fast-forward diverged under faults"
+        );
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run_cluster(build(true), Some(threads), &trace),
+                &baseline,
+                "fast-forward divergence under faults at {} threads",
+                threads
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Cluster-level equivalence under autoscaler churn: spawns, warmup
+    /// promotions, drains, and retires are coordination events between
+    /// windows, and a drained-dry replica must retire at the same
+    /// instant whether its final decode plateau was fast-forwarded or
+    /// stepped one iteration at a time.
+    #[test]
+    fn fastforward_cluster_matches_per_iteration_with_autoscaling(
+        reqs in prop::collection::vec((1u32..12_000, 1u32..200, 0.0f64..8.0), 1..24),
+        n in 1usize..4,
+        memo in arb_memo(),
+        hi in 150f64..1_500.0,
+        lo in 20f64..120.0,
+    ) {
+        let trace = Trace::new(
+            reqs.into_iter()
+                .map(|(input, output, at)| request(0, at, input, output))
+                .collect(),
+        );
+        let kv = 60_000u64;
+        let build = |ff: bool| {
+            let scaler = Autoscaler::new(
+                AutoscaleConfig {
+                    cold_start: Dur::from_secs(2.5),
+                    min_replicas: 1,
+                    max_replicas: 4,
+                },
+                Box::new(LoadBandPolicy::new(hi, lo).smoothing(0.5).cooldown(Dur::from_secs(2.0))),
+                move |_| engine_ff(kv, memo, None, ff),
+            );
+            ClusterSim::new(engines_ff(n, kv, memo, ff), RoutingKind::JoinShortestOutstanding.policy())
+                .with_autoscaler(scaler)
+        };
+        let baseline = run_cluster(build(false), None, &trace);
+        prop_assert_eq!(
+            &run_cluster(build(true), None, &trace),
+            &baseline,
+            "sequential fast-forward diverged under autoscaling"
+        );
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run_cluster(build(true), Some(threads), &trace),
+                &baseline,
+                "fast-forward divergence under autoscaling at {} threads",
+                threads
+            );
+        }
+    }
+}
+
+/// Run length 1: simultaneous arrivals whose outputs differ by exactly
+/// one token make `min(decode_remaining)` hit 1 on every run after the
+/// first finish — each macro-step advances a single iteration, retires
+/// one sequence, and rebuilds. The degenerate run must still be
+/// bit-identical to per-iteration stepping (and actually complete
+/// everything).
+#[test]
+fn run_length_one_is_byte_identical() {
+    let trace = Trace::with_ids((0..6).map(|i| request(i, 0.0, 64, 3 + i as u32)).collect());
+    let fast_report = engine_ff(100_000, None, None, true).run(&trace);
+    let fast = deep_fingerprint(&fast_report);
+    let slow = deep_fingerprint(&engine_ff(100_000, None, None, false).run(&trace));
+    assert_eq!(fast, slow, "length-1 runs diverged from per-iteration stepping");
+    assert_eq!(fast_report.records().len(), 6, "all staggered sequences must complete");
+}
+
+/// A slowdown window edge landing mid-plateau: the window's start and
+/// end are fault timers, so the horizon cap (`WindowCap::Faulted`)
+/// clamps a decode run partway through, the slowdown factor changes,
+/// and the run resumes at the new per-iteration duration. Both edges
+/// land strictly inside what would otherwise be one long decode run.
+#[test]
+fn slowdown_edge_mid_run_is_byte_identical() {
+    let trace = Trace::with_ids((0..4).map(|i| request(i, 0.0, 128, 400)).collect());
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at: SimTime::from_secs(1.0),
+        fault: Fault::Slowdown { replica: 0, factor: 3.0, duration: Dur::from_secs(2.0) },
+    }]);
+    let retry = RetryPolicy { max_retries: 2, base_backoff: Dur::from_secs(0.25) };
+    let build = |ff: bool| {
+        ClusterSim::new(engines_ff(1, 100_000, Some(4096), ff), RoutingKind::default().policy())
+            .with_faults(plan.clone(), retry)
+    };
+    let baseline = run_cluster(build(false), None, &trace);
+    assert_eq!(
+        run_cluster(build(true), None, &trace),
+        baseline,
+        "slowdown edge mid-run diverged (sequential)"
+    );
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            run_cluster(build(true), Some(threads), &trace),
+            baseline,
+            "slowdown edge mid-run diverged at {threads} threads"
+        );
+    }
+}
+
+/// A crash timer landing inside a decode run: the run clamps at the
+/// timer cap, the crash destroys the replica's in-flight work, and the
+/// salvaged requests re-dispatch under retry — every salvage instant,
+/// attempt count, and re-prefill must match the per-iteration loop.
+#[test]
+fn crash_timer_mid_run_is_byte_identical() {
+    let trace = Trace::with_ids((0..4).map(|i| request(i, 0.0, 128, 400)).collect());
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at: SimTime::from_secs(1.5),
+        fault: Fault::Crash { replica: 0 },
+    }]);
+    let retry = RetryPolicy { max_retries: 2, base_backoff: Dur::from_secs(0.25) };
+    let build = |ff: bool| {
+        ClusterSim::new(engines_ff(2, 100_000, None, ff), RoutingKind::default().policy())
+            .with_faults(plan.clone(), retry)
+    };
+    let baseline = run_cluster(build(false), None, &trace);
+    assert_eq!(
+        run_cluster(build(true), None, &trace),
+        baseline,
+        "crash timer mid-run diverged (sequential)"
+    );
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            run_cluster(build(true), Some(threads), &trace),
+            baseline,
+            "crash timer mid-run diverged at {threads} threads"
+        );
+    }
+}
+
+/// Memo-bucket boundary crossing inside a run: with a tiny
+/// `decode_memo_tokens` granularity the batch's total context crosses a
+/// bucket edge every few iterations, so the fast path must re-price
+/// mid-run at exactly the iterations the per-iteration loop would have
+/// seen a new memo key — and insert the same entries, so a *subsequent*
+/// run hits the same cached durations either way.
+#[test]
+fn memo_bucket_crossing_mid_run_is_byte_identical() {
+    let trace =
+        Trace::with_ids((0..5).map(|i| request(i, 0.0, 200 + 30 * i as u32, 300)).collect());
+    for memo in [Some(64u64), Some(1024), None] {
+        let fast = deep_fingerprint(&engine_ff(100_000, memo, None, true).run(&trace));
+        let slow = deep_fingerprint(&engine_ff(100_000, memo, None, false).run(&trace));
+        assert_eq!(fast, slow, "memo bucket crossings diverged (memo = {memo:?})");
+    }
+}
