@@ -3,8 +3,10 @@
 //! Runs the chaos acceptance scenario (`tests/chaos.rs`) — the bursty
 //! agentic trace through an autoscaled, EDF-routed fleet, once fault
 //! free and once under the seeded Poisson crash schedule — at whatever
-//! fan-out width `SP_THREADS` selects, and serializes every observable
-//! surface of both reports to the file named by the first argument:
+//! fan-out width `SP_THREADS` selects — plus the shape-stable-window
+//! scenario (KV-bound chunked-prefill fleet, the `steadyshape` simperf
+//! regime) — and serializes every observable
+//! surface of the reports to the file named by the first argument:
 //! routing decisions, completion records, terminal failures, rejects,
 //! the fleet timeline (replica events and request-fault events), and
 //! the iteration count.
@@ -88,6 +90,49 @@ fn run_with(plan: FaultPlan, trace: &Trace, slo: ClassSlo) -> EngineReport {
     sim.run(trace)
 }
 
+/// The shape-stable-window regime (the `steadyshape` simperf pair at a
+/// CI-friendly scale): KV-bound DP replicas with a token budget small
+/// enough that prefills chunk across several iterations, so horizon
+/// windows mix a chunked-prefill leader with steady decodes and the
+/// blocked wait queue parks on the KV admission gate. Byte-comparing
+/// this report across fan-out widths pins the generalized fast-forward
+/// (mixed windows, gate arming/expiry, closed-form decode runs) to the
+/// sequential order.
+fn run_steadyshape() -> EngineReport {
+    const SS_KV: u64 = 24_576;
+    const SS_REPLICAS: usize = 16;
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let engines: Vec<Engine> = (0..SS_REPLICAS)
+        .map(|_| {
+            Engine::new(
+                ExecutionModel::new(node, presets::qwen_32b()),
+                Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+                EngineConfig {
+                    kv_capacity_tokens: SS_KV,
+                    max_batched_tokens: 2048,
+                    class_slo: Some(ClassSlo::default()),
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .collect();
+    let trace = BurstyConfig {
+        duration: Dur::from_secs(2.0),
+        base_rate: 0.2 * SS_REPLICAS as f64,
+        bursts: 1,
+        burst_size: 6 * SS_REPLICAS,
+        burst_window: Dur::from_secs(0.5),
+        base_input: sp_workload::sizes::LengthDist::LogNormal { median: 5000.0, sigma: 0.3 },
+        base_output: sp_workload::sizes::LengthDist::LogNormal { median: 400.0, sigma: 0.2 },
+        burst_input: sp_workload::sizes::LengthDist::LogNormal { median: 6000.0, sigma: 0.3 },
+        burst_output: sp_workload::sizes::LengthDist::LogNormal { median: 400.0, sigma: 0.2 },
+        seed: 0x5A_FE_5A,
+    }
+    .generate();
+    let mut sim = ClusterSim::new(engines, RoutingKind::default().policy());
+    sim.run(&trace)
+}
+
 /// Every observable surface of a report, in a stable text form. Uses
 /// `Debug` formatting throughout: the point is byte-stability across
 /// thread counts within one build, not a versioned schema.
@@ -118,6 +163,7 @@ fn main() {
         PEAK_REPLICAS,
     );
     serialize("poisson-crashes", &run_with(plan, &trace, slo), &mut out);
+    serialize("steadyshape", &run_steadyshape(), &mut out);
 
     std::fs::write(&path, &out).expect("write determinism output");
     println!("determinism: ran at {threads} thread(s), {} bytes -> {path}", out.len());

@@ -5,12 +5,16 @@ use crate::report::EngineReport;
 use crate::seq::RunningSeq;
 use sp_kvcache::KvCacheManager;
 use sp_metrics::{ClassSlo, Dur, NodeLoad, RequestClass, RequestRecord, SimTime};
+use sp_model::StepCost;
+use sp_parallel::BatchSummary;
 use sp_parallel::{
-    BatchStats, BatchWork, ChunkWork, ExecPlan, ExecutionModel, ParallelConfig, ParallelismPolicy,
+    BatchStats, BatchWork, ChunkWork, DecodeRunPricer, ExecPlan, ExecutionModel, ParallelConfig,
+    ParallelismPolicy,
 };
 use sp_workload::{Request, Trace};
 use std::collections::{HashMap, VecDeque};
 
+// TEMP instrumentation — remove before commit.
 /// Quantized decode-batch shape the pricing memo keys on: `(decode seq
 /// count, Σ past-context / bucket, config)`.
 type PriceKey = (usize, u64, ParallelConfig);
@@ -246,6 +250,26 @@ pub struct Engine {
     /// running batch's context lengths in decode-scan order at run
     /// start, from which every rotated iteration shape is derived.
     scratch_run_pasts: Vec<u64>,
+    /// Reusable context ring for [`Engine::mixed_run`], in running-index
+    /// order with `None` marking the prefill leader's slot.
+    scratch_run_slots: Vec<Option<u64>>,
+    /// KV-blocked admission fast path (see [`AdmissionGate`]).
+    admission_gate: Option<AdmissionGate>,
+    /// Monotone version of the running batch's composition and
+    /// contexts, bumped by anything that mutates them outside a decode
+    /// window's uniform advance: every per-iteration [`Engine::step`]
+    /// (which may admit, shed, preempt, retire, or just grow contexts
+    /// non-uniformly), a mixed window (its prefill leader advances at a
+    /// different rate), any window retirement, and crash salvage.
+    /// Guards [`RunCache`] reuse.
+    batch_version: u64,
+    /// Cross-window continuation of the decode-run linear summary (see
+    /// [`RunCache`]). Horizon-parallel windows are cut at every cluster
+    /// coordination point (arrival dispatches, fault timers), so a
+    /// steady decode batch is re-entered many times; re-deriving the
+    /// summary's three real folds per window would dominate short
+    /// windows.
+    run_cache: Option<RunCache>,
 }
 
 /// A running sequence's contribution to the outstanding-token load
@@ -253,6 +277,111 @@ pub struct Engine {
 /// generate.
 fn seq_outstanding(seq: &RunningSeq) -> u64 {
     seq.prefill_remaining() + u64::from(seq.request.output_tokens.saturating_sub(seq.generated))
+}
+
+/// Armed when a full admission scan ends KV-blocked: records the head
+/// candidate and the free-token level that would unblock it, so
+/// subsequent admission passes (and shape-stable windows) can prove the
+/// scan would reach the same blocked break without re-running it.
+///
+/// The cached verdict is only trusted while every input it depends on
+/// is provably unchanged: the queue epoch pins the candidate choice
+/// (queued entries are immutable and position tokens are never reused,
+/// so an unchanged epoch means the same entries at the same positions),
+/// the free-token threshold pins the reservation outcome, and `expires`
+/// pins EDF candidate stability — a salvageable-deadline candidate is
+/// the minimum deadline at or after the arming clock, so no other entry
+/// can displace it until the clock passes that very deadline. Debug
+/// builds re-derive the candidate from scratch on every gate hit.
+#[derive(Debug, Clone, Copy)]
+struct AdmissionGate {
+    /// Queue position of the blocked head candidate.
+    pos: QueuePos,
+    /// The candidate itself (queued entries are immutable, so the copy
+    /// cannot go stale while the epoch check holds).
+    head: Request,
+    /// KV tokens the candidate's reservation asks for (mode-dependent).
+    footprint: u64,
+    /// Block-rounded unblock level: the reservation fails exactly while
+    /// `kv.free_tokens() < required_free_tokens`.
+    required_free_tokens: u64,
+    /// EDF stability horizon: a salvageable candidate stops being the
+    /// candidate once the clock passes its own TTFT deadline. `None`
+    /// for deadline-free policies and already-expired candidates, whose
+    /// choice is stable until the queue mutates.
+    expires: Option<SimTime>,
+    /// [`WaitQueue::epoch`] at arming; any push or removal invalidates.
+    epoch: u64,
+}
+
+/// Closed-form pricing input for a memo-off decode run (see
+/// [`Engine::linear_run_summary`]): the batch summary at run iteration
+/// `k` is `s0` plus `k` times the per-iteration deltas, bit-identical
+/// to the materialized chunk fold while the exactness guards hold.
+#[derive(Debug, Clone, Copy)]
+struct LinearRunSummary {
+    /// The real fold at run iteration 0.
+    s0: BatchSummary,
+    /// Attention-FLOP growth per iteration (every context +1 token).
+    d_attn: f64,
+    /// KV-read-byte growth per iteration.
+    d_kv_read: u64,
+}
+
+/// A decode-run [`LinearRunSummary`] carried across windows: while
+/// [`Engine::batch_version`] is unchanged, every running context has
+/// advanced exactly `base_k` iterations since the summary was captured
+/// (windows advance all decode contexts uniformly), so the summary for
+/// a new window is the capture shifted by `base_k` — no folds needed.
+/// The shift is exact under the same integer-exactness guards the
+/// capture validated, re-checked against the new window's bounds; reuse
+/// past the capture's fold-verified endpoint (`valid_to`) recaptures
+/// from scratch instead of extrapolating on trust.
+#[derive(Debug, Clone, Copy)]
+struct RunCache {
+    /// [`Engine::batch_version`] at capture.
+    version: u64,
+    /// Iterations advanced since capture.
+    base_k: u64,
+    /// Largest capture-relative iteration the endpoint fold verified.
+    valid_to: u64,
+    /// The summary as captured (s0 = fold at the capture window's k=0).
+    lin: LinearRunSummary,
+}
+
+impl LinearRunSummary {
+    /// The summary re-based `base_k` iterations after its capture,
+    /// provided the endpoint of a further `run_limit` iterations stays
+    /// in the exact-integer regime (`None` otherwise). Every operand is
+    /// a nonnegative integer and every intermediate stays below 2^53,
+    /// so each float multiply and add is exact — the shifted `s0`
+    /// equals the real fold bit for bit.
+    fn shifted(&self, base_k: u64, run_limit: u32) -> Option<LinearRunSummary> {
+        /// Largest f64 below which integer addition is exact.
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let last = base_k.checked_add(u64::from(run_limit) - 1)?;
+        let attn_last = self.s0.cost.attn_flops + last as f64 * self.d_attn;
+        if attn_last >= EXACT || last as f64 >= EXACT {
+            return None;
+        }
+        self.s0.cost.kv_read_bytes.checked_add(last.checked_mul(self.d_kv_read)?)?;
+        let kv0 = self.s0.cost.kv_read_bytes + base_k * self.d_kv_read;
+        Some(LinearRunSummary {
+            s0: BatchSummary {
+                cost: StepCost {
+                    linear_flops: self.s0.cost.linear_flops,
+                    attn_flops: self.s0.cost.attn_flops + base_k as f64 * self.d_attn,
+                    logit_flops: self.s0.cost.logit_flops,
+                    kv_read_bytes: kv0,
+                    kv_write_bytes: self.s0.cost.kv_write_bytes,
+                },
+                total_new_tokens: self.s0.total_new_tokens,
+                num_seqs: self.s0.num_seqs,
+            },
+            d_attn: self.d_attn,
+            d_kv_read: self.d_kv_read,
+        })
+    }
 }
 
 impl Engine {
@@ -329,6 +458,10 @@ impl Engine {
             slowdown: 1.0,
             fast_forward: true,
             scratch_run_pasts: Vec::new(),
+            scratch_run_slots: Vec::new(),
+            admission_gate: None,
+            batch_version: 0,
+            run_cache: None,
         }
     }
 
@@ -411,6 +544,8 @@ impl Engine {
     pub fn set_reference_mode(&mut self, reference: bool) {
         self.reference_mode = reference;
         self.price_memo.clear();
+        self.admission_gate = None;
+        self.run_cache = None;
     }
 
     /// Switches *only* iteration pricing to the direct `try_iteration`
@@ -436,36 +571,55 @@ impl Engine {
         self.fast_forward = on;
     }
 
-    /// Attempts a decode fast-forward: when the engine is in steady
-    /// state — nothing waiting or arriving now, every running sequence
-    /// mid-decode, no spec-decode or preemption machinery armed —
-    /// advances up to the *run length* (the minimum remaining decode
-    /// tokens over the batch, i.e. the iteration count until the next
-    /// schedulable change) in one tight loop that skips batch
-    /// rebuilding and queue scans, accumulating time and metrics in the
-    /// exact same float-op order as the per-iteration path.
+    /// Attempts a shape-stable fast-forward: when the batch composition
+    /// is provably invariant — admission impossible (nothing waiting,
+    /// no free sequence slot, or the KV-blocked gate holds), every
+    /// running sequence mid-decode or at most one mid-prefill, no
+    /// spec-decode or preemption machinery armed — advances up to the
+    /// *run length* (the iteration count until the next schedulable
+    /// change: earliest completion, the prefill leader's final chunk,
+    /// the gate's EDF expiry, the caller cap, or the next arrival) in
+    /// one tight loop that skips batch rebuilding and queue scans,
+    /// accumulating time and metrics in the exact same float-op order
+    /// as the per-iteration path.
     ///
     /// `cap` is the caller's window bound (a [`crate::WindowCap`]
     /// instant): the run stops before any iteration whose event instant
     /// is not strictly below it, exactly as the per-event window loop
     /// would. Returns `None` — with zero state change — whenever the
-    /// steady-state gates fail or the first iteration is already outside
-    /// the cap, so callers fall back to [`Engine::step_once`].
+    /// shape-stability gates fail or the first iteration is already
+    /// outside the cap, so callers fall back to [`Engine::step_once`].
     pub fn step_run(&mut self, cap: Option<f64>) -> Option<crate::routing::RunAdvance> {
-        // Cheap gates first; the O(batch) scan only runs once they pass.
+        // Cheap gates first; the O(batch) scans only run once they pass.
         if !self.fast_forward
             || self.reference_mode
             || self.direct_pricing
             || self.config.spec_decode.is_some()
             || self.config.admission == AdmissionMode::PreemptRestart
-            || !self.waiting.is_empty()
             || self.running.is_empty()
-            || self.running_prefill_tokens != 0
         {
             return None;
         }
+        // Admission must stay impossible across the whole window. With
+        // requests waiting, only a full batch or a valid KV-blocked
+        // gate proves that; a gated window additionally stops at the
+        // gate's EDF expiry, where the candidate itself could change.
+        let admit_bound: Option<SimTime> = {
+            let _detect_span = sp_core::profile::start(sp_core::profile::Phase::WindowDetect);
+            if self.waiting.is_empty() || self.running.len() >= self.config.max_seqs {
+                None
+            } else if self.gate_blocks_admission() {
+                self.admission_gate.as_ref().expect("gate verified").expires
+            } else {
+                return None;
+            }
+        };
         let mut report = self.report.take().unwrap_or_else(|| self.fresh_report());
-        let advanced = self.decode_run(cap, &mut report);
+        let advanced = if self.running_prefill_tokens == 0 {
+            self.decode_run(cap, admit_bound, &mut report)
+        } else {
+            self.mixed_run(cap, admit_bound, &mut report)
+        };
         self.report = Some(report);
         advanced
     }
@@ -478,6 +632,7 @@ impl Engine {
     fn decode_run(
         &mut self,
         cap: Option<f64>,
+        admit_bound: Option<SimTime>,
         report: &mut EngineReport,
     ) -> Option<crate::routing::RunAdvance> {
         let n = self.running.len();
@@ -489,29 +644,86 @@ impl Engine {
                 return None; // this step ingests (and may admit)
             }
         }
-        // Run length: no sequence can finish before the earliest
-        // completion, and nothing else can change the batch.
-        let mut run_limit = u32::MAX;
-        for seq in &self.running {
-            if !seq.in_decode() || seq.first_token.is_none() || seq.finished() {
-                return None;
-            }
-            run_limit = run_limit.min(seq.decode_remaining());
-        }
-        debug_assert!(run_limit >= 1);
-
-        // Base decode order: the per-iteration scan starts at the
-        // cursor, so at run iteration k the chunk order is this base
-        // rotated left by k with every context k tokens longer. The
-        // rotation matters: the pricing fold over chunks is
-        // order-sensitive in f64.
         let mut base_pasts = std::mem::take(&mut self.scratch_run_pasts);
         base_pasts.clear();
         let mut past_total = 0u64;
-        for k in 0..n {
-            let ctx = self.running[(self.decode_cursor + k) % n].context_len();
-            base_pasts.push(ctx);
-            past_total += ctx;
+        let run_limit: u32;
+        let lin: Option<LinearRunSummary>;
+
+        // Cache-hit fast path: a `batch_version` match proves the batch
+        // composition is exactly the capture's (any admission, retire,
+        // shed, preemption, or prefill bumps the version) and that every
+        // sequence has advanced uniformly since capture — so the
+        // validity scan below is already decided (all mid-stream
+        // decodes, none finished) and the earliest completion sits
+        // `base_k` iterations closer than at capture. Skipping the O(n)
+        // scan is what makes re-entering the same steady batch across
+        // many horizon windows O(1) per window instead of O(n).
+        let hit = match self.run_cache {
+            Some(cache)
+                if cache.version == self.batch_version
+                    && n > 0
+                    && self.config.decode_memo_tokens.is_none() =>
+            {
+                let remaining = (cache.valid_to + 1).saturating_sub(cache.base_k);
+                debug_assert!(remaining >= 1, "a consumed cache implies a retirement bump");
+                let limit = remaining.min(u64::from(u32::MAX)) as u32;
+                cache.lin.shifted(cache.base_k, limit).map(|l| (limit, l))
+            }
+            _ => None,
+        };
+        if let Some((limit, l)) = hit {
+            run_limit = limit;
+            lin = Some(l);
+            #[cfg(debug_assertions)]
+            {
+                let mut rl = u32::MAX;
+                for k in 0..n {
+                    let seq = &self.running[(self.decode_cursor + k) % n];
+                    assert!(
+                        seq.in_decode() && seq.first_token.is_some() && !seq.finished(),
+                        "cache-hit batch must be all mid-stream decodes"
+                    );
+                    rl = rl.min(seq.decode_remaining());
+                    base_pasts.push(seq.context_len());
+                }
+                assert_eq!(rl, run_limit, "cached completion bound diverged from the scan");
+                assert_eq!(
+                    self.fold_run_summary(&base_pasts, 0),
+                    l.s0,
+                    "cached run summary diverged from the real fold"
+                );
+                base_pasts.clear();
+            }
+        } else {
+            // One pass over the batch (in base decode order — the
+            // per-iteration scan starts at the cursor, so at run
+            // iteration k the chunk order is this base rotated left by k
+            // with every context k tokens longer; the rotation matters:
+            // the pricing fold over chunks is order-sensitive in f64):
+            // validate that every sequence is a mid-stream decode, bound
+            // the run by the earliest completion, and collect the base
+            // contexts.
+            let mut limit = u32::MAX;
+            for k in 0..n {
+                let seq = &self.running[(self.decode_cursor + k) % n];
+                if !seq.in_decode() || seq.first_token.is_none() || seq.finished() {
+                    self.scratch_run_pasts = base_pasts;
+                    return None;
+                }
+                limit = limit.min(seq.decode_remaining());
+                let ctx = seq.context_len();
+                base_pasts.push(ctx);
+                past_total += ctx;
+            }
+            debug_assert!(limit >= 1);
+            run_limit = limit;
+            // Memo-off runs re-price every rotation; when the chunk-cost
+            // fold is provably exact integer arithmetic, replace the
+            // O(n) fold per iteration with a closed-form summary (cached
+            // across the horizon windows that repeatedly re-enter the
+            // same steady batch; fresh captures pay three real folds).
+            lin = self.capture_run_summary(&base_pasts, run_limit);
         }
 
         // A pure-decode batch's stats are constant across the run.
@@ -525,6 +737,10 @@ impl Engine {
         // memo and return the stored value); with the memo off every
         // iteration re-prices its own rotation, as the slow path does.
         let mut cached: Option<(ParallelConfig, u64, Dur)> = None;
+        // Closed-form runs price through a partially evaluated plan:
+        // built on first use (and on config change), it re-times only
+        // the attention kernel per iteration.
+        let mut pricer: Option<(ParallelConfig, DecodeRunPricer)> = None;
         let mut cur_config: Option<ParallelConfig> = None;
         let mut config_count = 0u64;
         // Throughput segment: iterations sharing a bin flush closed-form.
@@ -545,6 +761,14 @@ impl Engine {
                 // is the point: `t >= c` would step past a NaN cap.
                 #[allow(clippy::neg_cmp_op_on_partial_ord)]
                 if !(t.as_secs() < c) {
+                    break;
+                }
+            }
+            if let Some(bound) = admit_bound {
+                // Past the gate's EDF expiry the admission candidate
+                // itself can change: hand back to the per-iteration
+                // path (which re-scans) from this instant on.
+                if t > bound {
                     break;
                 }
             }
@@ -572,7 +796,12 @@ impl Engine {
             let base = match (memo_bucket, cached) {
                 (Some(bi), Some((c, cbi, d))) if c == config && cbi == bi => d,
                 _ => {
-                    let d = self.price_run_iteration(&config, k as usize, &base_pasts, past_total);
+                    let d = match &lin {
+                        Some(l) => self.price_linear_iteration(&config, k, l, &mut pricer),
+                        None => {
+                            self.price_run_iteration(&config, k as usize, &base_pasts, past_total)
+                        }
+                    };
                     if let Some(bi) = memo_bucket {
                         cached = Some((config, bi, d));
                     }
@@ -639,26 +868,43 @@ impl Engine {
         // Retire finished sequences exactly as the per-iteration step
         // does (completions can only land on the run's final iteration,
         // after all of its token attribution — same order as the slow
-        // path).
-        let clock = self.clock;
-        let kv = &mut self.kv;
-        self.running.retain(|seq| {
-            if seq.finished() {
-                kv.release(seq.request.id);
-                report.note_completion(RequestRecord {
-                    request_id: seq.request.id,
-                    class: seq.request.class,
-                    arrival: seq.request.arrival,
-                    first_token: seq.first_token.expect("finished implies first token"),
-                    finish: clock,
-                    input_tokens: seq.request.input_tokens,
-                    output_tokens: seq.request.output_tokens,
-                });
-                false
-            } else {
-                true
+        // path). A window cut before the earliest-completion bound
+        // cannot have finished anything (`run_limit` is the minimum of
+        // `decode_remaining`), so the retire scan is skipped entirely.
+        if done == run_limit {
+            let clock = self.clock;
+            let kv = &mut self.kv;
+            self.running.retain(|seq| {
+                if seq.finished() {
+                    kv.release(seq.request.id);
+                    report.note_completion(RequestRecord {
+                        request_id: seq.request.id,
+                        class: seq.request.class,
+                        arrival: seq.request.arrival,
+                        first_token: seq.first_token.expect("finished implies first token"),
+                        finish: clock,
+                        input_tokens: seq.request.input_tokens,
+                        output_tokens: seq.request.output_tokens,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+        } else {
+            debug_assert!(self.running.iter().all(|seq| !seq.finished()));
+        }
+
+        // Cache bookkeeping: retirement changes the batch (stale
+        // summary); an intact batch advanced every context by exactly
+        // `done` more iterations.
+        if self.running.len() != n {
+            self.batch_version = self.batch_version.wrapping_add(1);
+        } else if let Some(cache) = &mut self.run_cache {
+            if cache.version == self.batch_version {
+                cache.base_k += u64::from(done);
             }
-        });
+        }
 
         Some(crate::routing::RunAdvance { events: u64::from(done), last: last_t })
     }
@@ -704,6 +950,423 @@ impl Engine {
             }
             // The policy chose a config outside `configurations()`;
             // price directly, unmemoized, like the slow path.
+            None => self.exec.iteration(config, &work).total(),
+        };
+        self.scratch_chunks = work.into_chunks();
+        dur
+    }
+
+    /// Captures a fresh closed-form pricing summary for this window, if
+    /// one can be proven: three real folds pin and verify the line, so
+    /// the capture is worth it only for longer windows. The capture is
+    /// cached on the engine; pure continuations of the same batch hit it
+    /// in [`Engine::decode_run`] with zero folds (cache bookkeeping —
+    /// advancing `base_k`, invalidating on retirement — happens at the
+    /// window's end there).
+    fn capture_run_summary(
+        &mut self,
+        base_pasts: &[u64],
+        run_limit: u32,
+    ) -> Option<LinearRunSummary> {
+        if self.config.decode_memo_tokens.is_some() || run_limit < 4 {
+            return None;
+        }
+        let lin = self.linear_run_summary(base_pasts, run_limit)?;
+        self.run_cache = Some(RunCache {
+            version: self.batch_version,
+            base_k: 0,
+            valid_to: u64::from(run_limit) - 1,
+            lin,
+        });
+        Some(lin)
+    }
+
+    /// Attempts to prove the run's summarize fold is closed-form: for a
+    /// pure-decode batch every chunk-cost field is a product and sum of
+    /// integers (FLOP counts from integer model constants and context
+    /// lengths, KV bytes in `u64`), and integer f64 arithmetic below
+    /// 2^53 is exact — hence order-insensitive and linear in the run
+    /// iteration `k` (each context grows by exactly one token per
+    /// iteration). Three real folds (k = 0, 1, last) pin the line and
+    /// verify it end to end; any field that is fractional, non-constant
+    /// where it should be, at risk of crossing 2^53, or off the line at
+    /// the last iteration disqualifies the run (`None` → the caller
+    /// materializes every rotation as before). Debug builds additionally
+    /// re-assert every extrapolated iteration against the real fold.
+    fn linear_run_summary(
+        &mut self,
+        base_pasts: &[u64],
+        run_limit: u32,
+    ) -> Option<LinearRunSummary> {
+        /// Largest f64 below which integer addition is exact.
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let s0 = self.fold_run_summary(base_pasts, 0);
+        let s1 = self.fold_run_summary(base_pasts, 1);
+        let c0 = &s0.cost;
+        let c1 = &s1.cost;
+        if c1.linear_flops != c0.linear_flops
+            || c1.logit_flops != c0.logit_flops
+            || c1.kv_write_bytes != c0.kv_write_bytes
+            || c0.linear_flops.fract() != 0.0
+            || c0.logit_flops.fract() != 0.0
+            || c0.attn_flops.fract() != 0.0
+            || c1.attn_flops.fract() != 0.0
+        {
+            return None;
+        }
+        let d_attn = c1.attn_flops - c0.attn_flops;
+        if d_attn < 0.0 || d_attn.fract() != 0.0 {
+            return None;
+        }
+        let d_kv_read = c1.kv_read_bytes.checked_sub(c0.kv_read_bytes)?;
+        let last_k = u64::from(run_limit - 1);
+        let attn_last = c0.attn_flops + last_k as f64 * d_attn;
+        if attn_last >= EXACT {
+            return None;
+        }
+        let kv_read_last = c0.kv_read_bytes.checked_add(last_k.checked_mul(d_kv_read)?)?;
+        let s_last = self.fold_run_summary(base_pasts, run_limit as usize - 1);
+        if s_last.cost.attn_flops != attn_last
+            || s_last.cost.kv_read_bytes != kv_read_last
+            || s_last.cost.linear_flops != c0.linear_flops
+            || s_last.cost.logit_flops != c0.logit_flops
+            || s_last.cost.kv_write_bytes != c0.kv_write_bytes
+        {
+            return None;
+        }
+        Some(LinearRunSummary { s0, d_attn, d_kv_read })
+    }
+
+    /// The real chunk-cost fold of run iteration `k`: materializes the
+    /// rotated decode batch and summarizes it, exactly as
+    /// [`Engine::price_run_iteration`] would before pricing.
+    fn fold_run_summary(&mut self, base_pasts: &[u64], k: usize) -> BatchSummary {
+        let n = base_pasts.len();
+        let mut chunks = std::mem::take(&mut self.scratch_chunks);
+        chunks.clear();
+        for j in 0..n {
+            chunks.push(ChunkWork::decode(base_pasts[(j + k) % n] + k as u64));
+        }
+        let work = BatchWork::new(chunks);
+        let summary = self.exec.summarize(&work);
+        self.scratch_chunks = work.into_chunks();
+        summary
+    }
+
+    /// Prices run iteration `k` from the closed-form summary — the
+    /// memo-off fast path that skips materializing and folding the
+    /// rotated batch. The window's plan is partially evaluated once per
+    /// `(window, config)` into `pricer`; each iteration then re-times
+    /// only the attention kernel (the one cost term that moves along a
+    /// pure-decode run), bit-identical to pricing the full summary.
+    /// Falls back to the materialized path for configs outside the
+    /// compiled plan set (whose direct pricing consumes the chunks
+    /// themselves).
+    fn price_linear_iteration(
+        &mut self,
+        config: &ParallelConfig,
+        k: u32,
+        lin: &LinearRunSummary,
+        pricer: &mut Option<(ParallelConfig, DecodeRunPricer)>,
+    ) -> Dur {
+        if !matches!(pricer, Some((pc, _)) if pc == config) {
+            let Some(pi) = self.plans.iter().position(|p| p.config() == *config) else {
+                // Out-of-set config: materialize the rotation from live
+                // batch state (closed-form windows may not have built
+                // the base contexts) and price directly, as the slow
+                // path would.
+                let (pasts, base_total) = self.running_base_pasts();
+                let past_total = base_total + u64::from(k) * pasts.len() as u64;
+                return self.price_run_iteration(config, k as usize, &pasts, past_total);
+            };
+            *pricer = Some((*config, self.plans[pi].decode_run_pricer(&lin.s0)));
+        }
+        let (_, p) = pricer.as_ref().expect("pricer built above");
+        let dur = {
+            let _price_span = sp_core::profile::start(sp_core::profile::Phase::Pricing);
+            let attn_flops = lin.s0.cost.attn_flops + f64::from(k) * lin.d_attn;
+            let kv_read = lin.s0.cost.kv_read_bytes + u64::from(k) * lin.d_kv_read;
+            p.price(attn_flops, kv_read)
+        };
+        #[cfg(debug_assertions)]
+        {
+            let (pasts, base_total) = self.running_base_pasts();
+            let past_total = base_total + u64::from(k) * pasts.len() as u64;
+            assert_eq!(
+                dur,
+                self.price_run_iteration(config, k as usize, &pasts, past_total),
+                "linear summary extrapolation diverged from the materialized fold"
+            );
+        }
+        dur
+    }
+
+    /// The live batch's base decode contexts in cursor order (the shape
+    /// [`Engine::decode_run`]'s slow path scans out), plus their sum —
+    /// for the rare paths that must materialize a rotation after the
+    /// closed-form window skipped the scan.
+    fn running_base_pasts(&self) -> (Vec<u64>, u64) {
+        let n = self.running.len();
+        let mut pasts = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for k in 0..n {
+            let ctx = self.running[(self.decode_cursor + k) % n].context_len();
+            pasts.push(ctx);
+            total += ctx;
+        }
+        (pasts, total)
+    }
+
+    /// The mixed-window fast-forward: exactly one running sequence
+    /// mid-prefill (the chunked-prefill leader) advancing `pb` tokens
+    /// per iteration alongside pure decodes. Engages only where every
+    /// scheduling decision is provably clock-independent: the leader's
+    /// chunk size is pinned at the full prefill budget until its final
+    /// chunk (which flips it to decode and ends the window), and under
+    /// SLO scheduling a batch-class leader only runs while no
+    /// interactive request waits (the `urgent` deferral flag is
+    /// clock-dependent otherwise). Every observable effect lands at the
+    /// same iteration, in the same float-op order, as the per-iteration
+    /// path; see DESIGN.md decision 14.
+    fn mixed_run(
+        &mut self,
+        cap: Option<f64>,
+        admit_bound: Option<SimTime>,
+        report: &mut EngineReport,
+    ) -> Option<crate::routing::RunAdvance> {
+        let n = self.running.len();
+        let mut leader = None;
+        for (i, seq) in self.running.iter().enumerate() {
+            if seq.in_decode() {
+                if seq.first_token.is_none() || seq.finished() {
+                    return None;
+                }
+            } else if leader.is_some() {
+                // Two concurrent prefills: their chunk split depends on
+                // queue order and budget interplay; stay per-iteration.
+                return None;
+            } else {
+                leader = Some(i);
+            }
+        }
+        let leader_idx = leader?;
+        let decode_count = (n - 1) as u64;
+        if decode_count > self.config.max_batched_tokens {
+            return None; // budget-starved decode rotates batch membership
+        }
+        let budget_left = self.config.max_batched_tokens - decode_count;
+        let pb = budget_left.min(self.config.max_prefill_tokens.unwrap_or(u64::MAX));
+        if pb == 0 {
+            return None; // frozen leader: rare, stay per-iteration
+        }
+        let rem0 = self.running[leader_idx].prefill_remaining();
+        debug_assert!(rem0 > 0, "a non-decode sequence has prefill work");
+        // Only non-final chunks are shape-stable: the final chunk emits
+        // the first token and flips the leader to decode.
+        let prefill_iters = (rem0 - 1) / pb;
+        if prefill_iters == 0 {
+            return None;
+        }
+        if self.config.class_slo.is_some()
+            && self.running[leader_idx].request.class == RequestClass::Batch
+            && self.waiting.first_interactive_pos().is_some()
+        {
+            // A waiting interactive request can turn TTFT-at-risk at a
+            // clock-dependent instant, deferring the batch leader (and
+            // possibly shedding it for the gate candidate).
+            return None;
+        }
+        if let Some(front) = self.arrivals.front() {
+            if front.arrival <= self.clock {
+                return None; // this step ingests (and may admit)
+            }
+        }
+        let mut run_limit = u32::try_from(prefill_iters).unwrap_or(u32::MAX);
+        for seq in &self.running {
+            if seq.in_decode() {
+                run_limit = run_limit.min(seq.decode_remaining());
+            }
+        }
+        debug_assert!(run_limit >= 1);
+
+        // Context ring in running-index order; the per-iteration decode
+        // scan starts at the rotating cursor, so iteration k materializes
+        // slot (cursor + k + j) % n for j = 0..n, skipping the leader's
+        // `None` slot, then appends the leader's prefill chunk — the
+        // exact assignment order `build_batch` produces.
+        let mut slots = std::mem::take(&mut self.scratch_run_slots);
+        slots.clear();
+        for (i, seq) in self.running.iter().enumerate() {
+            slots.push(if i == leader_idx { None } else { Some(seq.context_len()) });
+        }
+        let done0 = self.running[leader_idx].prefill_done;
+
+        // Mixed-batch stats are constant across the run: the decodes
+        // emit one token each and the leader always takes `pb`.
+        let ledger = decode_count + pb;
+        let stats = BatchStats { total_new_tokens: ledger, num_seqs: n };
+        let bin_w = self.config.throughput_bin.as_secs();
+        let timeline = report.timeline_enabled();
+        let kv_util = self.kv.utilization();
+
+        let mut cur_config: Option<ParallelConfig> = None;
+        let mut config_count = 0u64;
+        let mut seg_bin = usize::MAX;
+        let mut seg_count = 0u64;
+        let mut seg_t = SimTime::ZERO;
+        let mut run_max = Dur::ZERO;
+        let mut last_t = SimTime::ZERO;
+        let mut done = 0u32;
+
+        for k in 0..run_limit {
+            let t = self.clock;
+            if let Some(c) = cap {
+                // NaN-safe, exactly as in `decode_run`.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(t.as_secs() < c) {
+                    break;
+                }
+            }
+            if let Some(bound) = admit_bound {
+                if t > bound {
+                    break;
+                }
+            }
+            if k > 0 {
+                if let Some(front) = self.arrivals.front() {
+                    if front.arrival <= t {
+                        break;
+                    }
+                }
+            }
+
+            let config = self.policy.choose(&stats);
+            if cur_config != Some(config) {
+                if let Some(prev) = cur_config {
+                    report.note_config_usage(prev, config_count);
+                }
+                cur_config = Some(config);
+                config_count = 0;
+            }
+            config_count += 1;
+
+            // Mixed batches never touch the decode-shape memo (their
+            // shape is not decode-only), so pricing is a straight plan
+            // evaluation per rotation, like the per-iteration path.
+            let base = self.price_mixed_iteration(&config, k, &slots, done0, pb);
+            let duration = if self.slowdown == 1.0 { base } else { base * self.slowdown };
+            self.clock += duration;
+            run_max = run_max.max(duration);
+            last_t = t;
+            done = k + 1;
+
+            let idx = (self.clock.as_secs() / bin_w) as usize;
+            if idx == seg_bin {
+                seg_count += 1;
+                seg_t = self.clock;
+            } else {
+                if seg_count > 0 {
+                    report.observe_tokens_run(seg_t, ledger as f64, seg_count);
+                }
+                seg_bin = idx;
+                seg_count = 1;
+                seg_t = self.clock;
+            }
+            if timeline {
+                report.note_event(crate::report::IterationEvent {
+                    end: self.clock,
+                    duration,
+                    config,
+                    tokens: ledger,
+                    num_seqs: n,
+                    kv_utilization: kv_util,
+                });
+            }
+        }
+        self.scratch_run_slots = slots;
+        if done == 0 {
+            return None;
+        }
+
+        if seg_count > 0 {
+            report.observe_tokens_run(seg_t, ledger as f64, seg_count);
+        }
+        if let Some(cfg) = cur_config {
+            report.note_config_usage(cfg, config_count);
+        }
+        report.note_kv_utilization(kv_util);
+        report.note_run(u64::from(done), self.clock, run_max);
+
+        // Apply the run: each decode emitted one token per iteration;
+        // the leader prefilled `pb` tokens per iteration.
+        let done_u = u64::from(done);
+        for (i, seq) in self.running.iter_mut().enumerate() {
+            if i == leader_idx {
+                seq.prefill_done += done_u * pb;
+            } else {
+                seq.generated += done;
+            }
+        }
+        self.running_outstanding_tokens -= done_u * ledger;
+        self.running_prefill_tokens -= done_u * pb;
+        self.decode_cursor = self.decode_cursor.wrapping_add(done as usize);
+
+        // A mixed window advances the leader at a different rate than
+        // the decodes: any cached decode-run summary is stale.
+        self.batch_version = self.batch_version.wrapping_add(1);
+
+        // Retire finished decodes (possible only on the run's final
+        // iteration; the leader cannot finish mid-window).
+        let clock = self.clock;
+        let kv = &mut self.kv;
+        self.running.retain(|seq| {
+            if seq.finished() {
+                kv.release(seq.request.id);
+                report.note_completion(RequestRecord {
+                    request_id: seq.request.id,
+                    class: seq.request.class,
+                    arrival: seq.request.arrival,
+                    first_token: seq.first_token.expect("finished implies first token"),
+                    finish: clock,
+                    input_tokens: seq.request.input_tokens,
+                    output_tokens: seq.request.output_tokens,
+                });
+                false
+            } else {
+                true
+            }
+        });
+
+        Some(crate::routing::RunAdvance { events: u64::from(done), last: last_t })
+    }
+
+    /// Prices mixed-window iteration `k` by materializing the rotated
+    /// decode chunks plus the leader's `k`-th prefill chunk and walking
+    /// the branch structure of [`Engine::price_iteration_base`] for a
+    /// prefill-bearing batch (plan lookup, no memo — the shape is not
+    /// decode-only — with the direct fallback for out-of-set configs).
+    fn price_mixed_iteration(
+        &mut self,
+        config: &ParallelConfig,
+        k: u32,
+        slots: &[Option<u64>],
+        done0: u64,
+        pb: u64,
+    ) -> Dur {
+        let _price_span = sp_core::profile::start(sp_core::profile::Phase::Pricing);
+        let n = slots.len();
+        let ku = u64::from(k);
+        let mut chunks = std::mem::take(&mut self.scratch_chunks);
+        chunks.clear();
+        for j in 0..n {
+            if let Some(ctx) = slots[(self.decode_cursor + k as usize + j) % n] {
+                chunks.push(ChunkWork::decode(ctx + ku));
+            }
+        }
+        chunks.push(ChunkWork::prefill(pb, done0 + ku * pb, false));
+        let work = BatchWork::new(chunks);
+        let dur = match self.plans.iter().position(|p| p.config() == *config) {
+            Some(pi) => self.exec.price_planned(&self.plans[pi], &work).total(),
             None => self.exec.iteration(config, &work).total(),
         };
         self.scratch_chunks = work.into_chunks();
@@ -902,6 +1565,7 @@ impl Engine {
     /// KV cache died with the replica. Completed work already in the
     /// report is untouched.
     pub fn take_unfinished(&mut self) -> crate::fault::SalvagedWork {
+        self.batch_version = self.batch_version.wrapping_add(1);
         let mut salvaged = crate::fault::SalvagedWork::default();
         salvaged.requests.extend(std::mem::take(&mut self.arrivals));
         while let Some(pos) = self.waiting.front_pos() {
@@ -924,6 +1588,17 @@ impl Engine {
 
     /// Executes one scheduling step: admit, batch, price, apply.
     fn step(&mut self, report: &mut EngineReport) {
+        // A per-iteration step can mutate the batch arbitrarily (admit,
+        // shed, preempt, retire, non-uniform context growth): any
+        // cached run summary is stale. Presume staleness up front; the
+        // end of the step re-validates the cache for the common
+        // arrival-driven step that turns out to be a pure uniform
+        // decode advance.
+        let prev_version = self.batch_version;
+        let pre_seqs = self.running.len();
+        let pre_prefill = self.running_prefill_tokens;
+        let pre_outstanding = self.running_outstanding_tokens;
+        self.batch_version = self.batch_version.wrapping_add(1);
         self.ingest_arrivals();
         self.admit(report);
         if self.config.admission == AdmissionMode::PreemptRestart {
@@ -1024,6 +1699,32 @@ impl Engine {
                 true
             }
         });
+
+        // Cache re-validation: these invariants prove the step was a
+        // uniform +1 decode advance, i.e. exactly one window iteration.
+        // No prefill work existed before or after, so every chunk was a
+        // 1-token decode and each sequence emitted 0 or 1 tokens; the
+        // outstanding-token drop of exactly `pre_seqs` then forces
+        // *every* sequence to have emitted 1. The unchanged batch size
+        // rules out retirement, shedding, and preemption (an admission
+        // offsetting one of those would have left prefill work or a
+        // larger outstanding drop). A cached run summary is a fold of
+        // per-context costs — order-insensitive under its exactness
+        // guards — so it stays live, shifted one iteration forward.
+        if self.config.spec_decode.is_none()
+            && pre_prefill == 0
+            && self.running_prefill_tokens == 0
+            && pre_seqs > 0
+            && self.running.len() == pre_seqs
+            && self.running_outstanding_tokens == pre_outstanding - pre_seqs as u64
+        {
+            self.batch_version = prev_version;
+            if let Some(cache) = &mut self.run_cache {
+                if cache.version == prev_version {
+                    cache.base_k += 1;
+                }
+            }
+        }
     }
 
     /// Moves arrived requests into the waiting queue.
@@ -1042,6 +1743,18 @@ impl Engine {
     /// blocking is intentional — it reproduces the growing wait times of
     /// Figure 10 when the cache saturates.
     fn admit(&mut self, report: &mut EngineReport) {
+        if self.running.len() >= self.config.max_seqs || self.waiting.is_empty() {
+            // The scan below could not admit anything; an armed gate (if
+            // any) stays armed for when a slot or a candidate appears.
+            return;
+        }
+        if !self.reference_mode && self.gate_blocks_admission() {
+            // KV-blocked fast path: the armed gate proves the scan would
+            // end in the same blocked break it was armed on.
+            return;
+        }
+        self.admission_gate = None;
+        let _admit_span = sp_core::profile::start(sp_core::profile::Phase::Admission);
         while self.running.len() < self.config.max_seqs {
             let Some(pos) = self.next_admission_candidate() else { break };
             let head = *self.waiting.get(pos);
@@ -1098,6 +1811,11 @@ impl Engine {
                 // on every admit pass) until the cache wedges.
                 if let Some((group, prior)) = group_rollback {
                     self.kv.shrink_group(group, prior);
+                } else if !self.reference_mode {
+                    // KV-blocked on a plain (non-shared) candidate: arm
+                    // the gate so later passes skip the rescan until the
+                    // headroom (or the candidate) can actually change.
+                    self.arm_admission_gate(pos, head, footprint);
                 }
                 break;
             }
@@ -1119,6 +1837,78 @@ impl Engine {
             self.running_prefill_tokens += seq.prefill_remaining();
             self.running.push(seq);
         }
+    }
+
+    /// Arms the KV-blocked admission gate for the head candidate at
+    /// `pos`, whose `footprint`-token reservation just failed.
+    ///
+    /// `required_free_tokens` is the block-rounded footprint: with no
+    /// existing allocation (waiting requests never hold one — sheds,
+    /// preemptions, and crashes all release first), the reservation
+    /// succeeds exactly when `free_tokens >= ceil(footprint / block) ×
+    /// block`. The EDF expiry captures candidate stability: a candidate
+    /// chosen as the minimum salvageable deadline at or after the
+    /// arming clock stays the candidate until the clock passes that
+    /// deadline (no smaller salvageable deadline can exist without a
+    /// queue mutation); an already-expired candidate (every deadline
+    /// blown) and the deadline-free policies are stable outright.
+    fn arm_admission_gate(&mut self, pos: QueuePos, head: Request, footprint: u64) {
+        let block = u64::from(self.config.block_tokens);
+        let required_free_tokens = footprint.div_ceil(block) * block;
+        let expires = self.config.class_slo.and_then(|slo| {
+            let deadline = slo.ttft_deadline(head.arrival, head.class);
+            (deadline >= self.clock).then_some(deadline)
+        });
+        self.admission_gate = Some(AdmissionGate {
+            pos,
+            head,
+            footprint,
+            required_free_tokens,
+            expires,
+            epoch: self.waiting.epoch(),
+        });
+    }
+
+    /// True when the armed admission gate proves a full admission scan
+    /// would end in the same KV-blocked break it was armed on: the
+    /// queue epoch is unchanged (same candidate), free KV is still
+    /// short of the candidate's requirement (same reservation failure),
+    /// the EDF stability horizon has not passed, and the SLO shedding
+    /// path could not free KV for it (an at-risk interactive head with
+    /// a sheddable batch prefill in the batch re-enters the scan).
+    /// Invalid gates are disarmed on the way out; debug builds check
+    /// the cached candidate against a full rescan on every hit.
+    fn gate_blocks_admission(&mut self) -> bool {
+        let Some(gate) = self.admission_gate else { return false };
+        if gate.epoch != self.waiting.epoch()
+            || self.kv.free_tokens() >= gate.required_free_tokens
+            || gate.expires.is_some_and(|deadline| self.clock > deadline)
+        {
+            self.admission_gate = None;
+            return false;
+        }
+        if let Some(slo) = self.config.class_slo {
+            if gate.head.class == RequestClass::Interactive
+                && self.ttft_at_risk(&gate.head, &slo)
+                && self
+                    .running
+                    .iter()
+                    .any(|s| s.request.class == RequestClass::Batch && s.first_token.is_none())
+            {
+                self.admission_gate = None;
+                return false;
+            }
+        }
+        debug_assert_eq!(
+            self.next_admission_candidate(),
+            Some(gate.pos),
+            "admission gate candidate diverged from a full rescan"
+        );
+        debug_assert!(
+            !self.kv.can_reserve(gate.head.id, gate.footprint),
+            "admission gate held but the candidate's reservation would succeed"
+        );
+        true
     }
 
     /// Queue position of the next request to admit under the admission

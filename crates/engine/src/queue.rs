@@ -50,6 +50,11 @@ pub(crate) struct WaitQueue {
     interactive: BTreeSet<QueuePos>,
     /// Deadline source for the EDF index.
     slo: Option<ClassSlo>,
+    /// Mutation counter, bumped on every push and removal. The engine's
+    /// KV-blocked admission gate records the epoch it was armed under and
+    /// treats any mutation as invalidating: a changed queue can change
+    /// the admission candidate, so the gate's cached verdict is stale.
+    epoch: u64,
 }
 
 impl WaitQueue {
@@ -62,7 +67,13 @@ impl WaitQueue {
             edf: BTreeSet::new(),
             interactive: BTreeSet::new(),
             slo,
+            epoch: 0,
         }
+    }
+
+    /// Mutation epoch: changes whenever an entry is pushed or removed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// True when nothing waits.
@@ -94,6 +105,7 @@ impl WaitQueue {
     pub fn push_back(&mut self, req: Request) {
         let pos = self.next_back;
         self.next_back += 1;
+        self.epoch += 1;
         self.index_insert(pos, &req);
         self.by_pos.insert(pos, req);
     }
@@ -103,6 +115,7 @@ impl WaitQueue {
     pub fn push_front(&mut self, req: Request) {
         let pos = self.next_front;
         self.next_front -= 1;
+        self.epoch += 1;
         self.index_insert(pos, &req);
         self.by_pos.insert(pos, req);
     }
@@ -128,6 +141,7 @@ impl WaitQueue {
     /// Panics if `pos` is not in the queue.
     pub fn remove(&mut self, pos: QueuePos) -> Request {
         let req = self.by_pos.remove(&pos).expect("position is queued");
+        self.epoch += 1;
         if let Some(slo) = self.slo {
             self.edf.remove(&(time_bits(slo.ttft_deadline(req.arrival, req.class)), pos));
         }

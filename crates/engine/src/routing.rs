@@ -807,15 +807,14 @@ impl<N: SimNode> Fleet<N> {
         for (i, s) in self.slots.iter().enumerate() {
             if matches!(s.state, SlotState::Active) {
                 if let Some(node) = &s.node {
-                    loads.push(node.load());
+                    let load = node.load();
+                    self.load_series.record(i, req.arrival, load.outstanding_tokens);
+                    loads.push(load);
                     slots.push(i);
                 }
             }
         }
         assert!(!loads.is_empty(), "no routable replica (min_replicas >= 1 guards this)");
-        for (pos, l) in loads.iter().enumerate() {
-            self.load_series.record(slots[pos], req.arrival, l.outstanding_tokens);
-        }
         let pick = self.policy.pick(req, &loads).min(loads.len() - 1);
         let slot = slots[pick];
         self.decisions.push(RoutingDecision {

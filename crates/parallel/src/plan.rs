@@ -210,6 +210,58 @@ impl ExecPlan {
 
         IterationBreakdown { gemm, attention, communication, overhead }
     }
+
+    /// Partially evaluates [`ExecPlan::price`] for a run of pure-decode
+    /// iterations that share every summary field except `attn_flops`
+    /// and `kv_read_bytes`: the GEMM, communication, and overhead terms
+    /// depend only on the shared fields and are priced here once;
+    /// [`DecodeRunPricer::price`] then recomputes just the attention
+    /// kernel per iteration, with the identical float operations in the
+    /// identical order, so its totals are bit-equal to
+    /// `self.price(summary_k).total()` for any summary on the run's
+    /// line.
+    pub fn decode_run_pricer(&self, summary: &BatchSummary) -> DecodeRunPricer {
+        let priced = self.price(summary);
+        DecodeRunPricer {
+            gemm: priced.gemm,
+            communication: priced.communication,
+            overhead: priced.overhead,
+            attn_div: self.attn_div,
+            kv_frac: self.kv_frac,
+            kv_write_bytes: summary.cost.kv_write_bytes,
+            roofline: self.roofline,
+        }
+    }
+}
+
+/// The per-iteration residue of a partially evaluated decode-run plan
+/// (see [`ExecPlan::decode_run_pricer`]): the batch-constant breakdown
+/// terms plus exactly the constants the attention kernel needs.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeRunPricer {
+    gemm: Dur,
+    communication: Dur,
+    overhead: Dur,
+    /// `degree as f64`, the attention FLOP divisor.
+    attn_div: f64,
+    /// Per-GPU share of KV traffic.
+    kv_frac: f64,
+    /// The run-constant KV write traffic (one token per sequence).
+    kv_write_bytes: u64,
+    roofline: Roofline,
+}
+
+impl DecodeRunPricer {
+    /// Total iteration latency at the given attention load — the only
+    /// two summary fields that vary along a pure-decode run. Float-op
+    /// order matches `price(...).total()`: the same attention kernel
+    /// evaluation, then the same left-to-right component sum.
+    pub fn price(&self, attn_flops: f64, kv_read_bytes: u64) -> Dur {
+        let attn_flops_pg = attn_flops / self.attn_div;
+        let kv_bytes_pg = ((kv_read_bytes + self.kv_write_bytes) as f64 * self.kv_frac) as u64;
+        let attention = self.roofline.kernel(attn_flops_pg, kv_bytes_pg);
+        self.gemm + attention + self.communication + self.overhead
+    }
 }
 
 impl ExecutionModel {

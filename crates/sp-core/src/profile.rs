@@ -1,7 +1,8 @@
 //! Opt-in per-phase wall-clock profiling (`SP_PROFILE=1`).
 //!
-//! The simulator's hot loop has four broad phases — batch build,
-//! iteration pricing, calendar upkeep, and window merge — and knowing
+//! The simulator's hot loop has a handful of broad phases — batch
+//! build, iteration pricing, calendar upkeep, window merge, admission
+//! scans, and shape-stable window detection — and knowing
 //! where wall time goes is the first question of every perf PR. Setting
 //! `SP_PROFILE=1` makes the instrumented call sites accumulate
 //! wall-clock nanoseconds per phase into process-wide atomics;
@@ -30,15 +31,21 @@ pub enum Phase {
     Calendar,
     /// Horizon-window merge: outcome folds, retires, republish.
     Merge,
+    /// `Engine::admit`: wait-queue candidate scans + KV reservation.
+    Admission,
+    /// `Engine::step_run` shape-stable window detection: composition
+    /// scan + admission-gate validity check.
+    WindowDetect,
 }
 
-const PHASES: usize = 4;
-const NAMES: [&str; PHASES] = ["batch build", "pricing", "calendar", "merge"];
+const PHASES: usize = 6;
+const NAMES: [&str; PHASES] =
+    ["batch build", "pricing", "calendar", "merge", "admission", "window detect"];
 
-static NANOS: [AtomicU64; PHASES] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-static CALLS: [AtomicU64; PHASES] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static NANOS: [AtomicU64; PHASES] = [ZERO; PHASES];
+static CALLS: [AtomicU64; PHASES] = [ZERO; PHASES];
 
 static ENABLED: OnceLock<bool> = OnceLock::new();
 
@@ -108,7 +115,7 @@ mod tests {
     fn snapshot_reports_all_phases_and_reset_zeroes() {
         reset();
         let snap = snapshot();
-        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.len(), 6);
         assert!(snap.iter().all(|&(_, secs, calls)| secs == 0.0 && calls == 0));
         // Accumulate directly (the env-gated `start` may be off here).
         let t = Timer { phase: Phase::Pricing, start: Instant::now() };

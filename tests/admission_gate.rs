@@ -1,0 +1,206 @@
+//! Regression and equivalence tests for the KV-blocked admission gate.
+//!
+//! The gate (`Engine::arm_admission_gate` / `gate_blocks_admission`)
+//! lets the scheduler skip wait-queue admission scans while the head
+//! candidate's KV reservation provably cannot succeed. It is an
+//! *optimization*, never a behavior change: with
+//! `set_reference_mode(true)` the engine runs the pre-gate linear
+//! rescan on every iteration, and the gated engine must reproduce that
+//! report bit-for-bit. The deterministic tests here pin the two disarm
+//! paths that are easiest to get wrong — KV freed by an SLO batch-shed
+//! and by a decode-append preemption must unblock admission on the
+//! *same iteration* as a full rescan would, not an iteration late — and
+//! the property test sweeps randomized KV-pressure traces over both
+//! admission modes.
+
+use proptest::prelude::*;
+use shift_parallelism::prelude::*;
+use sp_cluster::{GpuSpec, InterconnectSpec, NodeSpec};
+
+/// A KV-bound engine in the regime the gate targets: tight cache, a
+/// small token budget (so big prefills chunk across iterations and stay
+/// sheddable for a while), SLO-aware EDF admission, and timeline
+/// capture so the fingerprint pins every iteration. `reference` selects
+/// the pre-gate linear-rescan twin.
+fn gate_engine(kv: u64, admission: AdmissionMode, reference: bool) -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let mut e = Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig {
+            kv_capacity_tokens: kv,
+            max_batched_tokens: 2048,
+            class_slo: Some(ClassSlo::default()),
+            admission,
+            record_timeline: true,
+            ..EngineConfig::default()
+        },
+    );
+    e.set_reference_mode(reference);
+    e
+}
+
+/// Everything observable about a report, in owned, bit-exact form (the
+/// same surface `tests/fastforward.rs` compares): records, decisions,
+/// timeline, throughput bins, and the shed/preemption/deferral counters
+/// the gate's disarm paths feed.
+fn deep_fingerprint(r: &EngineReport) -> (String, String, Vec<(u64, u64)>, u64) {
+    let m = r.metrics();
+    let bins: Vec<(u64, u64)> =
+        m.throughput().totals().map(|(t, w)| (t.as_secs().to_bits(), w.to_bits())).collect();
+    let mut usage: Vec<(String, u64)> =
+        r.config_usage().iter().map(|(c, n)| (format!("{c:?}"), *n)).collect();
+    usage.sort();
+    let head = format!(
+        "records={:?}|decisions={:?}|rejected={:?}|failed={:?}|timeline={:?}",
+        r.records(),
+        r.routing_decisions(),
+        r.rejected(),
+        r.failed(),
+        r.timeline(),
+    );
+    let aggregates = format!(
+        "iters={}|usage={usage:?}|makespan={}|max_iter={}|peak_kv={}|completed={}|tokens={}|last={}|preempt={}|sheds={}|defer={}",
+        r.iterations(),
+        r.makespan().as_secs().to_bits(),
+        r.max_iteration_time().as_secs().to_bits(),
+        r.peak_kv_utilization().to_bits(),
+        m.completed(),
+        m.total_tokens(),
+        m.last_finish().as_secs().to_bits(),
+        r.preemptions(),
+        r.batch_sheds(),
+        r.batch_deferrals(),
+    );
+    (head, aggregates, bins, r.iterations())
+}
+
+fn request(id: u64, at: f64, input: u32, output: u32, class: RequestClass) -> Request {
+    Request {
+        id,
+        arrival: SimTime::from_secs(at),
+        input_tokens: input,
+        output_tokens: output,
+        class,
+        cached_prefix: 0,
+        prefix_group: None,
+    }
+}
+
+/// Shed-freed KV must unblock the gate on the same iteration as a full
+/// rescan. Two big batch prefills fill the cache and a third parks the
+/// gate; an interactive request then becomes the EDF candidate, goes
+/// TTFT-at-risk mid-prefill, and the SLO shed path evicts a batch
+/// prefill to admit it. A gate that missed the shed-path disarm (or the
+/// freed-KV headroom check afterwards) would hold admission closed past
+/// the shed opportunity and diverge from the linear-rescan twin.
+#[test]
+fn shed_freed_kv_unblocks_gate_like_full_rescan() {
+    const KV: u64 = 24_576;
+    let trace = Trace::with_ids(vec![
+        request(0, 0.0, 11_000, 500, RequestClass::Batch),
+        request(1, 0.0, 11_000, 500, RequestClass::Batch),
+        request(2, 0.01, 11_000, 500, RequestClass::Batch),
+        request(3, 0.05, 3_000, 64, RequestClass::Interactive),
+    ]);
+    let gated_report = gate_engine(KV, AdmissionMode::ReserveFull, false).run(&trace);
+    assert!(
+        gated_report.batch_sheds() > 0,
+        "trace must exercise the SLO shed path (got {} sheds)",
+        gated_report.batch_sheds()
+    );
+    assert_eq!(gated_report.records().len(), 4, "every request must eventually complete");
+    let reference = gate_engine(KV, AdmissionMode::ReserveFull, true).run(&trace);
+    assert_eq!(
+        deep_fingerprint(&gated_report),
+        deep_fingerprint(&reference),
+        "gated admission diverged from the linear rescan across a batch shed"
+    );
+}
+
+/// Preemption-freed KV (and the queue mutation it implies) must unblock
+/// the gate like a full rescan. Under `PreemptRestart` only prompts are
+/// reserved up-front; decode appends reserve per-iteration, and when
+/// the cache runs dry the youngest sequence is preempted back to the
+/// *front* of the wait queue. That push bumps the queue epoch, so an
+/// armed gate must disarm immediately — its cached candidate is stale —
+/// and the rescan must see both the new head and the freed blocks.
+#[test]
+fn preemption_freed_kv_unblocks_gate_like_full_rescan() {
+    const KV: u64 = 24_576;
+    let mut reqs: Vec<Request> =
+        (0..14).map(|i| request(i, 0.0, 1_800, 2_500, RequestClass::Batch)).collect();
+    reqs.push(request(14, 0.02, 1_800, 2_500, RequestClass::Batch));
+    reqs.push(request(15, 0.30, 1_200, 64, RequestClass::Interactive));
+    let trace = Trace::with_ids(reqs);
+    let gated_report = gate_engine(KV, AdmissionMode::PreemptRestart, false).run(&trace);
+    assert!(
+        gated_report.preemptions() > 0,
+        "trace must exercise decode-append preemption (got {} preemptions)",
+        gated_report.preemptions()
+    );
+    let reference = gate_engine(KV, AdmissionMode::PreemptRestart, true).run(&trace);
+    assert_eq!(
+        deep_fingerprint(&gated_report),
+        deep_fingerprint(&reference),
+        "gated admission diverged from the linear rescan across preemptions"
+    );
+}
+
+/// Randomized KV-pressure traces: a mix of prompts comparable to the
+/// cache size, both admission modes, interactive and batch classes.
+/// Most iterations in this regime have a blocked wait queue, so the
+/// gate arms and disarms constantly — across retirements, sheds,
+/// preemptions, EDF expiry, and arrivals — and every trace must leave
+/// the report bit-identical to the linear-rescan twin.
+fn arb_pressure_trace() -> impl Strategy<Value = Trace> {
+    (prop::collection::vec((1u32..10_000, 1u32..400, 0.0f64..10.0, any::<bool>()), 1..32),)
+        .prop_map(|(reqs,)| {
+            reqs.into_iter()
+                .map(|(input, output, at, interactive)| {
+                    let class =
+                        if interactive { RequestClass::Interactive } else { RequestClass::Batch };
+                    request(0, at, input, output, class) // Trace::new renumbers
+                })
+                .collect()
+        })
+        .prop_map(Trace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gated_admission_matches_linear_rescan(
+        trace in arb_pressure_trace(),
+        kv in prop_oneof![Just(16_384u64), Just(24_576)],
+        preempt in any::<bool>(),
+    ) {
+        let admission =
+            if preempt { AdmissionMode::PreemptRestart } else { AdmissionMode::ReserveFull };
+        let gated = deep_fingerprint(&gate_engine(kv, admission, false).run(&trace));
+        let naive = deep_fingerprint(&gate_engine(kv, admission, true).run(&trace));
+        prop_assert_eq!(&gated, &naive, "gated admission diverged from the linear rescan");
+    }
+}
+
+proptest! {
+    // Tier-2 long fuzz: run with `cargo test --release -- --ignored`
+    // (the CI tier-2 job); reproduce a failure by exporting the
+    // SP_PROPTEST_SEED recorded in target/proptest-failures/<test>.txt.
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    #[ignore = "tier-2 long fuzz; run with --ignored"]
+    fn gated_admission_matches_linear_rescan_long(
+        trace in arb_pressure_trace(),
+        kv in prop_oneof![Just(16_384u64), Just(24_576), Just(40_000)],
+        preempt in any::<bool>(),
+    ) {
+        let admission =
+            if preempt { AdmissionMode::PreemptRestart } else { AdmissionMode::ReserveFull };
+        let gated = deep_fingerprint(&gate_engine(kv, admission, false).run(&trace));
+        let naive = deep_fingerprint(&gate_engine(kv, admission, true).run(&trace));
+        prop_assert_eq!(&gated, &naive, "gated admission diverged from the linear rescan");
+    }
+}

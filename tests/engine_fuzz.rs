@@ -165,7 +165,7 @@ proptest! {
         // Extra step_once calls injected between dispatches.
         steps in prop::collection::vec(0usize..6, 40),
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps, None);
+        drive_interleaved(&trace, replicas, kind, &steps, None, EnginePressure::default());
     }
 
     #[test]
@@ -182,7 +182,7 @@ proptest! {
         lo in 20f64..120.0,
         cold in prop_oneof![Just(0.0f64), Just(5.0)],
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
+        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)), EnginePressure::default());
     }
 
     #[test]
@@ -200,7 +200,7 @@ proptest! {
         scale in any::<bool>(),
     ) {
         let scale = scale.then_some((400.0, 60.0, 5.0));
-        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget);
+        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget, EnginePressure::default());
     }
 }
 
@@ -224,7 +224,7 @@ proptest! {
         ],
         steps in prop::collection::vec(0usize..12, 60),
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps, None);
+        drive_interleaved(&trace, replicas, kind, &steps, None, EnginePressure::default());
     }
 
     #[test]
@@ -242,7 +242,7 @@ proptest! {
         lo in 20f64..120.0,
         cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
     ) {
-        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)));
+        drive_interleaved(&trace, replicas, kind, &steps, Some((hi, lo, cold)), EnginePressure::default());
     }
 
     #[test]
@@ -263,7 +263,76 @@ proptest! {
         cold in prop_oneof![Just(0.0f64), Just(2.5), Just(10.0)],
     ) {
         let scale = scale.then_some((400.0, 60.0, cold));
-        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget);
+        drive_interleaved_faulty(&trace, replicas, kind, &steps, scale, plan, budget, EnginePressure::default());
+    }
+
+    /// KV-pressure variant: a 20k-token cache against 16k-token prompts
+    /// with a 2048-token chunk budget keeps the wait queue blocked on
+    /// most iterations, so the KV-blocked admission gate arms and
+    /// disarms across retirements, SLO sheds, preemptions, crashes, and
+    /// arrivals. The conservation and monotonic-time invariants must
+    /// survive the gate exactly as they do the full rescan; a gate that
+    /// wedges (never disarms) fails the drain guard, and one that
+    /// double-admits fails conservation.
+    #[test]
+    #[ignore = "tier-2 long fuzz; run with --ignored"]
+    fn kv_pressure_cluster_sim_survives_arbitrary_interleavings_long(
+        trace in arb_trace(),
+        replicas in 1usize..5,
+        kind in prop_oneof![
+            Just(RoutingKind::JoinShortestOutstanding),
+            Just(RoutingKind::EarliestDeadlineFeasible(ClassSlo::default())),
+        ],
+        steps in prop::collection::vec(0usize..12, 60),
+        plan in arb_fault_plan(),
+        budget in 0u32..4,
+        preempt in any::<bool>(),
+        scale in any::<bool>(),
+    ) {
+        let scale = scale.then_some((400.0, 60.0, 2.5));
+        drive_interleaved_faulty(
+            &trace,
+            replicas,
+            kind,
+            &steps,
+            scale,
+            plan,
+            budget,
+            EnginePressure::tight(preempt),
+        );
+    }
+}
+
+/// Engine sizing for the interleaving drivers. The default reproduces
+/// the historical regime (roomy cache, full-prompt chunks); `tight()`
+/// is the KV-pressure regime where most iterations leave the wait
+/// queue blocked, prefills chunk across many iterations, and the
+/// KV-blocked admission gate arms and disarms constantly across
+/// retirements, sheds, preemptions, and arrivals.
+#[derive(Clone, Copy)]
+struct EnginePressure {
+    kv: u64,
+    max_batched: u64,
+    admission: AdmissionMode,
+}
+
+impl Default for EnginePressure {
+    fn default() -> EnginePressure {
+        EnginePressure { kv: 40_000, max_batched: 8192, admission: AdmissionMode::ReserveFull }
+    }
+}
+
+impl EnginePressure {
+    fn tight(preempt: bool) -> EnginePressure {
+        EnginePressure {
+            kv: 20_000,
+            max_batched: 2048,
+            admission: if preempt {
+                AdmissionMode::PreemptRestart
+            } else {
+                AdmissionMode::ReserveFull
+            },
+        }
     }
 }
 
@@ -280,6 +349,7 @@ fn drive_interleaved(
     kind: RoutingKind,
     steps: &[usize],
     scale: Option<(f64, f64, f64)>,
+    pressure: EnginePressure,
 ) {
     let node = sp_cluster::NodeSpec::new(
         sp_cluster::GpuSpec::h200(),
@@ -291,7 +361,9 @@ fn drive_interleaved(
             ExecutionModel::new(node, presets::qwen_32b()),
             Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
             EngineConfig {
-                kv_capacity_tokens: 40_000,
+                kv_capacity_tokens: pressure.kv,
+                max_batched_tokens: pressure.max_batched,
+                admission: pressure.admission,
                 class_slo: matches!(kind, RoutingKind::EarliestDeadlineFeasible(_))
                     .then(ClassSlo::default),
                 ..EngineConfig::default()
@@ -365,6 +437,7 @@ fn drive_interleaved(
 /// invariants shift accordingly: event times still never run backwards,
 /// but conservation now counts three terminal outcomes — completed,
 /// rejected, or `Failed` with exactly the retry budget in spent attempts.
+#[allow(clippy::too_many_arguments)] // test driver: each knob is an independent proptest dimension
 fn drive_interleaved_faulty(
     trace: &Trace,
     replicas: usize,
@@ -373,6 +446,7 @@ fn drive_interleaved_faulty(
     scale: Option<(f64, f64, f64)>,
     plan: FaultPlan,
     budget: u32,
+    pressure: EnginePressure,
 ) {
     let node = sp_cluster::NodeSpec::new(
         sp_cluster::GpuSpec::h200(),
@@ -384,7 +458,9 @@ fn drive_interleaved_faulty(
             ExecutionModel::new(node, presets::qwen_32b()),
             Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
             EngineConfig {
-                kv_capacity_tokens: 40_000,
+                kv_capacity_tokens: pressure.kv,
+                max_batched_tokens: pressure.max_batched,
+                admission: pressure.admission,
                 class_slo: matches!(kind, RoutingKind::EarliestDeadlineFeasible(_))
                     .then(ClassSlo::default),
                 ..EngineConfig::default()

@@ -42,6 +42,28 @@ fn engines_ff(n: usize, kv: u64, memo: Option<u64>, fast_forward: bool) -> Vec<E
     (0..n).map(|_| engine_ff(kv, memo, None, fast_forward)).collect()
 }
 
+/// The KV-pressure regime the shape-stable windows and the admission
+/// gate target: a tight cache, a small chunk budget (so prompts prefill
+/// across many iterations and windows mix a chunked-prefill leader with
+/// steady decodes), and SLO-aware EDF admission (so the gate arms with
+/// an expiry and the shed path fires).
+fn pressure_engine(kv: u64, fast_forward: bool) -> Engine {
+    let node = NodeSpec::new(GpuSpec::h200(), 1, InterconnectSpec::nvswitch());
+    let mut e = Engine::new(
+        ExecutionModel::new(node, presets::qwen_32b()),
+        Box::new(StaticPolicy::new("DP", ParallelConfig::single())),
+        EngineConfig {
+            kv_capacity_tokens: kv,
+            max_batched_tokens: 2048,
+            class_slo: Some(ClassSlo::default()),
+            record_timeline: true,
+            ..EngineConfig::default()
+        },
+    );
+    e.set_fast_forward(fast_forward);
+    e
+}
+
 /// Everything observable about a report, in owned, bit-exact form. This
 /// deliberately goes beyond the routing-equivalence fingerprint in
 /// `cluster_properties.rs`: the fast-forward path recomputes iteration
@@ -237,6 +259,44 @@ proptest! {
                 &run_cluster(build(true), Some(threads), &trace),
                 &baseline,
                 "fast-forward divergence under faults at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Cluster-level equivalence under KV pressure: prompts comparable
+    /// to the cache with a 2048-token chunk budget, so windows carry
+    /// mixed prefill+decode shapes, arrivals land mid-window, the
+    /// KV-blocked admission gate arms (with EDF expiries and shed-path
+    /// re-entries), and retirements re-open admission mid-horizon. The
+    /// generalized shape-stable fast-forward must reproduce the
+    /// per-iteration loop bit-for-bit at the sequential calendar and
+    /// every horizon width, with and without a fault plan cutting the
+    /// windows at timer instants.
+    #[test]
+    fn fastforward_cluster_matches_per_iteration_under_kv_pressure(
+        trace in arb_trace(),
+        n in 1usize..3,
+        kv in prop_oneof![Just(16_384u64), Just(24_576)],
+        plan in prop_oneof![Just(FaultPlan::empty()), arb_fault_plan(2)],
+    ) {
+        let retry = RetryPolicy { max_retries: 2, base_backoff: Dur::from_secs(0.25) };
+        let build = |ff: bool| {
+            let engines: Vec<Engine> = (0..n).map(|_| pressure_engine(kv, ff)).collect();
+            ClusterSim::new(engines, RoutingKind::JoinShortestOutstanding.policy())
+                .with_faults(plan.clone(), retry)
+        };
+        let baseline = run_cluster(build(false), None, &trace);
+        prop_assert_eq!(
+            &run_cluster(build(true), None, &trace),
+            &baseline,
+            "sequential fast-forward diverged under KV pressure"
+        );
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                &run_cluster(build(true), Some(threads), &trace),
+                &baseline,
+                "fast-forward divergence under KV pressure at {} threads",
                 threads
             );
         }
